@@ -1,0 +1,474 @@
+// Benchmark harness: one benchmark per table and figure of the paper, plus
+// the ablation benchmarks called out in DESIGN.md and micro-benchmarks of
+// the core operations. Each figure benchmark regenerates its figure's data
+// end to end (simulation + measurement + analysis) per iteration, with
+// scaled-down sample counts so the suite completes quickly; cmd/ binaries
+// run the full-size campaigns.
+//
+// Figure benchmarks report domain metrics via b.ReportMetric (prediction
+// error percentiles, throughput gaps) so regressions in reproduction
+// quality are visible alongside timing.
+package virtover_test
+
+import (
+	"sync"
+	"testing"
+
+	"virtover"
+	"virtover/internal/core"
+	"virtover/internal/exps"
+	"virtover/internal/stats"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// ---- shared fixtures ----
+
+var (
+	benchModelOnce sync.Once
+	benchModel     *virtover.Model
+	benchModelErr  error
+
+	benchCorpusOnce sync.Once
+	benchSingle     []core.Sample
+	benchMulti      []core.Sample
+	benchCorpusErr  error
+)
+
+func benchFittedModel(b *testing.B) *virtover.Model {
+	b.Helper()
+	benchModelOnce.Do(func() {
+		benchModel, benchModelErr = virtover.FitModel(2024, 20, virtover.FitOptions{})
+	})
+	if benchModelErr != nil {
+		b.Fatal(benchModelErr)
+	}
+	return benchModel
+}
+
+func benchCorpus(b *testing.B) ([]core.Sample, []core.Sample) {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		benchSingle, benchMulti, benchCorpusErr = exps.TrainingCorpus(2024, 20)
+	})
+	if benchCorpusErr != nil {
+		b.Fatal(benchCorpusErr)
+	}
+	return benchSingle, benchMulti
+}
+
+// ---- Tables ----
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if virtover.RenderTableI() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if virtover.RenderTableII() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if virtover.RenderTableIII() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---- Figures 2-5: micro-benchmark study ----
+
+func benchMicroFigure(b *testing.B, n int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		figs, err := virtover.MicroFigure(n, int64(i), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 5 {
+			b.Fatalf("want 5 panels, got %d", len(figs))
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) { benchMicroFigure(b, 1) }
+func BenchmarkFig3(b *testing.B) { benchMicroFigure(b, 2) }
+func BenchmarkFig4(b *testing.B) { benchMicroFigure(b, 4) }
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := virtover.Figure5(int64(i), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 2 {
+			b.Fatalf("want 2 panels, got %d", len(figs))
+		}
+	}
+}
+
+// ---- Figures 7-9: trace-driven prediction ----
+
+func benchPrediction(b *testing.B, sets int) {
+	b.Helper()
+	model := benchFittedModel(b)
+	var lastP90 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := virtover.PredictionExperiment(model, sets, []int{300, 700}, 30, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastP90 = stats.Percentile(results[0].PM1CPU, 90)
+	}
+	b.ReportMetric(lastP90, "p90err%")
+}
+
+func BenchmarkFig7(b *testing.B) { benchPrediction(b, 1) }
+func BenchmarkFig8(b *testing.B) { benchPrediction(b, 2) }
+func BenchmarkFig9(b *testing.B) { benchPrediction(b, 3) }
+
+// ---- Figure 10: VOA vs VOU placement ----
+
+func BenchmarkFig10(b *testing.B) {
+	model := benchFittedModel(b)
+	cfg := virtover.DefaultPlacementConfig(5)
+	cfg.Repeats = 2
+	cfg.Duration = 30
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		results, err := virtover.PlacementExperiment(model, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var voa3, vou3 float64
+		for _, r := range results {
+			if r.Scenario == 3 {
+				if r.Policy == virtover.VOA {
+					voa3 = r.MeanThroughput()
+				} else {
+					vou3 = r.MeanThroughput()
+				}
+			}
+		}
+		gap = voa3 - vou3
+	}
+	b.ReportMetric(gap, "voa-vou-req/s")
+}
+
+// ---- Ablations (DESIGN.md section 7) ----
+
+// OLS vs LMS fitting: time and resulting held-out error.
+func BenchmarkAblationFitting(b *testing.B) {
+	single, multi := benchCorpus(b)
+	for _, cse := range []struct {
+		name string
+		opt  core.FitOptions
+	}{
+		{"OLS", core.FitOptions{Method: core.MethodOLS}},
+		{"LMS", core.FitOptions{Method: core.MethodLMS, LMS: stats.LMSOptions{Subsamples: 200, Seed: 9}}},
+	} {
+		b.Run(cse.name, func(b *testing.B) {
+			var m *core.Model
+			var err error
+			for i := 0; i < b.N; i++ {
+				m, err = core.Train(single, multi, cse.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(evalModelError(m, multi), "mae-dom0cpu")
+		})
+	}
+}
+
+// With vs without the co-location term alpha(N)*o(sum M) of Eq. 3.
+func BenchmarkAblationColocationTerm(b *testing.B) {
+	single, multi := benchCorpus(b)
+	full, err := core.Train(single, multi, core.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	soloOnly, err := core.Train(single, nil, core.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cse := range []struct {
+		name string
+		m    *core.Model
+	}{{"Eq3-with-o", full}, {"Eq2-only", soloOnly}} {
+		b.Run(cse.name, func(b *testing.B) {
+			var mae float64
+			for i := 0; i < b.N; i++ {
+				mae = evalModelError(cse.m, multi)
+			}
+			b.ReportMetric(mae, "mae-dom0cpu")
+		})
+	}
+}
+
+// Linear alpha(N)=N-1 vs a constant alpha=1 for every co-location level.
+func BenchmarkAblationAlpha(b *testing.B) {
+	single, multi := benchCorpus(b)
+	m, err := core.Train(single, multi, core.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphas := map[string]func(int) float64{
+		"linear": core.Alpha,
+		"constant": func(n int) float64 {
+			if n <= 1 {
+				return 0
+			}
+			return 1
+		},
+	}
+	for name, alpha := range alphas {
+		b.Run(name, func(b *testing.B) {
+			var mae float64
+			for i := 0; i < b.N; i++ {
+				var sum, cnt float64
+				for _, s := range multi {
+					pred := m.A[core.TargetDom0CPU].Apply(s.VMSum) + alpha(s.N)*m.O[core.TargetDom0CPU].Apply(s.VMSum)
+					d := pred - s.Dom0CPU
+					if d < 0 {
+						d = -d
+					}
+					sum += d
+					cnt++
+				}
+				mae = sum / cnt
+			}
+			b.ReportMetric(mae, "mae-dom0cpu")
+		})
+	}
+}
+
+// Training-set size sensitivity.
+func BenchmarkAblationTrainSize(b *testing.B) {
+	for _, samples := range []int{5, 20, 60} {
+		b.Run(map[int]string{5: "tiny", 20: "small", 60: "paper-scale"}[samples], func(b *testing.B) {
+			var m *virtover.Model
+			var err error
+			for i := 0; i < b.N; i++ {
+				m, err = virtover.FitModel(77, samples, virtover.FitOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, multi := benchCorpus(b)
+			b.ReportMetric(evalModelError(m, multi), "mae-dom0cpu")
+		})
+	}
+}
+
+// Configuration-aware model vs the base model on heterogeneous VM
+// configurations (the paper's future-work extension).
+func BenchmarkAblationConfigModel(b *testing.B) {
+	var cmp exps.HeteroComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = exps.HeteroExperiment(17, 10, core.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.BaseHypMAE, "base-hyp-mae")
+	b.ReportMetric(cmp.ConfigHypMAE, "config-hyp-mae")
+}
+
+// End-to-end robustness: OLS vs LMS under glitch-prone measurement tools.
+func BenchmarkAblationRobustness(b *testing.B) {
+	var res exps.RobustnessResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exps.RobustnessExperiment(29, 15, 0.08)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OLSDom0MAE, "ols-dom0-mae")
+	b.ReportMetric(res.LMSDom0MAE, "lms-dom0-mae")
+}
+
+// Training-workload isolation: lookbusy/ping ladders vs coupled tools
+// (httperf, iperf, Fibonacci) as the training diet.
+func BenchmarkAblationWorkloadIsolation(b *testing.B) {
+	var res exps.IsolationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exps.IsolationExperiment(41, 15, core.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.IsolatedDom0MAE, "isolated-dom0-mae")
+	b.ReportMetric(res.CoupledDom0MAE, "coupled-dom0-mae")
+}
+
+// Demand predictors inside the elastic-scaling loop: sliding window vs
+// FFT signatures on the bursty on/off workload.
+func BenchmarkAblationPredictor(b *testing.B) {
+	var results []exps.ScalingResult
+	var err error
+	cfg := exps.DefaultScalingConfig(13)
+	cfg.Duration = 600
+	for i := 0; i < b.N; i++ {
+		results, err = exps.ScalingExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		switch r.Policy {
+		case exps.ScaleSlidingWindow:
+			b.ReportMetric(100*r.ViolationRate, "sliding-viol%")
+		case exps.ScaleSignature:
+			b.ReportMetric(100*r.ViolationRate, "signature-viol%")
+		}
+	}
+}
+
+// evalModelError is the mean absolute Dom0-CPU error over samples.
+func evalModelError(m *core.Model, samples []core.Sample) float64 {
+	var sum float64
+	for _, s := range samples {
+		p := m.PredictSample(s)
+		d := p.Dom0CPU - s.Dom0CPU
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(samples))
+}
+
+// ---- Core-operation micro-benchmarks ----
+
+func BenchmarkEngineStep(b *testing.B) {
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	for i := 0; i < 4; i++ {
+		vm := cl.AddVM(pm, string(rune('a'+i)), 512)
+		vm.SetSource(workload.New(workload.CPU, 60, workload.Options{JitterRel: 0.01, Seed: int64(i)}))
+	}
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
+
+// A paper-sized cluster (7 PMs x 4 guests, cross-PM traffic) per step.
+func BenchmarkEngineBigCluster(b *testing.B) {
+	cl := xen.NewCluster()
+	for p := 0; p < 7; p++ {
+		pm := cl.AddPM(string(rune('A' + p)))
+		for v := 0; v < 4; v++ {
+			name := string(rune('A'+p)) + string(rune('a'+v))
+			vm := cl.AddVM(pm, name, 512)
+			idx := p*4 + v
+			d := xen.Demand{
+				CPU:      float64(10 + (idx*17)%80),
+				IOBlocks: float64((idx * 7) % 60),
+				Flows:    []xen.Flow{{Kbps: float64((idx * 31) % 900)}},
+			}
+			vm.SetSource(workload.Const(d))
+		}
+	}
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
+
+func BenchmarkWaterFill(b *testing.B) {
+	demands := []float64{10, 95, 40, 70, 100, 5, 60, 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xen.WaterFill(demands, 190)
+	}
+}
+
+func BenchmarkOLSFit(b *testing.B) {
+	single, _ := benchCorpus(b)
+	xs := make([][]float64, len(single))
+	ys := make([]float64, len(single))
+	for i, s := range single {
+		xs[i] = []float64{s.VMSum.CPU, s.VMSum.Mem, s.VMSum.IO, s.VMSum.BW}
+		ys[i] = s.Dom0CPU
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.OLS(xs, ys, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLMSFit(b *testing.B) {
+	single, _ := benchCorpus(b)
+	xs := make([][]float64, 0, 400)
+	ys := make([]float64, 0, 400)
+	for i, s := range single {
+		if i >= 400 {
+			break
+		}
+		xs = append(xs, []float64{s.VMSum.CPU, s.VMSum.Mem, s.VMSum.IO, s.VMSum.BW})
+		ys = append(ys, s.Dom0CPU)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.LMS(xs, ys, true, stats.LMSOptions{Subsamples: 100, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	m := benchFittedModel(b)
+	vms := []units.Vector{
+		units.V(40, 128, 10, 300),
+		units.V(25, 200, 20, 100),
+		units.V(50, 60, 0, 0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(vms)
+	}
+}
+
+func BenchmarkMeasurementScript(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := exps.RunMicro(exps.MicroScenario{
+			N: 2, Kind: workload.BW, LevelIdx: 3, Samples: 10, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	sample := make([]float64, 600)
+	for i := range sample {
+		sample[i] = float64(i%97) / 9.7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := stats.NewCDF(sample)
+		c.At(5)
+		c.Quantile(0.9)
+	}
+}

@@ -1,0 +1,107 @@
+// Command estimate answers the question the paper's model exists for:
+// given the measured utilizations of the guests you want to co-locate,
+// what will the PM really consume — including Dom0 and hypervisor CPU,
+// disk-striping I/O amplification and NIC-path bandwidth overhead — and
+// does it fit a host?
+//
+// Each -vm flag is one guest as "cpu,mem,io,bw" in the paper's units
+// (%VCPU, MB, blocks/s, Kb/s).
+//
+//	estimate -vm 50,256,20,400 -vm 30,128,5,100
+//	estimate -vm 60,256,0,800 -capacity 225.4,1250,5000,1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"virtover"
+)
+
+// vmFlags accumulates repeated -vm flags.
+type vmFlags []virtover.Vector
+
+func (v *vmFlags) String() string { return fmt.Sprint(*v) }
+
+func (v *vmFlags) Set(s string) error {
+	vec, err := parseVector(s)
+	if err != nil {
+		return err
+	}
+	*v = append(*v, vec)
+	return nil
+}
+
+func parseVector(s string) (virtover.Vector, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return virtover.Vector{}, fmt.Errorf("want cpu,mem,io,bw — got %q", s)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return virtover.Vector{}, fmt.Errorf("field %d of %q: %v", i+1, s, err)
+		}
+		vals[i] = x
+	}
+	return virtover.V(vals[0], vals[1], vals[2], vals[3]), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("estimate: ")
+	var vms vmFlags
+	flag.Var(&vms, "vm", "guest utilization as cpu,mem,io,bw (repeatable)")
+	var (
+		capStr = flag.String("capacity", "", "optional PM capacity as cpu,mem,io,bw for a fit check")
+		seed   = flag.Int64("seed", 1, "training seed")
+		trainN = flag.Int("train-samples", 30, "samples per training campaign")
+		method = flag.String("method", "ols", "model fitting method: ols or lms")
+	)
+	flag.Parse()
+	if len(vms) == 0 {
+		log.Fatal("at least one -vm is required (cpu,mem,io,bw)")
+	}
+	opt := virtover.FitOptions{}
+	if *method == "lms" {
+		opt.Method = virtover.MethodLMS
+	} else if *method != "ols" {
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	model, err := virtover.FitModel(*seed, *trainN, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := model.Predict(vms)
+	sum := virtover.V(0, 0, 0, 0)
+	for _, v := range vms {
+		sum = sum.Add(v)
+	}
+	fmt.Printf("guests (%d): sum = %v\n\n", len(vms), sum)
+	fmt.Printf("estimated PM utilization:\n")
+	fmt.Printf("  Dom0 CPU:       %8.2f %%\n", pred.Dom0CPU)
+	fmt.Printf("  hypervisor CPU: %8.2f %%\n", pred.HypCPU)
+	fmt.Printf("  PM:             %v\n", pred.PM)
+	ov := pred.PM.Sub(sum).ClampNonNegative()
+	fmt.Printf("  overhead:       %v\n", ov)
+
+	if *capStr != "" {
+		capacity, err := parseVector(*capStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fits := pred.PM.FitsWithin(capacity)
+		naive := sum.FitsWithin(capacity)
+		fmt.Printf("\nfit check against capacity %v:\n", capacity)
+		fmt.Printf("  overhead-aware (VOA):  fits = %v\n", fits)
+		fmt.Printf("  overhead-unaware (VOU): fits = %v\n", naive)
+		if naive && !fits {
+			fmt.Println("  -> a naive planner would overload this PM.")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command fitmodel runs the full micro-benchmark study on the simulated
+// Xen stack, fits the paper's virtualization-overhead estimation model
+// (Eq. 1-3) from the measurements, and prints the coefficient matrices.
+//
+// Usage:
+//
+//	fitmodel [-method ols|lms] [-samples N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"virtover"
+	"virtover/internal/core"
+	"virtover/internal/exps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fitmodel: ")
+	var (
+		method  = flag.String("method", "ols", "regression estimator: ols or lms (the paper uses least median of squares)")
+		samples = flag.Int("samples", 120, "samples per micro-benchmark campaign (paper: 120)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		ci      = flag.Bool("ci", false, "also print 90% bootstrap confidence intervals for the single-VM coefficients")
+		out     = flag.String("out", "", "save the fitted model as JSON for reuse by cmd/predict -model")
+	)
+	flag.Parse()
+
+	opt := virtover.FitOptions{}
+	switch *method {
+	case "ols":
+		opt.Method = virtover.MethodOLS
+	case "lms":
+		opt.Method = virtover.MethodLMS
+	default:
+		log.Fatalf("unknown method %q (have ols, lms)", *method)
+	}
+	model, err := virtover.FitModel(*seed, *samples, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted with %s on the Table II micro-benchmark study (%d samples/run)\n\n", *method, *samples)
+	fmt.Println(model.String())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.SaveModel(f, model); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved model to %s\n\n", *out)
+	}
+
+	if *ci {
+		fmt.Println("90% bootstrap confidence intervals for matrix a:")
+		single, _, err := exps.TrainingCorpus(*seed, *samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cis, err := core.CoefficientCIs(single, 200, 0.90, *seed+31)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := []string{"const", "cpu", "mem", "io", "bw"}
+		for _, t := range core.Targets() {
+			fmt.Printf("  %s:\n", t)
+			for j, n := range names {
+				fmt.Printf("    %-6s %12.5f  [%12.5f, %12.5f]\n", n, cis[t].Point[j], cis[t].Lo[j], cis[t].Hi[j])
+			}
+		}
+		fmt.Println()
+	}
+
+	// Demonstrate a prediction at a representative operating point.
+	vm := virtover.V(50, 128, 20, 400)
+	p := model.Predict([]virtover.Vector{vm})
+	fmt.Printf("example: one VM at %v\n", vm)
+	fmt.Printf("  predicted Dom0 CPU: %6.2f%%\n", p.Dom0CPU)
+	fmt.Printf("  predicted hypervisor CPU: %6.2f%%\n", p.HypCPU)
+	fmt.Printf("  predicted PM: %v\n", p.PM)
+}

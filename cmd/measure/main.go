@@ -1,0 +1,88 @@
+// Command measure runs the paper's micro-benchmark measurement study on
+// the simulated Xen stack and prints the requested tables and figures.
+//
+// Usage:
+//
+//	measure -table 1|2|3          print Table I, II or III
+//	measure -fig 2|3|4|5          regenerate Figures 2, 3, 4 or 5
+//	measure -all                  everything
+//	measure -samples N -seed S    tune the campaign (default 120 samples)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"virtover"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("measure: ")
+	var (
+		table   = flag.Int("table", 0, "print table 1, 2 or 3")
+		fig     = flag.Int("fig", 0, "regenerate figure 2, 3, 4 or 5")
+		all     = flag.Bool("all", false, "print every table and figure")
+		samples = flag.Int("samples", 120, "samples per measurement campaign (paper: 120)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		plot    = flag.Bool("plot", false, "draw ASCII charts instead of numeric tables")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	printTable := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(virtover.RenderTableI())
+		case 2:
+			fmt.Println(virtover.RenderTableII())
+		case 3:
+			fmt.Println(virtover.RenderTableIII())
+		default:
+			log.Fatalf("unknown table %d (have 1, 2, 3)", n)
+		}
+	}
+	printFig := func(n int) {
+		var figs []virtover.Figure
+		var err error
+		switch n {
+		case 2, 3, 4:
+			vms := map[int]int{2: 1, 3: 2, 4: 4}[n]
+			figs, err = virtover.MicroFigure(vms, *seed, *samples)
+		case 5:
+			figs, err = virtover.Figure5(*seed, *samples)
+		default:
+			log.Fatalf("unknown figure %d (have 2, 3, 4, 5)", n)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range figs {
+			if *plot {
+				fmt.Println(f.Plot())
+			} else {
+				fmt.Println(f.Render())
+			}
+		}
+	}
+	if *all {
+		for _, t := range []int{1, 2, 3} {
+			printTable(t)
+		}
+		for _, f := range []int{2, 3, 4, 5} {
+			printFig(f)
+		}
+		return
+	}
+	if *table != 0 {
+		printTable(*table)
+	}
+	if *fig != 0 {
+		printFig(*fig)
+	}
+}

@@ -1,0 +1,54 @@
+// Command placement reproduces the provisioning experiment of Section
+// VI-B (Figure 10): five identical VMs — a RUBiS web/db pair serving 500
+// clients plus three spare VMs — are placed on two PMs by CloudScale-style
+// provisioning with (VOA) and without (VOU) virtualization-overhead
+// awareness, under four workload scenarios (0-3 spare VMs running lookbusy
+// at 50% CPU). The command prints average throughput and total processing
+// time per scenario and policy.
+//
+// Usage:
+//
+//	placement [-repeats N] [-duration SECONDS] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"virtover"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("placement: ")
+	var (
+		repeats  = flag.Int("repeats", 10, "random placement orders per cell (paper: 10)")
+		duration = flag.Int("duration", 120, "measured seconds per run")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trainN   = flag.Int("train-samples", 60, "samples per training campaign")
+	)
+	flag.Parse()
+
+	fmt.Println("fitting the overhead model from the micro-benchmark study...")
+	model, err := virtover.FitModel(*seed, *trainN, virtover.FitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := virtover.DefaultPlacementConfig(*seed + 7)
+	cfg.Repeats = *repeats
+	cfg.Duration = *duration
+	fmt.Printf("running scenarios 0-3, %d repeats x %d s, VOA vs VOU...\n\n", cfg.Repeats, cfg.Duration)
+	results, err := virtover.PlacementExperiment(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range virtover.Figure10(results) {
+		fmt.Println(f.Render())
+	}
+	fmt.Println("per-cell detail:")
+	fmt.Printf("%10s %8s %18s %15s\n", "scenario", "policy", "throughput(req/s)", "total time(s)")
+	for _, r := range results {
+		fmt.Printf("%10d %8s %18.2f %15.1f\n", r.Scenario, r.Policy, r.MeanThroughput(), r.MeanTotalTime())
+	}
+}

@@ -1,0 +1,49 @@
+// Command report runs the complete reproduction — every table and figure
+// of the paper plus the extension studies — and writes one markdown
+// report.
+//
+// Usage:
+//
+//	report -quick -out report.md     # scaled-down, finishes in seconds
+//	report -out report.md            # the paper's experiment sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"virtover/internal/exps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	var (
+		out   = flag.String("out", "", "output file (default stdout)")
+		quick = flag.Bool("quick", false, "scaled-down experiment sizes")
+		seed  = flag.Int64("seed", 1, "random seed")
+		noExt = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
+	)
+	flag.Parse()
+
+	cfg := exps.PaperReportConfig(*seed)
+	if *quick {
+		cfg = exps.QuickReportConfig(*seed)
+	}
+	cfg.Extensions = !*noExt
+
+	doc, err := exps.FullReport(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(doc))
+}

@@ -1,0 +1,128 @@
+// Command xensim is a generic driver for the simulated Xen stack: it
+// deploys N identical VMs running one Table II workload on a PM, runs the
+// synchronized measurement script, and writes the measurement trace as CSV
+// to stdout (the long-form format of internal/trace, consumable by
+// downstream analysis or model fitting).
+//
+// Usage:
+//
+//	xensim -vms 2 -kind cpu -level 3 -duration 120 > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"virtover"
+	"virtover/internal/exps"
+	"virtover/internal/monitor"
+	"virtover/internal/scenario"
+	"virtover/internal/trace"
+	"virtover/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xensim: ")
+	var (
+		vms      = flag.Int("vms", 1, "number of co-located VMs")
+		kindName = flag.String("kind", "cpu", "workload family: cpu, mem, io, bw")
+		level    = flag.Int("level", 2, "Table II ladder index 0..4")
+		duration = flag.Int("duration", 120, "samples at 1 Hz")
+		seed     = flag.Int64("seed", 1, "random seed")
+		intra    = flag.Bool("intra", false, "send BW workload to a co-located VM (Figure 5 mode)")
+		rubisN   = flag.Int("rubis", 0, "instead of a micro-benchmark, record N RUBiS application sets (Figure 6 topology)")
+		clients  = flag.Int("clients", 500, "RUBiS client population (with -rubis)")
+		screens  = flag.Bool("screens", false, "print one synchronized set of tool screens (xentop/top/mpstat/vmstat/ifconfig) instead of a CSV trace")
+		scenFile = flag.String("scenario", "", "run a declarative JSON scenario file instead of the flag-built setup")
+		summary  = flag.Bool("summary", false, "print streaming per-PM summaries (mean/std/p50/p90/p99) instead of the CSV trace")
+	)
+	flag.Parse()
+
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series, err := sc.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitSeries(series, *summary)
+		return
+	}
+
+	if *screens {
+		printScreens(*vms, *kindName, *level, *seed)
+		return
+	}
+
+	if *rubisN > 0 {
+		series, err := exps.RecordRUBiSTrace(*rubisN, *clients, *duration, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitSeries(series, *summary)
+		return
+	}
+
+	kinds := map[string]virtover.WorkloadKind{
+		"cpu": workload.CPU, "mem": workload.MEM, "io": workload.IO, "bw": workload.BW,
+	}
+	kind, ok := kinds[*kindName]
+	if !ok {
+		log.Fatalf("unknown workload kind %q (have cpu, mem, io, bw)", *kindName)
+	}
+	if *level < 0 || *level > 4 {
+		log.Fatalf("level %d out of Table II range 0..4", *level)
+	}
+	_, series, err := exps.RunMicro(exps.MicroScenario{
+		N: *vms, Kind: kind, LevelIdx: *level,
+		Samples: *duration, Seed: *seed, IntraPMTarget: *intra,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitSeries(series, *summary)
+}
+
+// emitSeries writes the measurement series as CSV, or as streaming
+// summaries with -summary.
+func emitSeries(series [][]monitor.Measurement, summary bool) {
+	if summary {
+		agg := monitor.NewStreamAggregator()
+		agg.ObserveSeries(series)
+		fmt.Print(agg.Render())
+		return
+	}
+	if err := trace.Write(os.Stdout, series); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printScreens builds the scenario and renders the terminal view the
+// paper's authors watched: every tool's screen for one sampling instant.
+func printScreens(vms int, kindName string, level int, seed int64) {
+	kinds := map[string]virtover.WorkloadKind{
+		"cpu": workload.CPU, "mem": workload.MEM, "io": workload.IO, "bw": workload.BW,
+	}
+	kind, ok := kinds[kindName]
+	if !ok {
+		log.Fatalf("unknown workload kind %q", kindName)
+	}
+	cl := virtover.NewCluster()
+	pm := cl.AddPM("pm1")
+	for i := 0; i < vms; i++ {
+		vm := cl.AddVM(pm, fmt.Sprintf("vm%d", i+1), 512)
+		vm.SetSource(workload.NewLevel(kind, level, workload.Options{JitterRel: 0.01, Seed: seed + int64(i)}))
+	}
+	e := virtover.NewEngine(cl, virtover.DefaultCalibration(), seed)
+	e.Advance(3)
+	fmt.Print(monitor.RenderSnapshotScreens(e, pm, monitor.DefaultNoise(), seed+9))
+}

@@ -1,0 +1,30 @@
+// Colocation: reproduce the paper's co-location study (Figures 2a/3a/4a)
+// interactively — sweep the CPU workload ladder with 1, 2 and 4 co-located
+// VMs and watch guest CPU saturate while Dom0 and the hypervisor plateau
+// at their squeezed allocations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"virtover"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, n := range []int{1, 2, 4} {
+		figs, err := virtover.MicroFigure(n, 11, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Panel (a) is the CPU-vs-CPU sweep.
+		fmt.Println(figs[0].Render())
+	}
+	fmt.Println("observations (compare with Section IV of the paper):")
+	fmt.Println(" - one VM: guest tracks the input; Dom0 climbs 16.8% -> ~29.5%;")
+	fmt.Println("   the hypervisor climbs ~3% -> ~14%")
+	fmt.Println(" - two VMs: each guest saturates near 95% of a VCPU")
+	fmt.Println(" - four VMs: each guest saturates near 47%, and Dom0 / hypervisor")
+	fmt.Println("   are squeezed to their plateaus (23.4% / 12.0%)")
+}

@@ -1,0 +1,71 @@
+// Quickstart: simulate one Xen PM hosting a VM under a mixed workload,
+// measure it with the emulated tool script, fit the paper's overhead model
+// from the micro-benchmark study, and compare the model's PM-utilization
+// prediction against the measurement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"virtover"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a cluster: one PM, one VM.
+	cluster := virtover.NewCluster()
+	pm := cluster.AddPM("pm1")
+	vm := cluster.AddVM(pm, "guest", 512)
+
+	// 2. Attach a mixed workload: 40% CPU + 20 blocks/s of disk I/O +
+	//    600 Kb/s to an external host (lookbusy and ping side by side).
+	vm.SetSource(mixed(40, 20, 600))
+
+	// 3. Run the measurement script: 1 Hz for 2 minutes, as in the paper.
+	engine := virtover.NewEngine(cluster, virtover.DefaultCalibration(), 42)
+	script := virtover.DefaultScript(7)
+	series, err := script.Run(engine, []*virtover.PM{pm})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := virtover.AverageMeasurements(series)[0]
+	fmt.Println("measured (averaged over 120 samples):")
+	fmt.Printf("  VM:          %v\n", measured.VMs["guest"])
+	fmt.Printf("  Dom0:        %v\n", measured.Dom0)
+	fmt.Printf("  hypervisor:  %.2f%% CPU\n", measured.HypervisorCPU)
+	fmt.Printf("  PM:          %v\n", measured.Host)
+
+	// 4. Fit the overhead model from the full micro-benchmark study.
+	fmt.Println("\nfitting the overhead model (Table II micro-benchmarks)...")
+	model, err := virtover.FitModel(1, 30, virtover.FitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Predict the PM utilization from the measured VM utilization alone.
+	pred := model.Predict([]virtover.Vector{measured.VMs["guest"]})
+	fmt.Println("\npredicted from the VM utilization alone:")
+	fmt.Printf("  Dom0 CPU:    %.2f%% (measured %.2f%%)\n", pred.Dom0CPU, measured.Dom0.CPU)
+	fmt.Printf("  hypervisor:  %.2f%% (measured %.2f%%)\n", pred.HypCPU, measured.HypervisorCPU)
+	fmt.Printf("  PM:          %v\n", pred.PM)
+	fmt.Printf("\nPM CPU prediction error: %.2f%%\n",
+		100*math.Abs(pred.PM.CPU-measured.Host.CPU)/measured.Host.CPU)
+}
+
+// mixed builds a constant mixed-demand source.
+func mixed(cpu, ioBlocks, bwKbps float64) virtover.WorkloadSource {
+	return sourceFunc(func(float64) virtover.Demand {
+		return virtover.Demand{
+			CPU:      cpu,
+			IOBlocks: ioBlocks,
+			Flows:    []virtover.Flow{{Kbps: bwKbps}},
+		}
+	})
+}
+
+type sourceFunc func(t float64) virtover.Demand
+
+func (f sourceFunc) Demand(t float64) virtover.Demand { return f(t) }

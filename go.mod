@@ -1,0 +1,3 @@
+module virtover
+
+go 1.22

@@ -1,0 +1,60 @@
+package cloudscale
+
+import (
+	"fmt"
+
+	"virtover/internal/units"
+)
+
+// This file implements the admission-control use case from the paper's
+// introduction: "avoid mistakenly adopting new VMs in the case of
+// insufficient resource". An AdmissionController answers, per PM, whether
+// a new guest fits — under overhead-aware (VOA) or naive (VOU) estimation
+// — and by how much.
+
+// AdmissionDecision is the controller's verdict for one candidate.
+type AdmissionDecision struct {
+	Admit bool
+	// Estimated is the predicted post-admission PM utilization.
+	Estimated units.Vector
+	// Headroom is capacity minus the estimate (componentwise; negative
+	// components are what made the controller refuse).
+	Headroom units.Vector
+}
+
+// AdmissionController performs per-PM admission checks.
+type AdmissionController struct {
+	// Placer supplies the policy, model and capacity.
+	Placer Placer
+	// Reserve is a relative safety margin held back from capacity
+	// (e.g. 0.05 keeps 5% free). Zero means admit up to the line.
+	Reserve float64
+}
+
+// NewAdmissionController validates and returns a controller.
+func NewAdmissionController(p Placer, reserve float64) (*AdmissionController, error) {
+	if reserve < 0 || reserve >= 1 {
+		return nil, fmt.Errorf("cloudscale: reserve %v out of [0,1)", reserve)
+	}
+	if p.Policy == VOA && p.Model == nil {
+		return nil, fmt.Errorf("cloudscale: VOA admission needs a model")
+	}
+	return &AdmissionController{Placer: p, Reserve: reserve}, nil
+}
+
+// Check evaluates admitting candidate onto a PM already running resident.
+func (a *AdmissionController) Check(resident []units.Vector, candidate units.Vector) (AdmissionDecision, error) {
+	guests := make([]units.Vector, 0, len(resident)+1)
+	guests = append(guests, resident...)
+	guests = append(guests, candidate)
+	est, err := a.Placer.Estimate(guests)
+	if err != nil {
+		return AdmissionDecision{}, err
+	}
+	limit := a.Placer.Capacity.Scale(1 - a.Reserve)
+	return AdmissionDecision{
+		Admit:     est.FitsWithin(limit),
+		Estimated: est,
+		Headroom:  limit.Sub(est),
+	}, nil
+}

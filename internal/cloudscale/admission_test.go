@@ -1,0 +1,82 @@
+package cloudscale
+
+import (
+	"testing"
+
+	"virtover/internal/units"
+)
+
+func TestAdmissionValidation(t *testing.T) {
+	p := Placer{Policy: VOU, Capacity: units.V(225, 2048, 5000, 1e6)}
+	if _, err := NewAdmissionController(p, -0.1); err == nil {
+		t.Error("negative reserve should fail")
+	}
+	if _, err := NewAdmissionController(p, 1); err == nil {
+		t.Error("reserve 1 should fail")
+	}
+	if _, err := NewAdmissionController(Placer{Policy: VOA}, 0); err == nil {
+		t.Error("VOA without model should fail")
+	}
+}
+
+func TestAdmissionVOUAdmitsVOARefuses(t *testing.T) {
+	m := trainedModel(t)
+	capacity := units.V(225.4, 2048, 5000, 1e6)
+	resident := []units.Vector{
+		units.V(70, 256, 0, 400),
+		units.V(70, 256, 0, 400),
+	}
+	candidate := units.V(60, 256, 0, 400)
+
+	vou, err := NewAdmissionController(Placer{Policy: VOU, Capacity: capacity}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voa, err := NewAdmissionController(Placer{Policy: VOA, Model: m, Capacity: capacity}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := vou.Check(resident, candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := voa.Check(resident, candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guest sum = 200 <= 225.4: VOU admits. With ~30+ points of overhead
+	// the VOA estimate exceeds capacity: refused.
+	if !du.Admit {
+		t.Errorf("VOU should admit at guest-sum 200: %+v", du)
+	}
+	if da.Admit {
+		t.Errorf("VOA should refuse (estimate %v)", da.Estimated)
+	}
+	if da.Headroom.CPU >= 0 {
+		t.Errorf("VOA CPU headroom should be negative, got %v", da.Headroom.CPU)
+	}
+	if du.Estimated.CPU != 200 {
+		t.Errorf("VOU estimate = %v, want plain 200", du.Estimated.CPU)
+	}
+}
+
+func TestAdmissionReserveTightens(t *testing.T) {
+	capacity := units.V(100, 2048, 5000, 1e6)
+	loose, _ := NewAdmissionController(Placer{Policy: VOU, Capacity: capacity}, 0)
+	tight, _ := NewAdmissionController(Placer{Policy: VOU, Capacity: capacity}, 0.2)
+	cand := units.V(90, 100, 0, 0)
+	dl, err := loose.Check(nil, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := tight.Check(nil, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Admit {
+		t.Error("no-reserve controller should admit 90 on 100")
+	}
+	if dt.Admit {
+		t.Error("20%-reserve controller should refuse 90 on 100")
+	}
+}

@@ -1,0 +1,252 @@
+package cloudscale
+
+import (
+	"math"
+	"testing"
+
+	"virtover/internal/core"
+	"virtover/internal/units"
+)
+
+func TestPredictorEmpty(t *testing.T) {
+	p := NewPredictor()
+	if got := p.Predict("ghost"); got != (units.Vector{}) {
+		t.Errorf("unknown VM prediction = %v, want zero", got)
+	}
+	if p.Known("ghost") {
+		t.Error("Known should be false without observations")
+	}
+}
+
+func TestPredictorMeanLastMax(t *testing.T) {
+	p := NewPredictor()
+	p.Padding = 0
+	for _, cpu := range []float64{10, 20, 30} {
+		p.Observe("vm", units.V(cpu, 0, 0, 0))
+	}
+	// mean = 20, last = 30 -> max = 30.
+	if got := p.Predict("vm"); math.Abs(got.CPU-30) > 1e-9 {
+		t.Errorf("Predict = %v, want 30", got.CPU)
+	}
+	// Falling load: mean dominates (conservative).
+	p2 := NewPredictor()
+	p2.Padding = 0
+	for _, cpu := range []float64{50, 40, 10} {
+		p2.Observe("vm", units.V(cpu, 0, 0, 0))
+	}
+	want := (50.0 + 40 + 10) / 3
+	if got := p2.Predict("vm"); math.Abs(got.CPU-want) > 1e-9 {
+		t.Errorf("Predict = %v, want mean %v", got.CPU, want)
+	}
+}
+
+func TestPredictorPadding(t *testing.T) {
+	p := NewPredictor()
+	p.Padding = 0.1
+	p.Observe("vm", units.V(100, 0, 0, 0))
+	if got := p.Predict("vm"); math.Abs(got.CPU-110) > 1e-9 {
+		t.Errorf("padded prediction = %v, want 110", got.CPU)
+	}
+	p.Padding = -1 // treated as zero
+	if got := p.Predict("vm"); math.Abs(got.CPU-100) > 1e-9 {
+		t.Errorf("negative padding prediction = %v, want 100", got.CPU)
+	}
+}
+
+func TestPredictorWindow(t *testing.T) {
+	p := NewPredictor()
+	p.Window = 3
+	p.Padding = 0
+	for _, cpu := range []float64{1000, 1, 1, 1} {
+		p.Observe("vm", units.V(cpu, 0, 0, 0))
+	}
+	// The 1000 sample fell out of the window.
+	if got := p.Predict("vm"); got.CPU > 2 {
+		t.Errorf("windowed prediction = %v, want ~1", got.CPU)
+	}
+	if !p.Known("vm") {
+		t.Error("Known should be true after observations")
+	}
+}
+
+func TestPredictorZeroValueUsable(t *testing.T) {
+	var p Predictor
+	p.Observe("vm", units.V(5, 0, 0, 0))
+	if got := p.Predict("vm"); got.CPU <= 0 {
+		t.Errorf("zero-value predictor unusable: %v", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if VOU.String() != "VOU" || VOA.String() != "VOA" {
+		t.Error("policy names wrong")
+	}
+}
+
+// trainedModel returns an overhead model fitted on exact synthetic data
+// with the simulator's background constants.
+func trainedModel(t *testing.T) *core.Model {
+	t.Helper()
+	var samples []core.Sample
+	for i := 0; i < 100; i++ {
+		v := units.V(float64(i%100), float64((i*7)%256), float64((i*3)%90), float64((i*11)%1300))
+		samples = append(samples, core.Sample{
+			N:       1,
+			VMSum:   v,
+			Dom0CPU: 16.8 + 0.12*v.CPU + 0.0105*v.BW,
+			HypCPU:  2.6 + 0.1*v.CPU,
+			PM:      units.V(0, 300+v.Mem, 2+2.05*v.IO, 2+1.01*v.BW),
+		})
+	}
+	m, err := core.TrainSingle(samples, core.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEstimateVOUvsVOA(t *testing.T) {
+	m := trainedModel(t)
+	guests := []units.Vector{units.V(50, 256, 10, 400), units.V(50, 256, 10, 400)}
+	vou := Placer{Policy: VOU}
+	voa := Placer{Policy: VOA, Model: m}
+	eu, err := vou.Estimate(guests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := voa.Estimate(guests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu.CPU != 100 {
+		t.Errorf("VOU estimate = %v, want plain sum 100", eu.CPU)
+	}
+	// VOA adds Dom0 + hypervisor CPU: > 100 + 16.8 + 2.6.
+	if ea.CPU < 120 {
+		t.Errorf("VOA estimate = %v, want > 120 (includes overhead)", ea.CPU)
+	}
+	if ea.Mem <= eu.Mem {
+		t.Error("VOA memory estimate should include Dom0 memory")
+	}
+}
+
+func TestEstimateEmptyAndErrors(t *testing.T) {
+	pl := Placer{Policy: VOA} // no model
+	if _, err := pl.Estimate([]units.Vector{{CPU: 1}}); err == nil {
+		t.Error("VOA without model should fail")
+	}
+	if got, err := pl.Estimate(nil); err != nil || got != (units.Vector{}) {
+		t.Errorf("empty estimate = (%v, %v)", got, err)
+	}
+}
+
+func TestPlaceVOAAvoidsOverload(t *testing.T) {
+	m := trainedModel(t)
+	cap := units.V(225.4, 2048, 5000, 1e6)
+	demands := map[string]units.Vector{
+		"web":  units.V(66, 150, 0, 500),
+		"db":   units.V(29, 190, 10, 350),
+		"hog1": units.V(50, 256, 0, 0),
+		"hog2": units.V(50, 256, 0, 0),
+		"hog3": units.V(50, 256, 0, 0),
+	}
+	order := []string{"web", "db", "hog1", "hog2", "hog3"}
+	pms := []string{"pm1", "pm2"}
+
+	vou := Placer{Policy: VOU, Capacity: cap}
+	voa := Placer{Policy: VOA, Model: m, Capacity: cap}
+
+	au, err := vou.Place(order, demands, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := voa.Place(order, demands, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(a Assignment, pm string) int {
+		n := 0
+		for _, p := range a {
+			if p == pm {
+				n++
+			}
+		}
+		return n
+	}
+	// VOU: sums 66+29+50+50 = 195 <= 225.4 -> packs 4 on pm1.
+	if got := count(au, "pm1"); got < 4 {
+		t.Errorf("VOU should pack at least 4 VMs on pm1, packed %d", got)
+	}
+	// VOA: overhead pushes the 4th over capacity -> spreads.
+	if got := count(aa, "pm1"); got >= 4 {
+		t.Errorf("VOA should not pack 4 VMs on pm1, packed %d", got)
+	}
+	// Both place every VM.
+	if len(au) != 5 || len(aa) != 5 {
+		t.Errorf("placements incomplete: VOU %d, VOA %d", len(au), len(aa))
+	}
+}
+
+func TestPlaceFallbackWhenNothingFits(t *testing.T) {
+	pl := Placer{Policy: VOU, Capacity: units.V(10, 10, 10, 10)}
+	demands := map[string]units.Vector{"big": units.V(100, 100, 100, 100)}
+	a, err := pl.Place([]string{"big"}, demands, []string{"pm1", "pm2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["big"] == "" {
+		t.Error("fallback must still place the VM")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	pl := Placer{Policy: VOU, Capacity: units.V(100, 100, 100, 100)}
+	if _, err := pl.Place([]string{"x"}, map[string]units.Vector{"x": {}}, nil); err == nil {
+		t.Error("no PMs should fail")
+	}
+	if _, err := pl.Place([]string{"x"}, map[string]units.Vector{}, []string{"pm1"}); err == nil {
+		t.Error("missing demand should fail")
+	}
+	bad := Placer{Policy: VOA, Capacity: units.V(100, 100, 100, 100)} // nil model
+	if _, err := bad.Place([]string{"x"}, map[string]units.Vector{"x": {CPU: 1}}, []string{"pm1"}); err == nil {
+		t.Error("VOA without model should fail in Place")
+	}
+}
+
+func TestPlaceMemoryBindsLikeThePaper(t *testing.T) {
+	// Section VI-B narrative: with a 1250 MB usable memory capacity and
+	// 256 MB VMs, VOU packs four VMs per PM (4x256=1024 fits, 5x256 does
+	// not); VOA, charging Dom0's 300 MB, packs only three.
+	m := trainedModel(t)
+	cap := units.V(1e9, 1250, 1e9, 1e9) // memory is the only binding axis
+	demands := map[string]units.Vector{}
+	order := []string{}
+	for _, n := range []string{"v1", "v2", "v3", "v4", "v5"} {
+		demands[n] = units.V(1, 256, 0, 0)
+		order = append(order, n)
+	}
+	pms := []string{"pm1", "pm2"}
+	au, err := (&Placer{Policy: VOU, Capacity: cap}).Place(order, demands, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := (&Placer{Policy: VOA, Model: m, Capacity: cap}).Place(order, demands, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(a Assignment, pm string) int {
+		n := 0
+		for _, p := range a {
+			if p == pm {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(au, "pm1"); got != 4 {
+		t.Errorf("VOU packed %d on pm1, want 4", got)
+	}
+	if got := count(aa, "pm1"); got != 3 {
+		t.Errorf("VOA packed %d on pm1, want 3", got)
+	}
+}

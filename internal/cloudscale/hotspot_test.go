@@ -1,0 +1,178 @@
+package cloudscale
+
+import (
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/units"
+)
+
+func hotCfg(t *testing.T, policy Policy) HotspotConfig {
+	t.Helper()
+	p := Placer{Policy: policy, Capacity: units.V(225.4, 2048, 5000, 1e6)}
+	if policy == VOA {
+		p.Model = trainedModel(t)
+	}
+	cfg := DefaultHotspotConfig(p)
+	cfg.SustainedIntervals = 2
+	return cfg
+}
+
+func measurement(pm string, vms map[string]units.Vector) monitor.Measurement {
+	return monitor.Measurement{PM: pm, VMs: vms}
+}
+
+func TestHotspotConfigValidation(t *testing.T) {
+	if _, err := NewHotspotController(HotspotConfig{TriggerFrac: 0, SustainedIntervals: 1}); err == nil {
+		t.Error("TriggerFrac 0 should fail")
+	}
+	if _, err := NewHotspotController(HotspotConfig{TriggerFrac: 1.5, SustainedIntervals: 1}); err == nil {
+		t.Error("TriggerFrac > 1 should fail")
+	}
+	if _, err := NewHotspotController(HotspotConfig{TriggerFrac: 0.9, SustainedIntervals: 0}); err == nil {
+		t.Error("SustainedIntervals 0 should fail")
+	}
+	bad := HotspotConfig{TriggerFrac: 0.9, SustainedIntervals: 1, Placer: Placer{Policy: VOA}}
+	if _, err := NewHotspotController(bad); err == nil {
+		t.Error("VOA without model should fail")
+	}
+}
+
+func TestHotspotDetectsSustainedOverload(t *testing.T) {
+	h, err := NewHotspotController(hotCfg(t, VOU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []monitor.Measurement{
+		measurement("pm1", map[string]units.Vector{
+			"a": units.V(110, 256, 0, 0),
+			"b": units.V(100, 256, 0, 0),
+		}),
+		measurement("pm2", map[string]units.Vector{
+			"c": units.V(5, 256, 0, 0),
+		}),
+	}
+	// First observation: hot but not yet sustained.
+	actions, err := h.Observe(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("premature migration after one observation: %v", actions)
+	}
+	// Second: sustained -> migrate the heaviest guest to pm2.
+	actions, err = h.Observe(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 {
+		t.Fatalf("actions = %v, want one migration", actions)
+	}
+	a := actions[0]
+	if a.VM != "a" || a.From != "pm1" || a.To != "pm2" {
+		t.Errorf("migration = %+v, want heaviest guest a: pm1 -> pm2", a)
+	}
+}
+
+func TestHotspotCounterResetsWhenCool(t *testing.T) {
+	h, err := NewHotspotController(hotCfg(t, VOU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []monitor.Measurement{
+		measurement("pm1", map[string]units.Vector{"a": units.V(220, 256, 0, 0)}),
+		measurement("pm2", map[string]units.Vector{}),
+	}
+	cool := []monitor.Measurement{
+		measurement("pm1", map[string]units.Vector{"a": units.V(50, 256, 0, 0)}),
+		measurement("pm2", map[string]units.Vector{}),
+	}
+	if _, err := h.Observe(hot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Observe(cool); err != nil {
+		t.Fatal(err)
+	}
+	// The counter reset; one more hot observation must not trigger yet.
+	actions, err := h.Observe(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 0 {
+		t.Errorf("counter did not reset: %v", actions)
+	}
+}
+
+func TestHotspotNoDestinationDefers(t *testing.T) {
+	h, err := NewHotspotController(hotCfg(t, VOU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both PMs are hot: nowhere to go.
+	both := []monitor.Measurement{
+		measurement("pm1", map[string]units.Vector{"a": units.V(215, 256, 0, 0)}),
+		measurement("pm2", map[string]units.Vector{"b": units.V(215, 256, 0, 0)}),
+	}
+	for i := 0; i < 5; i++ {
+		actions, err := h.Observe(both)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(actions) != 0 {
+			t.Fatalf("migration emitted with no viable destination: %v", actions)
+		}
+	}
+}
+
+func TestHotspotVOASeesOverheadVOUMisses(t *testing.T) {
+	// Guests sum to ~190 CPU: VOU thinks the PM is fine (190 < 0.9*225.4
+	// = 202.9); VOA adds ~30 points of Dom0+hypervisor and triggers.
+	ms := []monitor.Measurement{
+		measurement("pm1", map[string]units.Vector{
+			"a": units.V(95, 256, 0, 300),
+			"b": units.V(95, 256, 0, 300),
+		}),
+		measurement("pm2", map[string]units.Vector{}),
+	}
+	vou, err := NewHotspotController(hotCfg(t, VOU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	voa, err := NewHotspotController(hotCfg(t, VOA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vouActs, voaActs int
+	for i := 0; i < 4; i++ {
+		au, err := vou.Observe(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vouActs += len(au)
+		av, err := voa.Observe(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		voaActs += len(av)
+	}
+	if vouActs != 0 {
+		t.Errorf("VOU should not trigger at guest-sum 190, acted %d times", vouActs)
+	}
+	if voaActs == 0 {
+		t.Error("VOA should detect the overhead-driven hotspot")
+	}
+}
+
+func TestVolumeMonotone(t *testing.T) {
+	capacity := units.V(225, 2048, 5000, 1e6)
+	lo := volume(units.V(20, 100, 0, 0), capacity)
+	hi := volume(units.V(120, 100, 0, 0), capacity)
+	if hi <= lo {
+		t.Errorf("volume must grow with load: %v vs %v", lo, hi)
+	}
+	// Near-capacity utilization must not blow up to infinity.
+	v := volume(units.V(225, 2048, 5000, 1e6), capacity)
+	if v <= 0 || v != v /* NaN check */ {
+		t.Errorf("volume at capacity = %v", v)
+	}
+}

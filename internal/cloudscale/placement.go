@@ -1,0 +1,108 @@
+package cloudscale
+
+import (
+	"fmt"
+
+	"virtover/internal/core"
+	"virtover/internal/units"
+)
+
+// Policy selects how a candidate PM's post-placement utilization is
+// estimated during admission (Section VI-B).
+type Policy int
+
+// Placement policies: VOU ignores virtualization overhead (PM utilization
+// assumed equal to the sum of its guests'); VOA estimates it with the
+// overhead model.
+const (
+	VOU Policy = iota
+	VOA
+)
+
+// String names the policy as in the paper.
+func (p Policy) String() string {
+	if p == VOA {
+		return "VOA"
+	}
+	return "VOU"
+}
+
+// Placer performs CloudScale's sequential demand-driven placement: VMs are
+// considered one by one (the paper uses a random order and repeats ten
+// times) and each is assigned to the first PM whose estimated
+// post-placement utilization fits its capacity.
+type Placer struct {
+	// Policy selects VOU or VOA estimation.
+	Policy Policy
+	// Model is the fitted overhead model; required for VOA.
+	Model *core.Model
+	// Capacity is the per-PM capacity vector (CPU in %VCPU aggregate, Mem
+	// MB, IO blocks/s, BW Kb/s).
+	Capacity units.Vector
+}
+
+// Estimate returns the estimated PM utilization if the given guests run
+// together, under the placer's policy.
+func (pl *Placer) Estimate(guests []units.Vector) (units.Vector, error) {
+	if len(guests) == 0 {
+		return units.Vector{}, nil
+	}
+	switch pl.Policy {
+	case VOA:
+		if pl.Model == nil {
+			return units.Vector{}, fmt.Errorf("cloudscale: VOA requires a model")
+		}
+		return pl.Model.Predict(guests).PM, nil
+	default:
+		return units.Sum(guests...), nil
+	}
+}
+
+// Assignment maps VM name to PM name.
+type Assignment map[string]string
+
+// Place assigns each VM (in the given order) to the first PM where the
+// estimated utilization fits capacity. When no PM fits, the VM goes to the
+// PM with the most estimated CPU headroom (CloudScale's overload fallback),
+// so placement always completes.
+func (pl *Placer) Place(order []string, demands map[string]units.Vector, pms []string) (Assignment, error) {
+	if len(pms) == 0 {
+		return nil, fmt.Errorf("cloudscale: no PMs")
+	}
+	resident := make(map[string][]units.Vector, len(pms))
+	out := make(Assignment, len(order))
+	for _, vm := range order {
+		d, ok := demands[vm]
+		if !ok {
+			return nil, fmt.Errorf("cloudscale: no demand prediction for VM %q", vm)
+		}
+		chosen := ""
+		for _, pm := range pms {
+			est, err := pl.Estimate(append(append([]units.Vector{}, resident[pm]...), d))
+			if err != nil {
+				return nil, err
+			}
+			if est.FitsWithin(pl.Capacity) {
+				chosen = pm
+				break
+			}
+		}
+		if chosen == "" {
+			// Overload fallback: most CPU headroom.
+			best := -1.0
+			for _, pm := range pms {
+				est, err := pl.Estimate(resident[pm])
+				if err != nil {
+					return nil, err
+				}
+				if head := pl.Capacity.CPU - est.CPU; head > best {
+					best = head
+					chosen = pm
+				}
+			}
+		}
+		resident[chosen] = append(resident[chosen], d)
+		out[vm] = chosen
+	}
+	return out, nil
+}

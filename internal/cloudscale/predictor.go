@@ -1,0 +1,69 @@
+// Package cloudscale reimplements the slice of CloudScale (Shen et al.,
+// SOCC'11 — the paper's reference [8]) that the Figure 10 experiment needs:
+// online per-VM resource-demand prediction and demand-driven VM placement,
+// with a switch between overhead-unaware provisioning (VOU: a PM's
+// utilization is assumed to be the plain sum of its guests') and
+// overhead-aware provisioning (VOA: the PM's utilization is estimated with
+// the paper's virtualization-overhead model).
+package cloudscale
+
+import (
+	"virtover/internal/units"
+)
+
+// Predictor performs CloudScale-style online demand prediction: a sliding
+// window over recent observations, predicting the next interval as the
+// maximum of the window mean and the last observation, inflated by a
+// padding factor (CloudScale's burst padding against under-estimation).
+type Predictor struct {
+	// Window is the number of recent samples considered (default 30).
+	Window int
+	// Padding is the relative headroom added to predictions (default 0.05).
+	Padding float64
+
+	hist map[string][]units.Vector
+}
+
+// NewPredictor returns a predictor with CloudScale-like defaults.
+func NewPredictor() *Predictor {
+	return &Predictor{Window: 30, Padding: 0.05, hist: make(map[string][]units.Vector)}
+}
+
+// Observe appends one utilization sample for a VM.
+func (p *Predictor) Observe(vm string, u units.Vector) {
+	if p.hist == nil {
+		p.hist = make(map[string][]units.Vector)
+	}
+	h := append(p.hist[vm], u)
+	if w := p.window(); len(h) > w {
+		h = h[len(h)-w:]
+	}
+	p.hist[vm] = h
+}
+
+func (p *Predictor) window() int {
+	if p.Window <= 0 {
+		return 30
+	}
+	return p.Window
+}
+
+// Predict estimates the VM's demand for the next interval. A VM without
+// observations predicts zero.
+func (p *Predictor) Predict(vm string) units.Vector {
+	h := p.hist[vm]
+	if len(h) == 0 {
+		return units.Vector{}
+	}
+	mean := units.Mean(h)
+	last := h[len(h)-1]
+	pred := mean.Max(last)
+	pad := p.Padding
+	if pad < 0 {
+		pad = 0
+	}
+	return pred.Scale(1 + pad)
+}
+
+// Known reports whether the predictor has any history for the VM.
+func (p *Predictor) Known(vm string) bool { return len(p.hist[vm]) > 0 }

@@ -1,0 +1,103 @@
+package cloudscale
+
+import (
+	"fmt"
+
+	"virtover/internal/units"
+)
+
+// This file implements CloudScale's core mechanism (the paper's reference
+// [8]): elastic per-VM resource scaling. Each interval the scaler predicts
+// a VM's next-interval demand, sets the VM's credit-scheduler CPU cap to
+// the prediction plus padding, and reacts to under-estimates by raising
+// the cap multiplicatively when the guest runs against it. Tight caps keep
+// reservations (and billing) low; the padding and reactive correction keep
+// SLA violations rare.
+
+// Forecaster is the demand-prediction interface the scaler consumes; both
+// Predictor (sliding window) and SignaturePredictor (FFT signatures)
+// implement it.
+type Forecaster interface {
+	Observe(vm string, u units.Vector)
+	Predict(vm string) units.Vector
+}
+
+// Compile-time checks.
+var (
+	_ Forecaster = (*Predictor)(nil)
+	_ Forecaster = (*SignaturePredictor)(nil)
+)
+
+// ScalerConfig tunes the scaling loop.
+type ScalerConfig struct {
+	// Forecaster predicts next-interval demand.
+	Forecaster Forecaster
+	// ReactFactor multiplies the cap when the guest is found running
+	// against it (CloudScale's reactive error correction; default 1.5).
+	ReactFactor float64
+	// CapHitFrac is the fraction of the cap at which the guest counts as
+	// cap-limited (default 0.95).
+	CapHitFrac float64
+	// MinCapCPU floors the cap so a mispredicted idle phase cannot starve
+	// the guest entirely (default 5%).
+	MinCapCPU float64
+	// MaxCapCPU ceils the cap (default 100, one VCPU).
+	MaxCapCPU float64
+}
+
+// DefaultScalerConfig returns CloudScale-like settings around the given
+// forecaster.
+func DefaultScalerConfig(f Forecaster) ScalerConfig {
+	return ScalerConfig{Forecaster: f, ReactFactor: 1.5, CapHitFrac: 0.95, MinCapCPU: 5, MaxCapCPU: 100}
+}
+
+// Scaler runs the per-VM scaling loop. It is not safe for concurrent use.
+type Scaler struct {
+	cfg  ScalerConfig
+	caps map[string]float64
+}
+
+// NewScaler validates the config and returns a scaler.
+func NewScaler(cfg ScalerConfig) (*Scaler, error) {
+	if cfg.Forecaster == nil {
+		return nil, fmt.Errorf("cloudscale: scaler needs a forecaster")
+	}
+	if cfg.ReactFactor <= 1 {
+		return nil, fmt.Errorf("cloudscale: ReactFactor must exceed 1, got %v", cfg.ReactFactor)
+	}
+	if cfg.CapHitFrac <= 0 || cfg.CapHitFrac > 1 {
+		return nil, fmt.Errorf("cloudscale: CapHitFrac %v out of (0,1]", cfg.CapHitFrac)
+	}
+	if cfg.MinCapCPU < 0 || cfg.MaxCapCPU <= cfg.MinCapCPU {
+		return nil, fmt.Errorf("cloudscale: cap bounds [%v,%v] invalid", cfg.MinCapCPU, cfg.MaxCapCPU)
+	}
+	return &Scaler{cfg: cfg, caps: make(map[string]float64)}, nil
+}
+
+// Cap returns the current cap for a VM (0 until the first Step).
+func (s *Scaler) Cap(vm string) float64 { return s.caps[vm] }
+
+// Step ingests the VM's measured utilization for the last interval and
+// returns the CPU cap to apply for the next one.
+func (s *Scaler) Step(vm string, measured units.Vector) float64 {
+	s.cfg.Forecaster.Observe(vm, measured)
+	cur := s.caps[vm]
+
+	var next float64
+	if cur > 0 && measured.CPU >= s.cfg.CapHitFrac*cur {
+		// The guest ran against its cap: the prediction was too low and
+		// the measurement itself is censored, so predictions from it would
+		// stay low. React multiplicatively (CloudScale's burst handling).
+		next = cur * s.cfg.ReactFactor
+	} else {
+		next = s.cfg.Forecaster.Predict(vm).CPU
+	}
+	if next < s.cfg.MinCapCPU {
+		next = s.cfg.MinCapCPU
+	}
+	if next > s.cfg.MaxCapCPU {
+		next = s.cfg.MaxCapCPU
+	}
+	s.caps[vm] = next
+	return next
+}

@@ -1,0 +1,167 @@
+package cloudscale
+
+import (
+	"math"
+	"testing"
+
+	"virtover/internal/units"
+)
+
+func TestScalerValidation(t *testing.T) {
+	if _, err := NewScaler(ScalerConfig{}); err == nil {
+		t.Error("nil forecaster should fail")
+	}
+	f := NewPredictor()
+	bad := []ScalerConfig{
+		{Forecaster: f, ReactFactor: 1, CapHitFrac: 0.9, MinCapCPU: 5, MaxCapCPU: 100},
+		{Forecaster: f, ReactFactor: 1.5, CapHitFrac: 0, MinCapCPU: 5, MaxCapCPU: 100},
+		{Forecaster: f, ReactFactor: 1.5, CapHitFrac: 1.2, MinCapCPU: 5, MaxCapCPU: 100},
+		{Forecaster: f, ReactFactor: 1.5, CapHitFrac: 0.9, MinCapCPU: 50, MaxCapCPU: 40},
+		{Forecaster: f, ReactFactor: 1.5, CapHitFrac: 0.9, MinCapCPU: -1, MaxCapCPU: 100},
+	}
+	for i, cfg := range bad {
+		if _, err := NewScaler(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestScalerTracksSteadyDemand(t *testing.T) {
+	f := NewPredictor()
+	f.Padding = 0.1
+	s, err := NewScaler(DefaultScalerConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cap float64
+	for i := 0; i < 40; i++ {
+		cap = s.Step("vm", units.V(40, 0, 0, 0))
+	}
+	if math.Abs(cap-44) > 2 {
+		t.Errorf("steady-state cap = %v, want ~44 (40 + 10%% padding)", cap)
+	}
+	if got := s.Cap("vm"); got != cap {
+		t.Errorf("Cap() = %v, want %v", got, cap)
+	}
+}
+
+func TestScalerReactsToCapHit(t *testing.T) {
+	f := NewPredictor()
+	f.Padding = 0
+	s, err := NewScaler(DefaultScalerConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge to a low cap, then slam into it.
+	for i := 0; i < 20; i++ {
+		s.Step("vm", units.V(20, 0, 0, 0))
+	}
+	low := s.Cap("vm")
+	next := s.Step("vm", units.V(low, 0, 0, 0)) // measured == cap -> hit
+	if next < low*1.4 {
+		t.Errorf("cap after hit = %v, want ~1.5x %v", next, low)
+	}
+}
+
+func TestScalerBounds(t *testing.T) {
+	f := NewPredictor()
+	f.Padding = 0
+	cfg := DefaultScalerConfig(f)
+	cfg.MinCapCPU = 10
+	cfg.MaxCapCPU = 50
+	s, err := NewScaler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Step("vm", units.V(1, 0, 0, 0)); got != 10 {
+		t.Errorf("floor = %v, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		s.Step("vm", units.V(200, 0, 0, 0))
+	}
+	if got := s.Cap("vm"); got != 50 {
+		t.Errorf("ceiling = %v, want 50", got)
+	}
+}
+
+func TestScalerUnknownVMCap(t *testing.T) {
+	f := NewPredictor()
+	s, _ := NewScaler(DefaultScalerConfig(f))
+	if got := s.Cap("ghost"); got != 0 {
+		t.Errorf("unknown VM cap = %v, want 0", got)
+	}
+}
+
+// ---- SignaturePredictor ----
+
+func TestSignaturePredictorFallsBackWhenAperiodic(t *testing.T) {
+	sp := NewSignaturePredictor()
+	sp.Padding = 0
+	base := NewPredictor()
+	base.Padding = 0
+	base.Window = sp.Window
+	vals := []float64{10, 30, 20, 50, 15, 42, 33, 27, 48, 12}
+	for _, v := range vals {
+		sp.Observe("vm", units.V(v, 0, 0, 0))
+		base.Observe("vm", units.V(v, 0, 0, 0))
+	}
+	got := sp.Predict("vm").CPU
+	want := base.Predict("vm").CPU
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("aperiodic prediction = %v, want fallback %v", got, want)
+	}
+}
+
+func TestSignaturePredictorAnticipatesSquareWave(t *testing.T) {
+	sp := NewSignaturePredictor()
+	sp.Padding = 0
+	// 16-sample period: 8 high, 8 low. Feed six full periods; the next
+	// slot (index 96) starts period seven, i.e. a rising edge.
+	period := 16
+	total := 6 * period
+	for i := 0; i < total; i++ {
+		v := 20.0
+		if i%period < period/2 {
+			v = 80
+		}
+		sp.Observe("vm", units.V(v, 0, 0, 0))
+	}
+	pred := sp.Predict("vm").CPU
+	// A last-value predictor would say ~20 here; the signature must
+	// anticipate the jump back to ~80.
+	if pred < 60 {
+		t.Errorf("prediction before rising edge = %v, want anticipation (~80)", pred)
+	}
+}
+
+func TestSignaturePredictorEmpty(t *testing.T) {
+	sp := NewSignaturePredictor()
+	if got := sp.Predict("vm"); got != (units.Vector{}) {
+		t.Errorf("empty prediction = %v, want zero", got)
+	}
+	if sp.Known("vm") {
+		t.Error("Known should be false")
+	}
+}
+
+func TestSignaturePredictorWindowTrim(t *testing.T) {
+	sp := NewSignaturePredictor()
+	sp.Window = 8
+	sp.Padding = 0
+	for i := 0; i < 100; i++ {
+		sp.Observe("vm", units.V(float64(i), 0, 0, 0))
+	}
+	// Only the last 8 (92..99) remain; the fallback max(mean,last) is 99.
+	if got := sp.Predict("vm").CPU; math.Abs(got-99) > 1e-9 {
+		t.Errorf("windowed prediction = %v, want 99", got)
+	}
+}
+
+func TestSignaturePredictorPadding(t *testing.T) {
+	sp := NewSignaturePredictor()
+	sp.Padding = 0.2
+	sp.Observe("vm", units.V(50, 0, 0, 0))
+	if got := sp.Predict("vm").CPU; math.Abs(got-60) > 1e-9 {
+		t.Errorf("padded prediction = %v, want 60", got)
+	}
+}

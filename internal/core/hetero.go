@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"virtover/internal/units"
+)
+
+// This file implements the extension the paper leaves as future work
+// (Section VII): "improving the model for estimating the resource
+// utilization overhead for different types of VMs with diverse
+// configurations, when they are co-located in a PM".
+//
+// The base model of Eq. 1-3 sees only the guests' utilizations; two
+// deployments with the same summed utilization but different VM
+// configurations (e.g. one 2-VCPU guest at 120% vs. two 1-VCPU guests at
+// 60%) are indistinguishable to it, although the hypervisor schedules a
+// different number of VCPUs and Dom0 serves a different number of event
+// channels. ConfigModel augments the feature vector with configuration
+// information so the regression can price those effects:
+//
+//	M̂ = a·[1, Mc, Mm, Mi, Mn, Xv, Mc²/V]^T (+ α(N)·o·[...]),
+//
+// where Xv is the number of configured VCPUs beyond one per VM summed over
+// the co-located guests, and V is the total number of configured VCPUs.
+// The Mc²/V term captures the per-VCPU convexity of the control-plane and
+// scheduling costs: for guests whose utilization is spread across their
+// VCPUs, the summed per-VCPU quadratic cost is proportional to Mc²/V.
+
+// ConfigSample is a training/evaluation observation carrying VM
+// configuration information in addition to utilizations.
+type ConfigSample struct {
+	Sample
+	// ExtraVCPUs is sum(VCPUs_i - 1) over the co-located guests.
+	ExtraVCPUs int
+}
+
+// ConfigRow is one coefficient set of the configuration-aware model:
+// [const, cpu, mem, io, bw, extra-vcpus, cpu²/vcpus].
+type ConfigRow [7]float64
+
+// Apply evaluates the row at a configuration sample.
+func (r ConfigRow) Apply(s ConfigSample) float64 {
+	f := s.features()
+	y := r[0]
+	for j, x := range f {
+		y += r[j+1] * x
+	}
+	return y
+}
+
+// TotalVCPUs is the number of configured VCPUs across the co-located
+// guests (at least one per guest).
+func (s ConfigSample) TotalVCPUs() int {
+	v := s.N + s.ExtraVCPUs
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (s ConfigSample) features() []float64 {
+	v := s.VMSum
+	return []float64{
+		v.CPU, v.Mem, v.IO, v.BW,
+		float64(s.ExtraVCPUs),
+		v.CPU * v.CPU / float64(s.TotalVCPUs()),
+	}
+}
+
+// ConfigModel is the configuration-aware overhead model.
+type ConfigModel struct {
+	A    [NumTargets]ConfigRow
+	O    [NumTargets]ConfigRow
+	HasO bool
+}
+
+func fitConfigRow(samples []ConfigSample, ys func(ConfigSample) float64, opt FitOptions) (ConfigRow, error) {
+	xs := make([][]float64, len(samples))
+	targets := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.features()
+		targets[i] = ys(s)
+	}
+	coef, err := fitCoefficients(xs, targets, opt)
+	if err != nil {
+		return ConfigRow{}, err
+	}
+	var r ConfigRow
+	copy(r[:], coef)
+	return r, nil
+}
+
+// TrainConfig fits the configuration-aware model: the matrix a from
+// single-VM samples (of any configuration) and o from multi-VM residuals,
+// exactly as Train does for the base model.
+func TrainConfig(single, multi []ConfigSample, opt FitOptions) (*ConfigModel, error) {
+	if len(single) == 0 {
+		return nil, errors.New("core: TrainConfig: no single-VM samples")
+	}
+	for i, s := range single {
+		if s.N != 1 {
+			return nil, fmt.Errorf("core: TrainConfig: single sample %d has N=%d, want 1", i, s.N)
+		}
+	}
+	m := &ConfigModel{}
+	for _, t := range Targets() {
+		t := t
+		row, err := fitConfigRow(single, func(s ConfigSample) float64 { return s.target(t) }, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting config %v: %w", t, err)
+		}
+		m.A[t] = row
+	}
+	if len(multi) == 0 {
+		return m, nil
+	}
+	resid := make([]ConfigSample, 0, len(multi))
+	for i, s := range multi {
+		if s.N < 2 {
+			return nil, fmt.Errorf("core: TrainConfig: multi sample %d has N=%d, want >= 2", i, s.N)
+		}
+		alpha := Alpha(s.N)
+		r := s
+		r.Dom0CPU = (s.Dom0CPU - m.A[TargetDom0CPU].Apply(s)) / alpha
+		r.HypCPU = (s.HypCPU - m.A[TargetHypCPU].Apply(s)) / alpha
+		r.PM = units.V(
+			s.PM.CPU,
+			(s.PM.Mem-m.A[TargetPMMem].Apply(s))/alpha,
+			(s.PM.IO-m.A[TargetPMIO].Apply(s))/alpha,
+			(s.PM.BW-m.A[TargetPMBW].Apply(s))/alpha,
+		)
+		resid = append(resid, r)
+	}
+	for _, t := range Targets() {
+		t := t
+		row, err := fitConfigRow(resid, func(s ConfigSample) float64 { return s.target(t) }, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting config o for %v: %w", t, err)
+		}
+		m.O[t] = row
+	}
+	m.HasO = true
+	return m, nil
+}
+
+func (m *ConfigModel) predictTarget(t Target, s ConfigSample) float64 {
+	y := m.A[t].Apply(s)
+	if m.HasO {
+		if a := Alpha(s.N); a > 0 {
+			y += a * m.O[t].Apply(s)
+		}
+	}
+	if y < 0 {
+		y = 0
+	}
+	return y
+}
+
+// PredictSample applies the configuration-aware model to a sample.
+func (m *ConfigModel) PredictSample(s ConfigSample) Prediction {
+	p := Prediction{
+		Dom0CPU: m.predictTarget(TargetDom0CPU, s),
+		HypCPU:  m.predictTarget(TargetHypCPU, s),
+	}
+	p.PM = units.V(
+		s.VMSum.CPU+p.Dom0CPU+p.HypCPU,
+		m.predictTarget(TargetPMMem, s),
+		m.predictTarget(TargetPMIO, s),
+		m.predictTarget(TargetPMBW, s),
+	)
+	return p
+}
+
+// GuestConfig describes one guest for configuration-aware prediction.
+type GuestConfig struct {
+	Util  units.Vector
+	VCPUs int
+}
+
+// Predict estimates the PM utilization behind a set of configured guests.
+// It panics on an empty slice; VCPUs < 1 is treated as 1.
+func (m *ConfigModel) Predict(guests []GuestConfig) Prediction {
+	if len(guests) == 0 {
+		panic("core: ConfigModel.Predict with no guests")
+	}
+	var sum units.Vector
+	extra := 0
+	for _, g := range guests {
+		sum = sum.Add(g.Util)
+		if g.VCPUs > 1 {
+			extra += g.VCPUs - 1
+		}
+	}
+	return m.PredictSample(ConfigSample{
+		Sample:     Sample{N: len(guests), VMSum: sum},
+		ExtraVCPUs: extra,
+	})
+}
+
+// String renders the coefficient matrices.
+func (m *ConfigModel) String() string {
+	var b strings.Builder
+	b.WriteString("configuration-aware virtualization overhead model\n")
+	b.WriteString("matrix a (single VM):\n")
+	renderConfigRows(&b, m.A)
+	if m.HasO {
+		b.WriteString("matrix o (co-location, scaled by alpha(N)=N-1):\n")
+		renderConfigRows(&b, m.O)
+	}
+	return b.String()
+}
+
+func renderConfigRows(b *strings.Builder, rows [NumTargets]ConfigRow) {
+	fmt.Fprintf(b, "  %-15s %12s %12s %12s %12s %12s %12s %12s\n", "target", "const", "cpu", "mem", "io", "bw", "xvcpu", "cpu2/v")
+	for _, t := range Targets() {
+		r := rows[t]
+		fmt.Fprintf(b, "  %-15s %12.5f %12.5f %12.5f %12.5f %12.5f %12.5f %12.5f\n", t, r[0], r[1], r[2], r[3], r[4], r[5], r[6])
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"virtover/internal/units"
+)
+
+func heteroGroundTruth() ([NumTargets]ConfigRow, [NumTargets]ConfigRow) {
+	var a, o [NumTargets]ConfigRow
+	a[TargetDom0CPU] = ConfigRow{16.8, 0.08, 0, 0.003, 0.0105, 0.15, 0.0005}
+	a[TargetHypCPU] = ConfigRow{2.6, 0.07, 0, 0.001, 0.0006, 0.35, 0.00046}
+	a[TargetPMMem] = ConfigRow{300, 0, 1, 0, 0, 0, 0}
+	a[TargetPMIO] = ConfigRow{2, 0, 0, 2.05, 0, 0, 0}
+	a[TargetPMBW] = ConfigRow{2, 0, 0, 0, 1.0, 0, 0}
+	o[TargetDom0CPU] = ConfigRow{0.2, 0.01, 0, 0, 0, 0.05, 0}
+	o[TargetHypCPU] = ConfigRow{0.25, 0.008, 0, 0, 0, 0.1, 0}
+	return a, o
+}
+
+// synthConfig builds samples following the 7-feature linear form exactly,
+// with random (non-collinear) utilization vectors.
+func synthConfig(aT, oT [NumTargets]ConfigRow, vcpuChoices []int, ns []int, count int) []ConfigSample {
+	rng := rand.New(rand.NewSource(1234))
+	var out []ConfigSample
+	for _, n := range ns {
+		for _, xv := range vcpuChoices {
+			for i := 0; i < count; i++ {
+				v := units.V(
+					rng.Float64()*180,
+					rng.Float64()*512,
+					rng.Float64()*150,
+					rng.Float64()*2500,
+				)
+				s := ConfigSample{Sample: Sample{N: n, VMSum: v}, ExtraVCPUs: xv}
+				alpha := Alpha(n)
+				mk := func(t Target) float64 {
+					return aT[t].Apply(s) + alpha*oT[t].Apply(s)
+				}
+				s.Dom0CPU = mk(TargetDom0CPU)
+				s.HypCPU = mk(TargetHypCPU)
+				s.PM = units.V(0, mk(TargetPMMem), mk(TargetPMIO), mk(TargetPMBW))
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func TestConfigRowApply(t *testing.T) {
+	r := ConfigRow{1, 2, 3, 4, 5, 6, 7}
+	s := ConfigSample{Sample: Sample{N: 1, VMSum: units.V(10, 20, 30, 40)}, ExtraVCPUs: 2}
+	// V = 1 + 2 = 3; features: [10, 20, 30, 40, 2, 100/3].
+	want := 1.0 + 2*10 + 3*20 + 4*30 + 5*40 + 6*2 + 7*100.0/3
+	if got := r.Apply(s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestTotalVCPUs(t *testing.T) {
+	cases := []struct {
+		n, extra, want int
+	}{{1, 0, 1}, {2, 3, 5}, {0, 0, 1}}
+	for _, c := range cases {
+		s := ConfigSample{Sample: Sample{N: c.n}, ExtraVCPUs: c.extra}
+		if got := s.TotalVCPUs(); got != c.want {
+			t.Errorf("TotalVCPUs(N=%d, extra=%d) = %d, want %d", c.n, c.extra, got, c.want)
+		}
+	}
+}
+
+func TestTrainConfigExactRecovery(t *testing.T) {
+	aT, oT := heteroGroundTruth()
+	single := synthConfig(aT, oT, []int{0, 1, 3}, []int{1}, 60)
+	multi := synthConfig(aT, oT, []int{0, 2}, []int{2, 3}, 60)
+	m, err := TrainConfig(single, multi, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasO {
+		t.Fatal("expected co-location matrix")
+	}
+	for _, tg := range Targets() {
+		for j := 0; j < 7; j++ {
+			if math.Abs(m.A[tg][j]-aT[tg][j]) > 1e-5*(1+math.Abs(aT[tg][j])) {
+				t.Errorf("a[%v][%d] = %v, want %v", tg, j, m.A[tg][j], aT[tg][j])
+			}
+		}
+	}
+	// The VCPU coefficients specifically must be recovered.
+	if math.Abs(m.A[TargetHypCPU][5]-0.35) > 1e-4 {
+		t.Errorf("hypervisor per-VCPU coefficient = %v, want 0.35", m.A[TargetHypCPU][5])
+	}
+	if math.Abs(m.A[TargetDom0CPU][6]-0.0005) > 1e-6 {
+		t.Errorf("Dom0 cpu2/v coefficient = %v, want 0.0005", m.A[TargetDom0CPU][6])
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	if _, err := TrainConfig(nil, nil, FitOptions{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	bad := []ConfigSample{{Sample: Sample{N: 2}}}
+	if _, err := TrainConfig(bad, nil, FitOptions{}); err == nil {
+		t.Error("N=2 in singles should fail")
+	}
+	aT, oT := heteroGroundTruth()
+	single := synthConfig(aT, oT, []int{0, 1}, []int{1}, 30)
+	badMulti := []ConfigSample{{Sample: Sample{N: 1}}}
+	if _, err := TrainConfig(single, badMulti, FitOptions{}); err == nil {
+		t.Error("N=1 in multis should fail")
+	}
+}
+
+func TestTrainConfigWithoutMulti(t *testing.T) {
+	aT, oT := heteroGroundTruth()
+	single := synthConfig(aT, oT, []int{0, 1, 2}, []int{1}, 40)
+	m, err := TrainConfig(single, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasO {
+		t.Error("HasO must be false without multi data")
+	}
+}
+
+func TestConfigModelPredict(t *testing.T) {
+	aT, oT := heteroGroundTruth()
+	single := synthConfig(aT, oT, []int{0, 1, 3}, []int{1}, 60)
+	multi := synthConfig(aT, oT, []int{0, 2}, []int{2, 3}, 60)
+	m, err := TrainConfig(single, multi, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guests := []GuestConfig{
+		{Util: units.V(120, 200, 10, 500), VCPUs: 2},
+		{Util: units.V(40, 100, 5, 100), VCPUs: 1},
+	}
+	p := m.Predict(guests)
+	// Exact Eq. 3 with alpha=1, extra VCPUs = 1.
+	ref := ConfigSample{Sample: Sample{N: 2, VMSum: units.V(160, 300, 15, 600)}, ExtraVCPUs: 1}
+	want := aT[TargetDom0CPU].Apply(ref) + oT[TargetDom0CPU].Apply(ref)
+	if math.Abs(p.Dom0CPU-want) > 1e-4 {
+		t.Errorf("Dom0 prediction = %v, want %v", p.Dom0CPU, want)
+	}
+	if math.Abs(p.PM.CPU-(160+p.Dom0CPU+p.HypCPU)) > 1e-9 {
+		t.Error("PM CPU must be guest sum + overhead components")
+	}
+}
+
+func TestConfigModelPredictPanicsOnEmpty(t *testing.T) {
+	m := &ConfigModel{}
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict(nil) should panic")
+		}
+	}()
+	m.Predict(nil)
+}
+
+func TestConfigModelClampsNegative(t *testing.T) {
+	var m ConfigModel
+	m.A[TargetDom0CPU] = ConfigRow{-50, 0, 0, 0, 0, 0, 0}
+	p := m.Predict([]GuestConfig{{Util: units.V(1, 1, 1, 1), VCPUs: 1}})
+	if p.Dom0CPU != 0 {
+		t.Errorf("negative prediction must clamp, got %v", p.Dom0CPU)
+	}
+}
+
+func TestConfigModelString(t *testing.T) {
+	aT, oT := heteroGroundTruth()
+	single := synthConfig(aT, oT, []int{0, 1}, []int{1}, 40)
+	multi := synthConfig(aT, oT, []int{0, 1}, []int{2}, 40)
+	m, _ := TrainConfig(single, multi, FitOptions{})
+	s := m.String()
+	for _, frag := range []string{"configuration-aware", "xvcpu", "cpu2/v", "matrix o"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/units"
+)
+
+func TestRowApply(t *testing.T) {
+	r := Row{1, 2, 3, 4, 5}
+	v := units.V(10, 20, 30, 40)
+	want := 1.0 + 2*10 + 3*20 + 4*30 + 5*40
+	if got := r.Apply(v); got != want {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	cases := map[int]float64{0: 0, 1: 0, 2: 1, 3: 2, 4: 3}
+	for n, want := range cases {
+		if got := Alpha(n); got != want {
+			t.Errorf("Alpha(%d) = %v, want %v (Eq. 3)", n, got, want)
+		}
+	}
+}
+
+func TestTargetStrings(t *testing.T) {
+	if len(Targets()) != NumTargets {
+		t.Fatal("Targets() length mismatch")
+	}
+	for _, tg := range Targets() {
+		if strings.Contains(tg.String(), "Target(") {
+			t.Errorf("target %d has no name", int(tg))
+		}
+	}
+	if !strings.Contains(Target(42).String(), "42") {
+		t.Error("invalid target should render its value")
+	}
+}
+
+func TestSampleFromMeasurement(t *testing.T) {
+	m := monitor.Measurement{
+		PM: "pm1",
+		VMs: map[string]units.Vector{
+			"a": units.V(10, 100, 5, 50),
+			"b": units.V(30, 200, 15, 150),
+		},
+		Dom0:          units.V(20, 300, 0, 0),
+		HypervisorCPU: 4,
+		Host:          units.V(64, 600, 45, 210),
+	}
+	s := SampleFromMeasurement(m)
+	if s.N != 2 {
+		t.Errorf("N = %d, want 2", s.N)
+	}
+	if s.VMSum != units.V(40, 300, 20, 200) {
+		t.Errorf("VMSum = %v", s.VMSum)
+	}
+	if s.Dom0CPU != 20 || s.HypCPU != 4 {
+		t.Errorf("overhead components = %v, %v", s.Dom0CPU, s.HypCPU)
+	}
+	if s.PM != m.Host {
+		t.Errorf("PM = %v", s.PM)
+	}
+}
+
+func TestSamplesFromSeries(t *testing.T) {
+	series := [][]monitor.Measurement{
+		{{PM: "p1", VMs: map[string]units.Vector{"a": {}}}, {PM: "p2", VMs: map[string]units.Vector{"b": {}}}},
+		{{PM: "p1", VMs: map[string]units.Vector{"a": {}}}, {PM: "p2", VMs: map[string]units.Vector{"b": {}}}},
+	}
+	ss := SamplesFromSeries(series)
+	if len(ss) != 4 {
+		t.Errorf("samples = %d, want 4", len(ss))
+	}
+}
+
+// synthSingle builds N=1 samples from a known ground-truth linear model.
+func synthSingle(aTrue [NumTargets]Row, n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		// Spread inputs over realistic ranges.
+		v := units.V(
+			float64((i*13)%100),
+			float64((i*7)%256),
+			float64((i*5)%90),
+			float64((i*29)%1300),
+		)
+		out = append(out, Sample{
+			N:       1,
+			VMSum:   v,
+			Dom0CPU: aTrue[TargetDom0CPU].Apply(v),
+			HypCPU:  aTrue[TargetHypCPU].Apply(v),
+			PM: units.V(0,
+				aTrue[TargetPMMem].Apply(v),
+				aTrue[TargetPMIO].Apply(v),
+				aTrue[TargetPMBW].Apply(v)),
+		})
+	}
+	return out
+}
+
+func groundTruth() [NumTargets]Row {
+	var a [NumTargets]Row
+	a[TargetDom0CPU] = Row{16.8, 0.12, 0, 0.003, 0.0105}
+	a[TargetHypCPU] = Row{2.6, 0.1, 0, 0.001, 0.00055}
+	a[TargetPMMem] = Row{300, 0, 1, 0, 0}
+	a[TargetPMIO] = Row{2, 0, 0, 2.05, 0}
+	a[TargetPMBW] = Row{2.0, 0, 0, 0, 1.002}
+	return a
+}
+
+func TestTrainSingleExactRecovery(t *testing.T) {
+	aTrue := groundTruth()
+	samples := synthSingle(aTrue, 200)
+	m, err := TrainSingle(samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range Targets() {
+		for j := 0; j < 5; j++ {
+			if math.Abs(m.A[tg][j]-aTrue[tg][j]) > 1e-6*(1+math.Abs(aTrue[tg][j])) {
+				t.Errorf("%v coef %d = %v, want %v", tg, j, m.A[tg][j], aTrue[tg][j])
+			}
+		}
+	}
+}
+
+func TestTrainSingleLMS(t *testing.T) {
+	aTrue := groundTruth()
+	samples := synthSingle(aTrue, 120)
+	// Contaminate 20% of the Dom0 readings with gross outliers.
+	for i := 0; i < len(samples); i += 5 {
+		samples[i].Dom0CPU += 400
+	}
+	ols, err := TrainSingle(samples, FitOptions{Method: MethodOLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := TrainSingle(samples, FitOptions{Method: MethodLMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	olsErr := math.Abs(ols.A[TargetDom0CPU][0] - 16.8)
+	lmsErr := math.Abs(lms.A[TargetDom0CPU][0] - 16.8)
+	if lmsErr > 1 {
+		t.Errorf("LMS intercept error = %v, want < 1", lmsErr)
+	}
+	if lmsErr >= olsErr {
+		t.Errorf("LMS (err %v) should beat OLS (err %v) under contamination", lmsErr, olsErr)
+	}
+}
+
+func TestTrainSingleRejectsMultiVM(t *testing.T) {
+	if _, err := TrainSingle([]Sample{{N: 2}}, FitOptions{}); err == nil {
+		t.Error("N=2 sample must be rejected by TrainSingle")
+	}
+	if _, err := TrainSingle(nil, FitOptions{}); err == nil {
+		t.Error("empty training set must be rejected")
+	}
+}
+
+// synthMulti builds multi-VM samples following Eq. 3 exactly.
+func synthMulti(aTrue, oTrue [NumTargets]Row, ns []int, count int) []Sample {
+	out := make([]Sample, 0, count*len(ns))
+	for _, n := range ns {
+		for i := 0; i < count; i++ {
+			v := units.V(
+				float64((i*17)%190),
+				float64((i*11)%512),
+				float64((i*3)%180),
+				float64((i*37)%2600),
+			)
+			alpha := Alpha(n)
+			mk := func(tg Target) float64 {
+				return aTrue[tg].Apply(v) + alpha*oTrue[tg].Apply(v)
+			}
+			out = append(out, Sample{
+				N:       n,
+				VMSum:   v,
+				Dom0CPU: mk(TargetDom0CPU),
+				HypCPU:  mk(TargetHypCPU),
+				PM:      units.V(0, mk(TargetPMMem), mk(TargetPMIO), mk(TargetPMBW)),
+			})
+		}
+	}
+	return out
+}
+
+func TestTrainFullRecoversO(t *testing.T) {
+	aTrue := groundTruth()
+	var oTrue [NumTargets]Row
+	oTrue[TargetDom0CPU] = Row{0.2, 0.01, 0, 0.0005, 0.0001}
+	oTrue[TargetHypCPU] = Row{0.25, 0.005, 0, 0, 0.00005}
+	oTrue[TargetPMMem] = Row{0, 0, 0, 0, 0}
+	oTrue[TargetPMIO] = Row{0, 0, 0, 0.02, 0}
+	oTrue[TargetPMBW] = Row{0, 0, 0, 0, 0.015}
+
+	single := synthSingle(aTrue, 150)
+	multi := synthMulti(aTrue, oTrue, []int{2, 4}, 100)
+	m, err := Train(single, multi, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasO {
+		t.Fatal("model should have the co-location matrix")
+	}
+	for _, tg := range Targets() {
+		for j := 0; j < 5; j++ {
+			if math.Abs(m.O[tg][j]-oTrue[tg][j]) > 1e-5*(1+math.Abs(oTrue[tg][j])) {
+				t.Errorf("o[%v][%d] = %v, want %v", tg, j, m.O[tg][j], oTrue[tg][j])
+			}
+		}
+	}
+	// Prediction on an unseen 3-VM point follows Eq. 3 with alpha=2.
+	v := units.V(120, 300, 60, 900)
+	pred := m.PredictSample(Sample{N: 3, VMSum: v})
+	wantDom0 := aTrue[TargetDom0CPU].Apply(v) + 2*oTrue[TargetDom0CPU].Apply(v)
+	if math.Abs(pred.Dom0CPU-wantDom0) > 1e-6 {
+		t.Errorf("3-VM Dom0 prediction = %v, want %v", pred.Dom0CPU, wantDom0)
+	}
+}
+
+func TestTrainWithoutMultiDegradesToSingle(t *testing.T) {
+	aTrue := groundTruth()
+	single := synthSingle(aTrue, 100)
+	m, err := Train(single, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasO {
+		t.Error("no multi data: HasO must be false")
+	}
+	// Predict must still work for N>1 (pure Eq. 2 on the sum).
+	p := m.Predict([]units.Vector{units.V(30, 100, 10, 200), units.V(40, 120, 5, 100)})
+	if p.PM.CPU <= 0 {
+		t.Error("prediction should be positive")
+	}
+}
+
+func TestTrainRejectsBadMulti(t *testing.T) {
+	aTrue := groundTruth()
+	single := synthSingle(aTrue, 50)
+	if _, err := Train(single, []Sample{{N: 1}}, FitOptions{}); err == nil {
+		t.Error("multi sample with N=1 must be rejected")
+	}
+}
+
+func TestPredictIndirectPMCPU(t *testing.T) {
+	aTrue := groundTruth()
+	m, err := TrainSingle(synthSingle(aTrue, 100), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := []units.Vector{units.V(50, 128, 20, 400)}
+	p := m.Predict(vms)
+	want := 50 + p.Dom0CPU + p.HypCPU
+	if math.Abs(p.PM.CPU-want) > 1e-9 {
+		t.Errorf("PM CPU = %v, want guest+dom0+hyp = %v", p.PM.CPU, want)
+	}
+}
+
+func TestPredictPanicsOnEmpty(t *testing.T) {
+	m := &Model{}
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict(nil) should panic")
+		}
+	}()
+	m.Predict(nil)
+}
+
+func TestPredictionsClampedNonNegative(t *testing.T) {
+	var m Model
+	m.A[TargetDom0CPU] = Row{-100, 0, 0, 0, 0}
+	p := m.Predict([]units.Vector{units.V(1, 1, 1, 1)})
+	if p.Dom0CPU != 0 {
+		t.Errorf("negative prediction must clamp to 0, got %v", p.Dom0CPU)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	aTrue := groundTruth()
+	m, err := TrainSingle(synthSingle(aTrue, 100), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := []units.Vector{units.V(60, 128, 30, 600)}
+	ov := m.Overhead(vms)
+	// CPU overhead = Dom0 + hypervisor CPU, strictly positive here.
+	if ov.CPU < 15 {
+		t.Errorf("CPU overhead = %v, want > 15 (Dom0 base alone is 16.8)", ov.CPU)
+	}
+	// IO overhead roughly (amp-1)*VMIO.
+	if ov.IO < 20 || ov.IO > 45 {
+		t.Errorf("IO overhead = %v, want ~2+1.05*30", ov.IO)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	aTrue := groundTruth()
+	m, _ := TrainSingle(synthSingle(aTrue, 60), FitOptions{})
+	s := m.String()
+	for _, frag := range []string{"matrix a", "dom0-cpu", "pm-bw", "const"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q", frag)
+		}
+	}
+	if strings.Contains(s, "matrix o") {
+		t.Error("String() should not render o without multi training")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model serialization: fitted coefficient matrices round-trip through JSON
+// so a model trained once (cmd/fitmodel) can be reused by later
+// invocations (cmd/predict -model, downstream tooling) without re-running
+// the measurement campaigns.
+
+// modelJSON is the on-disk shape. Targets are keyed by name so files stay
+// readable and resilient to reordering.
+type modelJSON struct {
+	Version int                  `json:"version"`
+	A       map[string][]float64 `json:"a"`
+	O       map[string][]float64 `json:"o,omitempty"`
+}
+
+const modelVersion = 1
+
+// MarshalJSON encodes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{Version: modelVersion, A: map[string][]float64{}}
+	for _, t := range Targets() {
+		out.A[t.String()] = append([]float64(nil), m.A[t][:]...)
+	}
+	if m.HasO {
+		out.O = map[string][]float64{}
+		for _, t := range Targets() {
+			out.O[t.String()] = append([]float64(nil), m.O[t][:]...)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON decodes a model, validating version and coefficient
+// shapes.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: model decode: %w", err)
+	}
+	if in.Version != modelVersion {
+		return fmt.Errorf("core: model version %d unsupported (want %d)", in.Version, modelVersion)
+	}
+	byName := map[string]Target{}
+	for _, t := range Targets() {
+		byName[t.String()] = t
+	}
+	fill := func(src map[string][]float64, dst *[NumTargets]Row) error {
+		if len(src) != NumTargets {
+			return fmt.Errorf("core: model has %d targets, want %d", len(src), NumTargets)
+		}
+		for name, coefs := range src {
+			t, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("core: unknown model target %q", name)
+			}
+			if len(coefs) != len(Row{}) {
+				return fmt.Errorf("core: target %q has %d coefficients, want %d", name, len(coefs), len(Row{}))
+			}
+			copy(dst[t][:], coefs)
+		}
+		return nil
+	}
+	var decoded Model
+	if err := fill(in.A, &decoded.A); err != nil {
+		return err
+	}
+	if in.O != nil {
+		if err := fill(in.O, &decoded.O); err != nil {
+			return err
+		}
+		decoded.HasO = true
+	}
+	*m = decoded
+	return nil
+}
+
+// SaveModel writes the model as JSON.
+func SaveModel(w io.Writer, m *Model) error {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	if err := m.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	aTrue := groundTruth()
+	src, err := TrainSingle(synthSingle(aTrue, 80), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasO != src.HasO {
+		t.Errorf("HasO = %v, want %v", back.HasO, src.HasO)
+	}
+	for _, tg := range Targets() {
+		if back.A[tg] != src.A[tg] {
+			t.Errorf("A[%v] = %v, want %v", tg, back.A[tg], src.A[tg])
+		}
+	}
+	// Predictions identical.
+	vms := []Sample{{N: 1, VMSum: synthSingle(aTrue, 1)[0].VMSum}}
+	if src.PredictSample(vms[0]) != back.PredictSample(vms[0]) {
+		t.Error("round-tripped model predicts differently")
+	}
+}
+
+func TestModelJSONWithO(t *testing.T) {
+	aTrue := groundTruth()
+	var oTrue [NumTargets]Row
+	oTrue[TargetDom0CPU] = Row{0.2, 0.01, 0, 0, 0}
+	src, err := Train(synthSingle(aTrue, 80), synthMulti(aTrue, oTrue, []int{2}, 60), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"o"`) {
+		t.Error("serialized model missing o matrix")
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasO {
+		t.Fatal("HasO lost in round trip")
+	}
+	for _, tg := range Targets() {
+		if back.O[tg] != src.O[tg] {
+			t.Errorf("O[%v] differs", tg)
+		}
+	}
+}
+
+func TestModelJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{`,
+		"bad version":    `{"version": 99, "a": {}}`,
+		"missing target": `{"version": 1, "a": {"dom0-cpu": [1,2,3,4,5]}}`,
+		"unknown target": `{"version": 1, "a": {"dom0-cpu": [1,2,3,4,5], "hypervisor-cpu": [1,2,3,4,5], "pm-mem": [1,2,3,4,5], "pm-io": [1,2,3,4,5], "pm-quux": [1,2,3,4,5]}}`,
+		"short row":      `{"version": 1, "a": {"dom0-cpu": [1], "hypervisor-cpu": [1,2,3,4,5], "pm-mem": [1,2,3,4,5], "pm-io": [1,2,3,4,5], "pm-bw": [1,2,3,4,5]}}`,
+	}
+	for label, js := range cases {
+		var m Model
+		if err := m.UnmarshalJSON([]byte(js)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestModelJSONReadable(t *testing.T) {
+	aTrue := groundTruth()
+	src, _ := TrainSingle(synthSingle(aTrue, 60), FitOptions{})
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"version": 1`, `"dom0-cpu"`, `"pm-bw"`} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("serialized model missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/cloudscale"
+)
+
+func TestAdmissionValidation(t *testing.T) {
+	if _, err := AdmissionExperiment(nil, AdmissionConfig{}); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+// The admission story: VOU over-admits and saturates the host; VOA admits
+// fewer guests and keeps it healthy.
+func TestAdmissionExperimentStory(t *testing.T) {
+	m := fittedModel(t)
+	results, err := AdmissionExperiment(m, AdmissionConfig{Arrivals: 10, DwellSeconds: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2 policies", len(results))
+	}
+	byPolicy := map[cloudscale.Policy]AdmissionResult{}
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+	}
+	voa := byPolicy[cloudscale.VOA]
+	vou := byPolicy[cloudscale.VOU]
+	if voa.Offered != 10 || vou.Offered != 10 {
+		t.Fatalf("offered counts wrong: %+v / %+v", voa, vou)
+	}
+	if voa.Admitted >= vou.Admitted {
+		t.Errorf("VOA should admit fewer guests: %d vs %d", voa.Admitted, vou.Admitted)
+	}
+	if voa.OverloadFrac > 0.02 {
+		t.Errorf("VOA overload fraction = %v, want ~0", voa.OverloadFrac)
+	}
+	if vou.OverloadFrac <= voa.OverloadFrac {
+		t.Errorf("VOU should overload more: %v vs %v", vou.OverloadFrac, voa.OverloadFrac)
+	}
+	if vou.OverloadFrac < 0.1 {
+		t.Errorf("VOU overload fraction = %v, want substantial", vou.OverloadFrac)
+	}
+}
+
+// Section III-C: "We carried out the same experiment in different PMs and
+// the results are the same." Verify cross-PM reproducibility on a 7-PM
+// cluster: the same workload measured on each PM yields statistically
+// indistinguishable averages.
+func TestSevenPMClusterReproducibility(t *testing.T) {
+	const pms = 7
+	var dom0s, hyps, pmcpus []float64
+	for i := 0; i < pms; i++ {
+		avg, _, err := RunMicro(MicroScenario{
+			N: 2, Kind: 0 /* CPU */, LevelIdx: 2, Samples: 40,
+			Seed: 1000 + int64(i)*77, // different noise per PM
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom0s = append(dom0s, avg.Dom0.CPU)
+		hyps = append(hyps, avg.HypervisorCPU)
+		pmcpus = append(pmcpus, avg.Host.CPU)
+	}
+	spread := func(xs []float64) float64 {
+		min, max := xs[0], xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return max - min
+	}
+	if s := spread(dom0s); s > 1.0 {
+		t.Errorf("Dom0 spread across 7 PMs = %v, want < 1", s)
+	}
+	if s := spread(hyps); s > 1.0 {
+		t.Errorf("hypervisor spread = %v, want < 1", s)
+	}
+	if s := spread(pmcpus); s > 3.0 {
+		t.Errorf("PM CPU spread = %v, want < 3", s)
+	}
+}

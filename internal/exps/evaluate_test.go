@@ -1,0 +1,106 @@
+package exps
+
+import (
+	"bytes"
+	"testing"
+
+	"virtover/internal/stats"
+	"virtover/internal/trace"
+)
+
+func TestRecordRUBiSTraceShape(t *testing.T) {
+	series, err := RecordRUBiSTrace(2, 500, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 30 {
+		t.Fatalf("samples = %d, want 30", len(series))
+	}
+	row := series[0]
+	if len(row) != 2 {
+		t.Fatalf("PMs per sample = %d, want 2", len(row))
+	}
+	if len(row[0].VMs) != 2 || len(row[1].VMs) != 2 {
+		t.Errorf("each PM should host 2 tier VMs, got %d/%d", len(row[0].VMs), len(row[1].VMs))
+	}
+	if _, ok := row[0].VMs["web1"]; !ok {
+		t.Error("PM1 should host web1")
+	}
+	if _, ok := row[1].VMs["db1"]; !ok {
+		t.Error("PM2 should host db1")
+	}
+}
+
+func TestRecordRUBiSTraceValidation(t *testing.T) {
+	if _, err := RecordRUBiSTrace(0, 500, 30, 1); err == nil {
+		t.Error("sets=0 should fail")
+	}
+}
+
+func TestEvaluateSeriesOffline(t *testing.T) {
+	m := fittedModel(t)
+	series, err := RecordRUBiSTrace(1, 500, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errsByPM, err := EvaluateSeries(m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errsByPM) != 2 {
+		t.Fatalf("PMs = %d, want 2", len(errsByPM))
+	}
+	for name, te := range errsByPM {
+		if len(te.CPU) != 40 || len(te.BW) != 40 {
+			t.Fatalf("%s: per-sample error counts = %d/%d, want 40", name, len(te.CPU), len(te.BW))
+		}
+		if p90 := stats.Percentile(te.CPU, 90); p90 > 9 {
+			t.Errorf("%s: offline CPU p90 = %v%%, want single digits", name, p90)
+		}
+		if p90 := stats.Percentile(te.Mem, 90); p90 > 3 {
+			t.Errorf("%s: offline Mem p90 = %v%%, want small", name, p90)
+		}
+	}
+}
+
+func TestEvaluateSeriesValidation(t *testing.T) {
+	if _, err := EvaluateSeries(nil, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+// The offline path must survive a round trip through the CSV format.
+func TestEvaluateSeriesAfterCSVRoundTrip(t *testing.T) {
+	m := fittedModel(t)
+	series, err := RecordRUBiSTrace(1, 400, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EvaluateSeries(m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := EvaluateSeries(m, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range direct {
+		r, ok := replayed[name]
+		if !ok {
+			t.Fatalf("PM %s lost in round trip", name)
+		}
+		for i := range d.CPU {
+			if d.CPU[i] != r.CPU[i] {
+				t.Fatalf("%s sample %d: CPU error %v != %v after round trip", name, i, d.CPU[i], r.CPU[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/core"
+)
+
+func TestRunHeteroValidation(t *testing.T) {
+	if _, err := RunHetero(HeteroScenario{}); err == nil {
+		t.Error("no guests should fail")
+	}
+}
+
+func TestRunHeteroBasics(t *testing.T) {
+	ss, err := RunHetero(HeteroScenario{VCPUs: []int{2, 1}, CPUFrac: 0.3, BWMbps: 0.1, Samples: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 15 {
+		t.Fatalf("samples = %d, want 15", len(ss))
+	}
+	for _, s := range ss {
+		if s.N != 2 {
+			t.Fatalf("N = %d, want 2", s.N)
+		}
+		if s.ExtraVCPUs != 1 {
+			t.Fatalf("ExtraVCPUs = %d, want 1 (one 2-VCPU guest)", s.ExtraVCPUs)
+		}
+		// CPU frac 0.3 of (200 + 100) capacity = ~90 summed.
+		if s.VMSum.CPU < 75 || s.VMSum.CPU > 105 {
+			t.Errorf("summed guest CPU = %v, want ~90", s.VMSum.CPU)
+		}
+	}
+}
+
+func TestRunHeteroVCPUFloorAndDefaults(t *testing.T) {
+	ss, err := RunHetero(HeteroScenario{VCPUs: []int{0}, CPUFrac: 0.5, Seed: 5, Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[0].ExtraVCPUs != 0 {
+		t.Errorf("vcpus=0 should floor to 1 (no extra), got %d extra", ss[0].ExtraVCPUs)
+	}
+}
+
+// The extension's headline claim: configuration features improve overhead
+// prediction on heterogeneous deployments.
+func TestHeteroExperimentConfigModelWins(t *testing.T) {
+	cmp, err := HeteroExperiment(21, 15, core.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.N == 0 {
+		t.Fatal("empty evaluation set")
+	}
+	if cmp.ConfigHypMAE >= cmp.BaseHypMAE {
+		t.Errorf("config model hypervisor MAE %v should beat base %v", cmp.ConfigHypMAE, cmp.BaseHypMAE)
+	}
+	if cmp.ConfigDom0MAE > cmp.BaseDom0MAE*1.1 {
+		t.Errorf("config model Dom0 MAE %v should not be worse than base %v", cmp.ConfigDom0MAE, cmp.BaseDom0MAE)
+	}
+	// Both models should be in a sane absolute range.
+	if cmp.ConfigHypMAE > 3 || cmp.ConfigDom0MAE > 5 {
+		t.Errorf("config model MAEs implausibly large: dom0 %v, hyp %v", cmp.ConfigDom0MAE, cmp.ConfigHypMAE)
+	}
+}
+
+func TestHeteroCorpusSplitsByN(t *testing.T) {
+	single, multi, err := HeteroCorpus(31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) == 0 || len(multi) == 0 {
+		t.Fatalf("corpus sizes: single %d, multi %d", len(single), len(multi))
+	}
+	for _, s := range single {
+		if s.N != 1 {
+			t.Fatal("single corpus contains multi sample")
+		}
+	}
+	for _, s := range multi {
+		if s.N < 2 {
+			t.Fatal("multi corpus contains single sample")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package exps
+
+import (
+	"fmt"
+
+	"virtover/internal/core"
+	"virtover/internal/monitor"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// This file quantifies the paper's Section III-B argument for building
+// single-resource-intensive benchmarks: training the overhead model on
+// coupled multi-resource tools (httperf, iperf, Fibonacci burners) leaves
+// the regression ill-conditioned — every tool knob moves CPU, bandwidth
+// and I/O together, so the per-resource coefficients are not separately
+// identified and the fitted model extrapolates poorly.
+
+// IsolationResult compares a model trained on the isolated Table II
+// ladders against a model trained on coupled-tool sweeps of comparable
+// size, both evaluated on the same diverse held-out workload points.
+type IsolationResult struct {
+	// Dom0 CPU mean absolute errors on the held-out set, in CPU points.
+	IsolatedDom0MAE, CoupledDom0MAE float64
+	// PM BW mean absolute errors, Kb/s.
+	IsolatedBWMAE, CoupledBWMAE float64
+	EvalN                       int
+}
+
+// runToolScenario measures one VM driven by an arbitrary source.
+func runToolScenario(src xen.Source, samples int, seed int64) ([]core.Sample, error) {
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "vm1", 512)
+	vm.SetSource(src)
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
+	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: monitor.DefaultNoise(), Seed: seed + 1000}
+	series, err := script.Run(e, []*xen.PM{pm})
+	if err != nil {
+		return nil, err
+	}
+	return core.SamplesFromSeries(series), nil
+}
+
+// coupledCorpus sweeps httperf request rates, iperf rates and Fibonacci
+// duty cycles — the related-work training diet.
+func coupledCorpus(seed int64, samplesPerRun int) ([]core.Sample, error) {
+	var out []core.Sample
+	tag := int64(0)
+	add := func(src xen.Source) error {
+		tag++
+		ss, err := runToolScenario(src, samplesPerRun, seed+tag*31)
+		if err != nil {
+			return err
+		}
+		out = append(out, ss...)
+		return nil
+	}
+	prof := workload.DefaultHttperfProfile()
+	for _, rate := range []float64{5, 25, 60, 110, 160} {
+		if err := add(workload.Httperf(rate, prof, workload.Options{JitterRel: 0.01, Seed: seed + tag})); err != nil {
+			return nil, err
+		}
+	}
+	for _, mbps := range []float64{0.05, 0.3, 0.7, 1.28} {
+		if err := add(workload.Iperf(mbps, workload.Options{JitterRel: 0.01, Seed: seed + tag})); err != nil {
+			return nil, err
+		}
+	}
+	for _, duty := range []float64{0.1, 0.35, 0.6, 0.85} {
+		if err := add(workload.Fibonacci(duty, workload.Options{JitterRel: 0.01, Seed: seed + tag})); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// isolatedCorpus is the single-VM slice of the Table II study.
+func isolatedCorpus(seed int64, samplesPerRun int) ([]core.Sample, error) {
+	var out []core.Sample
+	for _, k := range workload.Kinds() {
+		for lvl := 0; lvl < len(workload.Levels(k)); lvl++ {
+			sc := MicroScenario{
+				N: 1, Kind: k, LevelIdx: lvl,
+				Samples: samplesPerRun,
+				Seed:    seed + int64(k)*1000 + int64(lvl),
+			}
+			_, series, err := RunMicro(sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, core.SamplesFromSeries(series)...)
+		}
+	}
+	return out, nil
+}
+
+// evalCorpus holds diverse held-out mixes neither diet has seen.
+func evalCorpus(seed int64, samplesPerRun int) ([]core.Sample, error) {
+	mixes := []xen.Demand{
+		{CPU: 70, IOBlocks: 5, Flows: []xen.Flow{{Kbps: 60}}},
+		{CPU: 10, IOBlocks: 60, Flows: []xen.Flow{{Kbps: 900}}},
+		{CPU: 45, MemMB: 30, IOBlocks: 25, Flows: []xen.Flow{{Kbps: 300}}},
+		{CPU: 5, MemMB: 45, Flows: []xen.Flow{{Kbps: 1200}}},
+		{CPU: 88, Flows: []xen.Flow{{Kbps: 20}}},
+	}
+	var out []core.Sample
+	for i, d := range mixes {
+		d := d
+		ss, err := runToolScenario(xen.SourceFunc(func(float64) xen.Demand { return d }), samplesPerRun, seed+int64(i)*17)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ss...)
+	}
+	return out, nil
+}
+
+// IsolationExperiment trains single-VM models on both diets and scores
+// them on the shared held-out mixes.
+func IsolationExperiment(seed int64, samplesPerRun int, opt core.FitOptions) (IsolationResult, error) {
+	if samplesPerRun <= 0 {
+		samplesPerRun = 30
+	}
+	iso, err := isolatedCorpus(seed, samplesPerRun)
+	if err != nil {
+		return IsolationResult{}, err
+	}
+	coup, err := coupledCorpus(seed, samplesPerRun)
+	if err != nil {
+		return IsolationResult{}, err
+	}
+	eval, err := evalCorpus(seed+999, samplesPerRun)
+	if err != nil {
+		return IsolationResult{}, err
+	}
+	isoModel, err := core.TrainSingle(iso, opt)
+	if err != nil {
+		return IsolationResult{}, fmt.Errorf("isolated fit: %w", err)
+	}
+	coupModel, err := core.TrainSingle(coup, opt)
+	if err != nil {
+		return IsolationResult{}, fmt.Errorf("coupled fit: %w", err)
+	}
+	res := IsolationResult{EvalN: len(eval)}
+	for _, s := range eval {
+		pi := isoModel.PredictSample(s)
+		pc := coupModel.PredictSample(s)
+		res.IsolatedDom0MAE += abs(pi.Dom0CPU - s.Dom0CPU)
+		res.CoupledDom0MAE += abs(pc.Dom0CPU - s.Dom0CPU)
+		res.IsolatedBWMAE += abs(pi.PM.BW - s.PM.BW)
+		res.CoupledBWMAE += abs(pc.PM.BW - s.PM.BW)
+	}
+	if res.EvalN > 0 {
+		k := 1 / float64(res.EvalN)
+		res.IsolatedDom0MAE *= k
+		res.CoupledDom0MAE *= k
+		res.IsolatedBWMAE *= k
+		res.CoupledBWMAE *= k
+	}
+	return res, nil
+}

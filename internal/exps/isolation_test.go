@@ -1,0 +1,42 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/core"
+)
+
+// The Section III-B claim, quantified: models trained on coupled tools
+// (httperf/iperf/Fibonacci) predict held-out mixes worse than models
+// trained on the isolated Table II ladders.
+func TestIsolationExperiment(t *testing.T) {
+	res, err := IsolationExperiment(55, 20, core.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalN == 0 {
+		t.Fatal("empty evaluation set")
+	}
+	if res.IsolatedDom0MAE >= res.CoupledDom0MAE {
+		t.Errorf("isolated-diet Dom0 MAE %v should beat coupled %v", res.IsolatedDom0MAE, res.CoupledDom0MAE)
+	}
+	// The isolated model should be genuinely good in absolute terms.
+	if res.IsolatedDom0MAE > 1.5 {
+		t.Errorf("isolated Dom0 MAE %v implausibly large", res.IsolatedDom0MAE)
+	}
+	// The coupled model should be usable but visibly worse (the paper does
+	// not claim the tools are useless, only unsuitable for this).
+	if res.CoupledDom0MAE > 25 {
+		t.Errorf("coupled Dom0 MAE %v implausibly large", res.CoupledDom0MAE)
+	}
+}
+
+func TestIsolationExperimentDefaults(t *testing.T) {
+	res, err := IsolationExperiment(66, 0, core.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalN == 0 {
+		t.Fatal("defaults produced empty experiment")
+	}
+}

@@ -1,0 +1,178 @@
+package exps
+
+import (
+	"fmt"
+
+	"virtover/internal/monitor"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+)
+
+// MicroFigure reproduces the five sub-figures of Figures 2, 3 or 4 for a
+// PM hosting n co-located VMs (n = 1, 2, 4 in the paper). Each sub-figure
+// sweeps one Table II ladder and reports the measured utilizations of the
+// VM (one representative guest — the paper notes all guests measure the
+// same), Dom0 and the hypervisor or PM.
+//
+// Sub-figures:
+//
+//	(a) CPU utilizations vs CPU workload     (VM, Dom0, hypervisor)
+//	(b) I/O utilizations vs I/O workload     (VM, Dom0, PM)
+//	(c) CPU utilizations vs I/O workload     (VM, Dom0, hypervisor)
+//	(d) BW utilizations vs BW workload       (VM, Dom0, PM)
+//	(e) CPU utilizations vs BW workload      (VM, Dom0, hypervisor)
+func MicroFigure(n int, seed int64, samples int) ([]Figure, error) {
+	figNum := map[int]string{1: "2", 2: "3", 4: "4"}[n]
+	if figNum == "" {
+		figNum = fmt.Sprintf("2[N=%d]", n)
+	}
+	sweep := func(kind workload.Kind) ([]monitor.Measurement, []float64, error) {
+		levels := workload.Levels(kind)
+		ms := make([]monitor.Measurement, len(levels))
+		for i := range levels {
+			m, _, err := RunMicro(MicroScenario{
+				N: n, Kind: kind, LevelIdx: i, Samples: samples,
+				Seed: seed + int64(kind)*10000 + int64(i),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			ms[i] = m
+		}
+		return ms, levels, nil
+	}
+	firstVM := func(m monitor.Measurement) units.Vector { return m.VMs["vm1"] }
+
+	var figs []Figure
+
+	// (a) CPU vs CPU workload.
+	ms, levels, err := sweep(workload.CPU)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs, Figure{
+		ID:     figNum + "(a)",
+		Title:  fmt.Sprintf("CPU utilizations for CPU-intensive workload (%d VM)", n),
+		XLabel: "Input CPU workload (%)",
+		YLabel: "CPU utilization (%)",
+		Series: []Series{
+			seriesOf("Hypervisor", levels, ms, func(m monitor.Measurement) float64 { return m.HypervisorCPU }),
+			seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return firstVM(m).CPU }),
+			seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.CPU }),
+		},
+	})
+
+	// (b) IO vs IO workload and (c) CPU vs IO workload.
+	ms, levels, err = sweep(workload.IO)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs,
+		Figure{
+			ID:     figNum + "(b)",
+			Title:  fmt.Sprintf("I/O utilizations for I/O-intensive workload (%d VM)", n),
+			XLabel: "Input I/O workload (blocks/s)",
+			YLabel: "I/O utilization (blocks/s)",
+			Series: []Series{
+				seriesOf("PM", levels, ms, func(m monitor.Measurement) float64 { return m.Host.IO }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return firstVM(m).IO }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.IO }),
+			},
+		},
+		Figure{
+			ID:     figNum + "(c)",
+			Title:  fmt.Sprintf("CPU utilizations for I/O-intensive workload (%d VM)", n),
+			XLabel: "Input I/O workload (blocks/s)",
+			YLabel: "CPU utilization (%)",
+			Series: []Series{
+				seriesOf("Hypervisor", levels, ms, func(m monitor.Measurement) float64 { return m.HypervisorCPU }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return firstVM(m).CPU }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.CPU }),
+			},
+		},
+	)
+
+	// (d) BW vs BW workload and (e) CPU vs BW workload.
+	ms, levels, err = sweep(workload.BW)
+	if err != nil {
+		return nil, err
+	}
+	figs = append(figs,
+		Figure{
+			ID:     figNum + "(d)",
+			Title:  fmt.Sprintf("BW utilizations for BW-intensive workload (%d VM)", n),
+			XLabel: "Input BW workload (Mb/s)",
+			YLabel: "BW utilization (Kb/s)",
+			Series: []Series{
+				seriesOf("PM", levels, ms, func(m monitor.Measurement) float64 { return m.Host.BW }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return firstVM(m).BW }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.BW }),
+			},
+		},
+		Figure{
+			ID:     figNum + "(e)",
+			Title:  fmt.Sprintf("CPU utilizations for BW-intensive workload (%d VM)", n),
+			XLabel: "Input BW workload (Mb/s)",
+			YLabel: "CPU utilization (%)",
+			Series: []Series{
+				seriesOf("Hypervisor", levels, ms, func(m monitor.Measurement) float64 { return m.HypervisorCPU }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return firstVM(m).CPU }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.CPU }),
+			},
+		},
+	)
+	return figs, nil
+}
+
+// Figure5 reproduces the intra-PM bandwidth experiment: VM1 pings 64 Kb
+// packets to co-located VM2 across the BW ladder.
+//
+//	(a) BW utilizations (VM, Dom0, PM)
+//	(b) CPU utilizations (VM, Dom0, hypervisor)
+func Figure5(seed int64, samples int) ([]Figure, error) {
+	levels := workload.Levels(workload.BW)
+	ms := make([]monitor.Measurement, len(levels))
+	for i := range levels {
+		m, _, err := RunMicro(MicroScenario{
+			N: 2, Kind: workload.BW, LevelIdx: i, Samples: samples,
+			Seed: seed + int64(i), IntraPMTarget: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	vm1 := func(m monitor.Measurement) units.Vector { return m.VMs["vm1"] }
+	return []Figure{
+		{
+			ID:     "5(a)",
+			Title:  "Bandwidth utilizations for intra-PM BW-intensive workload",
+			XLabel: "Input BW workload (Mb/s)",
+			YLabel: "BW utilization (Kb/s)",
+			Series: []Series{
+				seriesOf("PM", levels, ms, func(m monitor.Measurement) float64 { return m.Host.BW }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return vm1(m).BW }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.BW }),
+			},
+		},
+		{
+			ID:     "5(b)",
+			Title:  "CPU utilizations for intra-PM BW-intensive workload",
+			XLabel: "Input BW workload (Mb/s)",
+			YLabel: "CPU utilization (%)",
+			Series: []Series{
+				seriesOf("Hypervisor", levels, ms, func(m monitor.Measurement) float64 { return m.HypervisorCPU }),
+				seriesOf("VM", levels, ms, func(m monitor.Measurement) float64 { return vm1(m).CPU }),
+				seriesOf("Dom0", levels, ms, func(m monitor.Measurement) float64 { return m.Dom0.CPU }),
+			},
+		},
+	}, nil
+}
+
+func seriesOf(name string, xs []float64, ms []monitor.Measurement, y func(monitor.Measurement) float64) Series {
+	s := Series{Name: name, X: xs, Y: make([]float64, len(ms))}
+	for i, m := range ms {
+		s.Y[i] = y(m)
+	}
+	return s
+}

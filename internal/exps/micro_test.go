@@ -1,0 +1,281 @@
+package exps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"virtover/internal/workload"
+)
+
+func figByID(t *testing.T, figs []Figure, id string) Figure {
+	t.Helper()
+	for _, f := range figs {
+		if f.ID == id {
+			return f
+		}
+	}
+	t.Fatalf("figure %s not found", id)
+	return Figure{}
+}
+
+func seriesByName(t *testing.T, f Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %s not found in figure %s", name, f.ID)
+	return Series{}
+}
+
+func TestRunMicroValidation(t *testing.T) {
+	if _, _, err := RunMicro(MicroScenario{N: 0}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, _, err := RunMicro(MicroScenario{N: 1, IntraPMTarget: true}); err == nil {
+		t.Error("intra-PM with one VM should fail")
+	}
+}
+
+func TestRunMicroAveragesAndSeries(t *testing.T) {
+	avg, series, err := RunMicro(MicroScenario{N: 2, Kind: workload.CPU, LevelIdx: 2, Samples: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 25 {
+		t.Fatalf("series = %d samples, want 25", len(series))
+	}
+	if len(avg.VMs) != 2 {
+		t.Fatalf("averaged VMs = %d, want 2", len(avg.VMs))
+	}
+	if avg.VMs["vm1"].CPU < 55 || avg.VMs["vm1"].CPU > 66 {
+		t.Errorf("VM CPU at level 60%% = %v, want ~60", avg.VMs["vm1"].CPU)
+	}
+}
+
+// Figure 2 shape checks against the paper's reported values.
+func TestFigure2Shape(t *testing.T) {
+	figs, err := MicroFigure(1, 42, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("figures = %d, want 5 panels", len(figs))
+	}
+
+	a := figByID(t, figs, "2(a)")
+	dom0 := seriesByName(t, a, "Dom0")
+	hyp := seriesByName(t, a, "Hypervisor")
+	vm := seriesByName(t, a, "VM")
+	last := len(dom0.Y) - 1
+	if math.Abs(dom0.Y[0]-16.8) > 1 {
+		t.Errorf("2(a) Dom0 start = %v, want ~16.8", dom0.Y[0])
+	}
+	if math.Abs(dom0.Y[last]-29.5) > 2 {
+		t.Errorf("2(a) Dom0 end = %v, want ~29.5", dom0.Y[last])
+	}
+	if math.Abs(hyp.Y[last]-14) > 2 {
+		t.Errorf("2(a) hypervisor end = %v, want ~14", hyp.Y[last])
+	}
+	if math.Abs(vm.Y[last]-99) > 2 {
+		t.Errorf("2(a) VM end = %v, want ~99", vm.Y[last])
+	}
+
+	b := figByID(t, figs, "2(b)")
+	pmIO := seriesByName(t, b, "PM")
+	vmIO := seriesByName(t, b, "VM")
+	dom0IO := seriesByName(t, b, "Dom0")
+	for i := range pmIO.Y {
+		ratio := pmIO.Y[i] / vmIO.Y[i]
+		if ratio < 1.8 || ratio > 2.5 {
+			t.Errorf("2(b) PM/VM ratio at level %d = %v, want ~2", i, ratio)
+		}
+		if dom0IO.Y[i] > 0.5 {
+			t.Errorf("2(b) Dom0 IO = %v, want ~0", dom0IO.Y[i])
+		}
+	}
+
+	c := figByID(t, figs, "2(c)")
+	dom0C := seriesByName(t, c, "Dom0")
+	if spread := maxOf(dom0C.Y) - minOf(dom0C.Y); spread > 1.5 {
+		t.Errorf("2(c) Dom0 CPU spread = %v, want stable (< 1.5)", spread)
+	}
+
+	d := figByID(t, figs, "2(d)")
+	pmBW := seriesByName(t, d, "PM")
+	vmBW := seriesByName(t, d, "VM")
+	dom0BW := seriesByName(t, d, "Dom0")
+	lastD := len(pmBW.Y) - 1
+	if over := pmBW.Y[lastD] - vmBW.Y[lastD]; over < 1 || over > 12 {
+		t.Errorf("2(d) PM-VM overhead = %v Kb/s, want small (~3-6)", over)
+	}
+	for i := range dom0BW.Y {
+		if dom0BW.Y[i] > 0.5 {
+			t.Errorf("2(d) Dom0 BW = %v, want 0", dom0BW.Y[i])
+		}
+	}
+
+	e := figByID(t, figs, "2(e)")
+	dom0E := seriesByName(t, e, "Dom0")
+	lastE := len(dom0E.Y) - 1
+	if math.Abs(dom0E.Y[lastE]-30.2) > 2.5 {
+		t.Errorf("2(e) Dom0 end = %v, want ~30.2", dom0E.Y[lastE])
+	}
+	slope := (dom0E.Y[lastE] - dom0E.Y[0]) / (1280 - 1)
+	if slope < 0.008 || slope > 0.013 {
+		t.Errorf("2(e) Dom0 slope = %v per Kb/s, want ~0.01", slope)
+	}
+}
+
+// Figures 3 and 4: co-location saturation and the doubled Dom0 BW slope.
+func TestFigure3And4Shape(t *testing.T) {
+	figs3, err := MicroFigure(2, 43, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs4, err := MicroFigure(4, 44, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a3 := figByID(t, figs3, "3(a)")
+	vm3 := seriesByName(t, a3, "VM")
+	if last := vm3.Y[len(vm3.Y)-1]; math.Abs(last-95) > 3 {
+		t.Errorf("3(a) VM at 100%% input = %v, want ~95", last)
+	}
+	a4 := figByID(t, figs4, "4(a)")
+	vm4 := seriesByName(t, a4, "VM")
+	if last := vm4.Y[len(vm4.Y)-1]; math.Abs(last-47.5) > 3 {
+		t.Errorf("4(a) VM at 100%% input = %v, want ~47", last)
+	}
+	dom04 := seriesByName(t, a4, "Dom0")
+	if last := dom04.Y[len(dom04.Y)-1]; math.Abs(last-23.4) > 1.5 {
+		t.Errorf("4(a) Dom0 plateau = %v, want ~23.4", last)
+	}
+	hyp4 := seriesByName(t, a4, "Hypervisor")
+	if last := hyp4.Y[len(hyp4.Y)-1]; math.Abs(last-12) > 1.5 {
+		t.Errorf("4(a) hypervisor plateau = %v, want ~12", last)
+	}
+
+	// Fig 3(e)/4(e): Dom0 end values ~41.8 and ~67.1; the 4-VM slope is
+	// about twice the 2-VM slope.
+	e3 := seriesByName(t, figByID(t, figs3, "3(e)"), "Dom0")
+	e4 := seriesByName(t, figByID(t, figs4, "4(e)"), "Dom0")
+	l3, l4 := e3.Y[len(e3.Y)-1], e4.Y[len(e4.Y)-1]
+	if math.Abs(l3-43) > 4 {
+		t.Errorf("3(e) Dom0 end = %v, want ~42", l3)
+	}
+	if math.Abs(l4-70) > 6 {
+		t.Errorf("4(e) Dom0 end = %v, want ~67", l4)
+	}
+	s3 := (e3.Y[len(e3.Y)-1] - e3.Y[0])
+	s4 := (e4.Y[len(e4.Y)-1] - e4.Y[0])
+	if r := s4 / s3; r < 1.6 || r > 2.4 {
+		t.Errorf("4(e)/3(e) Dom0 rise ratio = %v, want ~2", r)
+	}
+
+	// Fig 3(b): PM IO more than twice the sum of the two VMs' IO.
+	b3 := figByID(t, figs3, "3(b)")
+	pm := seriesByName(t, b3, "PM")
+	vm := seriesByName(t, b3, "VM")
+	lastB := len(pm.Y) - 1
+	if ratio := pm.Y[lastB] / (2 * vm.Y[lastB]); ratio < 2.0 || ratio > 2.3 {
+		t.Errorf("3(b) PM/sum = %v, want slightly above 2 (Fig. 3b)", ratio)
+	}
+}
+
+// Figure 5: intra-PM traffic.
+func TestFigure5Shape(t *testing.T) {
+	figs, err := Figure5(45, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := figByID(t, figs, "5(a)")
+	pm := seriesByName(t, a, "PM")
+	for i, y := range pm.Y {
+		if y > 4 { // background 2.03 Kb/s + noise only
+			t.Errorf("5(a) PM BW at level %d = %v, want ~background", i, y)
+		}
+	}
+	vmBW := seriesByName(t, a, "VM")
+	if last := vmBW.Y[len(vmBW.Y)-1]; math.Abs(last-1280) > 30 {
+		t.Errorf("5(a) VM BW = %v, want ~1280", last)
+	}
+
+	b := figByID(t, figs, "5(b)")
+	dom0 := seriesByName(t, b, "Dom0")
+	rise := dom0.Y[len(dom0.Y)-1] - dom0.Y[0]
+	slope := rise / 1279
+	if slope < 0.0012 || slope > 0.0032 {
+		t.Errorf("5(b) Dom0 slope = %v, want ~0.002 (5x less than inter-PM)", slope)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID: "X", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "s2", X: []float64{1, 2}, Y: []float64{30}},
+		},
+	}
+	s := f.Render()
+	for _, frag := range []string{"Figure X", "demo", "s1", "s2", "10", "-"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Render missing %q in:\n%s", frag, s)
+		}
+	}
+	empty := Figure{ID: "E", Title: "none"}
+	if !strings.Contains(empty.Render(), "Figure E") {
+		t.Error("empty figure should still render a header")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := RenderTableI()
+	if !strings.Contains(t1, "xentop") {
+		t.Error("Table I missing xentop")
+	}
+	t2 := RenderTableII()
+	for _, frag := range []string{"CPU-intensive (%)", "MEM-intensive (Mb)", "1.28", "99"} {
+		if !strings.Contains(t2, frag) {
+			t.Errorf("Table II missing %q:\n%s", frag, t2)
+		}
+	}
+	t3 := RenderTableIII()
+	for _, frag := range []string{"|Dom0|+|hypervisor|", "sum(VM_io)", "MEM"} {
+		if !strings.Contains(t3, frag) {
+			t.Errorf("Table III missing %q:\n%s", frag, t3)
+		}
+	}
+	rows := TableIII()
+	if len(rows) != 4 {
+		t.Fatalf("Table III rows = %d, want 4", len(rows))
+	}
+	// CPU overhead is marked for CPU and BW workloads (Table III).
+	if !rows[0].Marks[0] || !rows[0].Marks[3] || rows[0].Marks[1] {
+		t.Errorf("Table III CPU row marks = %v", rows[0].Marks)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

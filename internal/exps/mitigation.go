@@ -1,0 +1,145 @@
+package exps
+
+import (
+	"fmt"
+
+	"virtover/internal/cloudscale"
+	"virtover/internal/core"
+	"virtover/internal/monitor"
+	"virtover/internal/rubis"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// MitigationResult reports the hotspot-mitigation experiment: a RUBiS web
+// tier starts co-located with CPU hogs on an overloaded PM; the controller
+// watches measurements and migrates guests away. Throughput is compared
+// across the run phases.
+type MitigationResult struct {
+	// Migrations actually performed, in order.
+	Migrations []cloudscale.Migration
+	// ThroughputBefore is the mean served rate during the initial
+	// (overloaded) window; ThroughputAfter over the final window.
+	ThroughputBefore, ThroughputAfter float64
+	// OfferedRate is the healthy closed-loop rate for reference.
+	OfferedRate float64
+}
+
+// MitigationConfig tunes the experiment.
+type MitigationConfig struct {
+	// Controller enables the hotspot controller; off measures the
+	// do-nothing baseline.
+	Controller bool
+	// Policy selects VOA or VOU estimation inside the controller.
+	Policy cloudscale.Policy
+	// Duration is the run length in seconds (default 180).
+	Duration int
+	// Instant teleports VMs instead of live-migrating them (pre-copy
+	// traffic, Dom0 cost and multi-second switch latency are the default).
+	Instant bool
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// MitigationExperiment deploys web+db+three 70% hogs on PM1 with PM2 idle,
+// runs the controller loop, and reports the recovery. With the controller
+// off, throughput stays degraded; with VOA estimation the controller moves
+// load to PM2 and the web tier recovers to the offered rate.
+func MitigationExperiment(model *core.Model, cfg MitigationConfig) (MitigationResult, error) {
+	if cfg.Controller && cfg.Policy == cloudscale.VOA && model == nil {
+		return MitigationResult{}, fmt.Errorf("exps: VOA mitigation needs a model")
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 180
+	}
+
+	cl := xen.NewCluster()
+	pm1 := cl.AddPM("pm1")
+	pm2 := cl.AddPM("pm2")
+	web := cl.AddVM(pm1, "web", 256)
+	db := cl.AddVM(pm2, "db", 256)
+	app := rubis.New(rubis.Config{
+		Profile: rubis.HeavyProfile(),
+		Clients: rubis.ConstClients(500),
+		WebVM:   "web",
+		DBVM:    "db",
+		Seed:    cfg.Seed + 3,
+	})
+	app.BindVMs(web, db)
+	web.SetSource(app.WebSource())
+	db.SetSource(app.DBSource())
+	for i := 0; i < 3; i++ {
+		hog := cl.AddVM(pm1, fmt.Sprintf("hog%d", i+1), 256)
+		hog.SetSource(workload.New(workload.CPU, 70, workload.Options{JitterRel: 0.01, Seed: cfg.Seed + int64(i)*7}))
+	}
+
+	calib := xen.DefaultCalibration()
+	e := xen.NewEngine(cl, calib, cfg.Seed)
+
+	var controller *cloudscale.HotspotController
+	if cfg.Controller {
+		placer := cloudscale.Placer{
+			Policy:   cfg.Policy,
+			Model:    model,
+			Capacity: units.V(calib.TotalCapCPU, 2048, 5000, 1e6),
+		}
+		var err error
+		controller, err = cloudscale.NewHotspotController(cloudscale.DefaultHotspotConfig(placer))
+		if err != nil {
+			return MitigationResult{}, err
+		}
+	}
+
+	res := MitigationResult{OfferedRate: app.OfferedThroughput(0)}
+	window := duration / 4
+	var beforeServed, afterServed float64
+	instruments := monitor.Script{IntervalSteps: 1, Samples: 1, Noise: monitor.DefaultNoise(), Seed: cfg.Seed + 99}
+
+	prevStats := app.Stats()
+	for step := 0; step < duration; step++ {
+		series, err := instruments.Run(e, []*xen.PM{pm1, pm2})
+		if err != nil {
+			return MitigationResult{}, err
+		}
+		if controller != nil {
+			actions, err := controller.Observe(series[0])
+			if err != nil {
+				return MitigationResult{}, err
+			}
+			for _, a := range actions {
+				var dst *xen.PM
+				if a.To == "pm1" {
+					dst = pm1
+				} else {
+					dst = pm2
+				}
+				if cfg.Instant {
+					if err := cl.MigrateVM(a.VM, dst); err != nil {
+						return MitigationResult{}, err
+					}
+				} else if err := e.BeginLiveMigration(a.VM, dst); err != nil {
+					// The controller may re-recommend a guest whose copy is
+					// still in flight; skip, the move is already underway.
+					continue
+				}
+				res.Migrations = append(res.Migrations, a)
+			}
+		}
+		st := app.Stats()
+		served := st.ServedReqs - prevStats.ServedReqs
+		prevStats = st
+		if step < window {
+			beforeServed += served
+		}
+		if step >= duration-window {
+			afterServed += served
+		}
+	}
+	if window > 0 {
+		res.ThroughputBefore = beforeServed / float64(window)
+		res.ThroughputAfter = afterServed / float64(window)
+	}
+	return res, nil
+}

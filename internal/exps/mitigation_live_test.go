@@ -1,0 +1,37 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/cloudscale"
+)
+
+// Live migration costs real time and bandwidth; instant migration is the
+// optimistic upper bound. Both must recover, and live must not beat
+// instant.
+func TestMitigationLiveVsInstant(t *testing.T) {
+	m := fittedModel(t)
+	live, err := MitigationExperiment(m, MitigationConfig{
+		Controller: true, Policy: cloudscale.VOA, Duration: 150, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instant, err := MitigationExperiment(m, MitigationConfig{
+		Controller: true, Policy: cloudscale.VOA, Duration: 150, Seed: 8, Instant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Migrations) == 0 || len(instant.Migrations) == 0 {
+		t.Fatalf("migrations: live %d, instant %d", len(live.Migrations), len(instant.Migrations))
+	}
+	if live.ThroughputAfter < 0.95*live.OfferedRate {
+		t.Errorf("live migration should still recover: %v of %v", live.ThroughputAfter, live.OfferedRate)
+	}
+	// The pre-copy delay makes live recovery no faster than instant.
+	if live.ThroughputBefore > instant.ThroughputBefore+1 {
+		t.Errorf("live early-phase throughput %v should not beat instant %v",
+			live.ThroughputBefore, instant.ThroughputBefore)
+	}
+}

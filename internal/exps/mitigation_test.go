@@ -1,0 +1,57 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/cloudscale"
+)
+
+func TestMitigationValidation(t *testing.T) {
+	if _, err := MitigationExperiment(nil, MitigationConfig{Controller: true, Policy: cloudscale.VOA}); err == nil {
+		t.Error("VOA mitigation without model should fail")
+	}
+}
+
+// The headline: without the controller the web tier stays starved; with
+// the VOA controller it recovers to the offered rate.
+func TestMitigationRecovers(t *testing.T) {
+	m := fittedModel(t)
+
+	baseline, err := MitigationExperiment(nil, MitigationConfig{Controller: false, Duration: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Migrations) != 0 {
+		t.Fatalf("baseline migrated: %v", baseline.Migrations)
+	}
+	if baseline.ThroughputAfter > 0.9*baseline.OfferedRate {
+		t.Errorf("baseline should stay degraded: after %v vs offered %v",
+			baseline.ThroughputAfter, baseline.OfferedRate)
+	}
+
+	voa, err := MitigationExperiment(m, MitigationConfig{Controller: true, Policy: cloudscale.VOA, Duration: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(voa.Migrations) == 0 {
+		t.Fatal("VOA controller performed no migrations")
+	}
+	if voa.ThroughputAfter < 0.95*voa.OfferedRate {
+		t.Errorf("VOA should recover: after %v vs offered %v", voa.ThroughputAfter, voa.OfferedRate)
+	}
+	if voa.ThroughputAfter <= baseline.ThroughputAfter {
+		t.Errorf("VOA after %v should beat baseline after %v", voa.ThroughputAfter, baseline.ThroughputAfter)
+	}
+	// The run starts degraded and improves (the controller migrates within
+	// a few observations, so the first window already contains part of the
+	// recovery).
+	if voa.ThroughputBefore >= voa.ThroughputAfter {
+		t.Errorf("expected recovery: before %v, after %v", voa.ThroughputBefore, voa.ThroughputAfter)
+	}
+	// Migrations move guests off the hot PM.
+	for _, mig := range voa.Migrations {
+		if mig.From != "pm1" || mig.To != "pm2" {
+			t.Errorf("unexpected migration %+v", mig)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package exps
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel executes jobs 0..n-1 on a bounded worker pool and returns
+// the first error (all jobs still run to completion). Each job owns its
+// own simulation engine and RNG streams, so campaigns are embarrassingly
+// parallel; callers preserve determinism by writing results into
+// index-addressed slots and flattening in index order afterwards.
+func runParallel(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err1 error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					mu.Lock()
+					if err1 == nil {
+						err1 = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err1
+}

@@ -1,0 +1,105 @@
+package exps
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelRunsEveryJob(t *testing.T) {
+	const n = 200
+	var hits [n]int32
+	err := runParallel(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("job %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran int32
+	err := runParallel(50, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if ran != 50 {
+		t.Errorf("all jobs should still run, got %d", ran)
+	}
+}
+
+func TestRunParallelZeroJobs(t *testing.T) {
+	if err := runParallel(0, func(int) error { return errors.New("nope") }); err != nil {
+		t.Errorf("zero jobs should be a no-op, got %v", err)
+	}
+}
+
+// Determinism: the parallel corpus builder must produce byte-identical
+// corpora across invocations (each campaign has its own seed; order is
+// fixed by scenario index).
+func TestTrainingCorpusDeterministicUnderParallelism(t *testing.T) {
+	s1, m1, err := TrainingCorpus(42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, m2, err := TrainingCorpus(42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) || len(m1) != len(m2) {
+		t.Fatalf("corpus sizes differ: %d/%d vs %d/%d", len(s1), len(m1), len(s2), len(m2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("single sample %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("multi sample %d differs", i)
+		}
+	}
+}
+
+// PredictionExperiment must be deterministic and ordered despite the
+// parallel client sweep.
+func TestPredictionDeterministicUnderParallelism(t *testing.T) {
+	m := fittedModel(t)
+	run := func() []PredictionResult {
+		r, err := PredictionExperiment(m, 1, []int{300, 500, 700}, 15, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Clients != b[i].Clients {
+			t.Fatalf("order differs at %d: %d vs %d", i, a[i].Clients, b[i].Clients)
+		}
+		for j := range a[i].PM1CPU {
+			if a[i].PM1CPU[j] != b[i].PM1CPU[j] {
+				t.Fatalf("run %d sample %d differs", i, j)
+			}
+		}
+	}
+	want := []int{300, 500, 700}
+	for i, r := range a {
+		if r.Clients != want[i] {
+			t.Errorf("result %d clients = %d, want %d (input order)", i, r.Clients, want[i])
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package exps
+
+import (
+	"fmt"
+
+	"virtover/internal/cloudscale"
+	"virtover/internal/core"
+	"virtover/internal/monitor"
+	"virtover/internal/rubis"
+	"virtover/internal/simrand"
+	"virtover/internal/stats"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// PlacementConfig parameterizes the Figure 10 experiment (Section VI-B):
+// five identical VMs (1 VCPU, 256 MB) — a RUBiS web/db pair serving 500
+// clients plus three spare VMs — are placed on two PMs by CloudScale-style
+// provisioning with (VOA) and without (VOU) virtualization-overhead
+// awareness. Scenario s in 0..3 runs lookbusy at 50% CPU in s of the three
+// spare VMs.
+type PlacementConfig struct {
+	// Repeats is the number of random placement orders (paper: 10).
+	Repeats int
+	// Duration is the measured run length in simulated seconds per repeat.
+	Duration int
+	// Clients is the RUBiS load (paper: 500).
+	Clients float64
+	// LookbusyCPU is the spare-VM load in scenarios >= 1 (paper: 50%).
+	LookbusyCPU float64
+	// Capacity is the per-PM admission capacity. CPU is the effective
+	// capacity of the simulated host; memory is the usable 1250 MB that
+	// makes VOU pack four 256 MB VMs per PM and VOA three (Section VI-B
+	// narrative).
+	Capacity units.Vector
+	// Seed drives placement orders and the simulation.
+	Seed int64
+}
+
+// DefaultPlacementConfig mirrors the paper's setup.
+func DefaultPlacementConfig(seed int64) PlacementConfig {
+	return PlacementConfig{
+		Repeats:     10,
+		Duration:    120,
+		Clients:     500,
+		LookbusyCPU: 50,
+		Capacity:    units.V(xen.DefaultCalibration().TotalCapCPU, 1250, 5000, 1e6),
+		Seed:        seed,
+	}
+}
+
+// ScenarioResult holds the RUBiS performance of one (scenario, policy)
+// cell across repeats.
+type ScenarioResult struct {
+	Scenario    int
+	Policy      cloudscale.Policy
+	Throughputs []float64 // mean served req/s per repeat
+	TotalTimes  []float64 // estimated total processing time per repeat
+}
+
+// MeanThroughput averages the repeats.
+func (r ScenarioResult) MeanThroughput() float64 { return stats.Mean(r.Throughputs) }
+
+// MeanTotalTime averages the repeats.
+func (r ScenarioResult) MeanTotalTime() float64 { return stats.Mean(r.TotalTimes) }
+
+// PlacementExperiment runs all four scenarios under both policies and
+// returns one ScenarioResult per (scenario, policy), VOA first within each
+// scenario.
+func PlacementExperiment(model *core.Model, cfg PlacementConfig) ([]ScenarioResult, error) {
+	if model == nil {
+		return nil, fmt.Errorf("exps: PlacementExperiment needs a model")
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 120
+	}
+	// Every (scenario, policy, repeat) run is an independent simulation:
+	// fan the full grid out over all cores, then fold back in order.
+	type cell struct{ scenario, policyIdx, rep int }
+	policies := []cloudscale.Policy{cloudscale.VOA, cloudscale.VOU}
+	var grid []cell
+	for scenario := 0; scenario <= 3; scenario++ {
+		for pi := range policies {
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				grid = append(grid, cell{scenario, pi, rep})
+			}
+		}
+	}
+	type outcome struct{ thr, total float64 }
+	outs := make([]outcome, len(grid))
+	err := runParallel(len(grid), func(i int) error {
+		c := grid[i]
+		seed := cfg.Seed + int64(c.scenario)*100000 + int64(c.rep)*37
+		thr, total, rerr := runPlacementOnce(model, cfg, c.scenario, policies[c.policyIdx], seed)
+		if rerr != nil {
+			return rerr
+		}
+		outs[i] = outcome{thr, total}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ScenarioResult
+	for scenario := 0; scenario <= 3; scenario++ {
+		for pi, policy := range policies {
+			res := ScenarioResult{Scenario: scenario, Policy: policy}
+			for i, c := range grid {
+				if c.scenario == scenario && c.policyIdx == pi {
+					res.Throughputs = append(res.Throughputs, outs[i].thr)
+					res.TotalTimes = append(res.TotalTimes, outs[i].total)
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// vmSpec describes one of the experiment's five VMs.
+type vmSpec struct {
+	name string
+	kind string // "web", "db", "hog", "idle"
+}
+
+func runPlacementOnce(model *core.Model, cfg PlacementConfig, scenario int, policy cloudscale.Policy, seed int64) (throughput, totalTime float64, err error) {
+	specs := []vmSpec{{"vm1", "web"}, {"vm2", "db"}}
+	for i := 0; i < 3; i++ {
+		kind := "idle"
+		if i < scenario {
+			kind = "hog"
+		}
+		specs = append(specs, vmSpec{fmt.Sprintf("vm%d", i+3), kind})
+	}
+
+	// CloudScale predicts each VM's demand from its recent utilization
+	// profile before placing it; we profile each VM kind on a dedicated PM.
+	predictor := cloudscale.NewPredictor()
+	if err := profileVMs(specs, cfg, predictor, seed); err != nil {
+		return 0, 0, err
+	}
+	demands := make(map[string]units.Vector, len(specs))
+	for _, s := range specs {
+		demands[s.name] = predictor.Predict(s.name)
+	}
+
+	// Random placement order, as in the paper.
+	rng := simrand.New(seed)
+	order := make([]string, len(specs))
+	for i, p := range rng.Perm(len(specs)) {
+		order[i] = specs[p].name
+	}
+
+	placer := cloudscale.Placer{Policy: policy, Model: model, Capacity: cfg.Capacity}
+	assign, err := placer.Place(order, demands, []string{"pm1", "pm2"})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Deploy and run.
+	cl := xen.NewCluster()
+	pms := map[string]*xen.PM{"pm1": cl.AddPM("pm1"), "pm2": cl.AddPM("pm2")}
+	vms := make(map[string]*xen.VM, len(specs))
+	for _, s := range specs {
+		vms[s.name] = cl.AddVM(pms[assign[s.name]], s.name, 256)
+	}
+	app := rubis.New(rubis.Config{
+		Profile: rubis.HeavyProfile(),
+		Clients: rubis.ConstClients(cfg.Clients),
+		WebVM:   "vm1",
+		DBVM:    "vm2",
+		Seed:    seed + 11,
+	})
+	app.BindVMs(vms["vm1"], vms["vm2"])
+	for i, s := range specs {
+		switch s.kind {
+		case "web":
+			vms[s.name].SetSource(app.WebSource())
+		case "db":
+			vms[s.name].SetSource(app.DBSource())
+		case "hog":
+			vms[s.name].SetSource(workload.New(workload.CPU, cfg.LookbusyCPU, workload.Options{JitterRel: 0.01, Seed: seed + int64(i)*13}))
+		default:
+			// idle: no source
+		}
+	}
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+7)
+	e.Advance(cfg.Duration)
+	st := app.Stats()
+	return st.MeanThroughput, st.TotalTime, nil
+}
+
+// profileVMs runs each VM kind alone and feeds the observed utilization to
+// the predictor (CloudScale's online demand characterization).
+func profileVMs(specs []vmSpec, cfg PlacementConfig, pred *cloudscale.Predictor, seed int64) error {
+	cl := xen.NewCluster()
+	// One PM per VM so profiles are contention-free.
+	var pmList []*xen.PM
+	for i, s := range specs {
+		pm := cl.AddPM(fmt.Sprintf("profile-pm%d", i+1))
+		pmList = append(pmList, pm)
+		vm := cl.AddVM(pm, s.name, 256)
+		switch s.kind {
+		case "web", "db":
+			// Profile the pair against each other at the target load.
+		case "hog":
+			vm.SetSource(workload.New(workload.CPU, cfg.LookbusyCPU, workload.Options{JitterRel: 0.01, Seed: seed + int64(i)}))
+		default:
+		}
+	}
+	app := rubis.New(rubis.Config{
+		Profile: rubis.HeavyProfile(),
+		Clients: rubis.ConstClients(cfg.Clients),
+		WebVM:   specs[0].name,
+		DBVM:    specs[1].name,
+		Seed:    seed + 23,
+	})
+	webVM, _ := cl.LookupVM(specs[0].name)
+	dbVM, _ := cl.LookupVM(specs[1].name)
+	app.BindVMs(webVM, dbVM)
+	webVM.SetSource(app.WebSource())
+	dbVM.SetSource(app.DBSource())
+
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+3)
+	script := monitor.Script{IntervalSteps: 1, Samples: 20, Noise: monitor.DefaultNoise(), Seed: seed + 29}
+	series, err := script.Run(e, pmList)
+	if err != nil {
+		return err
+	}
+	for _, row := range series {
+		for _, m := range row {
+			for name, v := range m.VMs {
+				pred.Observe(name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure10 renders the experiment as the paper's two panels: average
+// throughput and total processing time per scenario, VOA vs VOU, with the
+// 10th/90th-percentile spread recorded in auxiliary series.
+func Figure10(results []ScenarioResult) []Figure {
+	collect := func(name string, policy cloudscale.Policy, pick func(ScenarioResult) []float64, agg func([]float64) float64) Series {
+		s := Series{Name: name}
+		for sc := 0; sc <= 3; sc++ {
+			for _, r := range results {
+				if r.Scenario == sc && r.Policy == policy {
+					s.X = append(s.X, float64(sc))
+					s.Y = append(s.Y, agg(pick(r)))
+				}
+			}
+		}
+		return s
+	}
+	thr := func(r ScenarioResult) []float64 { return r.Throughputs }
+	tt := func(r ScenarioResult) []float64 { return r.TotalTimes }
+	mean := stats.Mean
+	p10 := func(xs []float64) float64 { return stats.Percentile(xs, 10) }
+	p90 := func(xs []float64) float64 { return stats.Percentile(xs, 90) }
+
+	return []Figure{
+		{
+			ID:     "10(a)",
+			Title:  "Average throughput of virtualization overhead aware VM placement",
+			XLabel: "Workload Scenario",
+			YLabel: "Throughput (req/s)",
+			Series: []Series{
+				collect("VOA", cloudscale.VOA, thr, mean),
+				collect("VOU", cloudscale.VOU, thr, mean),
+				collect("VOA-p10", cloudscale.VOA, thr, p10),
+				collect("VOU-p10", cloudscale.VOU, thr, p10),
+				collect("VOA-p90", cloudscale.VOA, thr, p90),
+				collect("VOU-p90", cloudscale.VOU, thr, p90),
+			},
+		},
+		{
+			ID:     "10(b)",
+			Title:  "Total time for processing the requests",
+			XLabel: "Workload Scenario",
+			YLabel: "Total time (s)",
+			Series: []Series{
+				collect("VOA", cloudscale.VOA, tt, mean),
+				collect("VOU", cloudscale.VOU, tt, mean),
+			},
+		},
+	}
+}

@@ -1,0 +1,122 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/cloudscale"
+	"virtover/internal/units"
+)
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := PlacementExperiment(nil, DefaultPlacementConfig(1)); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestDefaultPlacementConfig(t *testing.T) {
+	cfg := DefaultPlacementConfig(9)
+	if cfg.Repeats != 10 || cfg.Clients != 500 || cfg.LookbusyCPU != 50 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Capacity.Mem != 1250 {
+		t.Errorf("memory capacity = %v, want 1250 (Section VI-B narrative)", cfg.Capacity.Mem)
+	}
+}
+
+// The Figure 10 reproduction: VOA throughput is stable across scenarios
+// and beats VOU once CPU hogs appear; VOU total time exceeds VOA's.
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement experiment is slow")
+	}
+	m := fittedModel(t)
+	cfg := DefaultPlacementConfig(77)
+	cfg.Repeats = 4
+	cfg.Duration = 60
+	results, err := PlacementExperiment(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8 (4 scenarios x 2 policies)", len(results))
+	}
+	get := func(scenario int, p cloudscale.Policy) ScenarioResult {
+		for _, r := range results {
+			if r.Scenario == scenario && r.Policy == p {
+				return r
+			}
+		}
+		t.Fatalf("missing result for scenario %d policy %v", scenario, p)
+		return ScenarioResult{}
+	}
+	// VOA throughput stable across all scenarios (paper: "achieves a
+	// stable throughput under every workload scenario").
+	base := get(0, cloudscale.VOA).MeanThroughput()
+	if base < 75 || base > 90 {
+		t.Errorf("VOA scenario-0 throughput = %v, want ~82 req/s", base)
+	}
+	for sc := 1; sc <= 3; sc++ {
+		thr := get(sc, cloudscale.VOA).MeanThroughput()
+		if thr < base*0.93 {
+			t.Errorf("VOA scenario-%d throughput = %v, want stable ~%v", sc, thr, base)
+		}
+	}
+	// VOU degrades once hogs appear, and more with more hogs (paper:
+	// "throughput for VOU further decreases as the workload increases").
+	vou3 := get(3, cloudscale.VOU).MeanThroughput()
+	voa3 := get(3, cloudscale.VOA).MeanThroughput()
+	if vou3 >= voa3 {
+		t.Errorf("scenario 3: VOU throughput %v should be below VOA %v", vou3, voa3)
+	}
+	vou1 := get(1, cloudscale.VOU).MeanThroughput()
+	if vou3 >= vou1 {
+		t.Errorf("VOU should degrade with scenario: s1=%v s3=%v", vou1, vou3)
+	}
+	// Total time: VOU above VOA in the loaded scenarios.
+	if get(3, cloudscale.VOU).MeanTotalTime() <= get(3, cloudscale.VOA).MeanTotalTime() {
+		t.Error("scenario 3: VOU total time should exceed VOA")
+	}
+}
+
+func TestFigure10Rendering(t *testing.T) {
+	results := []ScenarioResult{
+		{Scenario: 0, Policy: cloudscale.VOA, Throughputs: []float64{80, 82}, TotalTimes: []float64{100, 101}},
+		{Scenario: 0, Policy: cloudscale.VOU, Throughputs: []float64{70, 72}, TotalTimes: []float64{120, 121}},
+		{Scenario: 1, Policy: cloudscale.VOA, Throughputs: []float64{81}, TotalTimes: []float64{100}},
+		{Scenario: 1, Policy: cloudscale.VOU, Throughputs: []float64{60}, TotalTimes: []float64{140}},
+	}
+	figs := Figure10(results)
+	if len(figs) != 2 {
+		t.Fatalf("figures = %d, want 2", len(figs))
+	}
+	a := figs[0]
+	if a.ID != "10(a)" || len(a.Series) != 6 {
+		t.Errorf("10(a) series = %d, want 6 (mean + p10 + p90 per policy)", len(a.Series))
+	}
+	voa := seriesByName(t, a, "VOA")
+	if len(voa.X) != 2 || voa.Y[0] != 81 {
+		t.Errorf("VOA mean series = %+v", voa)
+	}
+	b := figs[1]
+	if b.ID != "10(b)" || len(b.Series) != 2 {
+		t.Errorf("10(b) series = %d, want 2", len(b.Series))
+	}
+}
+
+func TestScenarioResultAggregates(t *testing.T) {
+	r := ScenarioResult{Throughputs: []float64{10, 20}, TotalTimes: []float64{100, 200}}
+	if r.MeanThroughput() != 15 || r.MeanTotalTime() != 150 {
+		t.Errorf("aggregates = %v, %v", r.MeanThroughput(), r.MeanTotalTime())
+	}
+}
+
+func TestPlacementCapacityVector(t *testing.T) {
+	cfg := DefaultPlacementConfig(1)
+	// CPU capacity equals the simulator's effective total.
+	if cfg.Capacity.CPU != 225.4 {
+		t.Errorf("CPU capacity = %v, want 225.4", cfg.Capacity.CPU)
+	}
+	if !units.V(200, 1000, 100, 100).FitsWithin(cfg.Capacity) {
+		t.Error("sane utilization should fit capacity")
+	}
+}

@@ -1,0 +1,192 @@
+package exps
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"virtover/internal/core"
+	"virtover/internal/stats"
+)
+
+// sharedModel caches one fitted model across tests in this package (fitting
+// runs the full micro campaign).
+var (
+	modelOnce sync.Once
+	model     *core.Model
+	modelErr  error
+)
+
+func fittedModel(t *testing.T) *core.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		model, modelErr = FitModel(1234, 20, core.FitOptions{})
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func TestFitModelCoefficientsPlausible(t *testing.T) {
+	m := fittedModel(t)
+	if !m.HasO {
+		t.Fatal("model should include the co-location matrix")
+	}
+	// Dom0 CPU intercept near the 16.8% background.
+	if c := m.A[core.TargetDom0CPU][0]; c < 13 || c > 21 {
+		t.Errorf("Dom0 intercept = %v, want ~16.8", c)
+	}
+	// Dom0 BW coefficient near the 0.01 slope of Fig. 2e.
+	if c := m.A[core.TargetDom0CPU][4]; c < 0.006 || c > 0.015 {
+		t.Errorf("Dom0 BW coefficient = %v, want ~0.01", c)
+	}
+	// PM IO coefficient near the 2x striping amplification.
+	if c := m.A[core.TargetPMIO][3]; c < 1.7 || c > 2.4 {
+		t.Errorf("PM IO coefficient = %v, want ~2.05", c)
+	}
+	// PM BW coefficient near 1 (PM BW tracks the sum of guests).
+	if c := m.A[core.TargetPMBW][4]; c < 0.9 || c > 1.15 {
+		t.Errorf("PM BW coefficient = %v, want ~1", c)
+	}
+	// PM memory: unit coefficient on guest memory.
+	if c := m.A[core.TargetPMMem][2]; c < 0.9 || c > 1.1 {
+		t.Errorf("PM mem coefficient = %v, want ~1", c)
+	}
+}
+
+func TestPredictionExperimentValidation(t *testing.T) {
+	if _, err := PredictionExperiment(nil, 1, nil, 10, 1); err == nil {
+		t.Error("nil model should fail")
+	}
+	m := fittedModel(t)
+	if _, err := PredictionExperiment(m, 0, nil, 10, 1); err == nil {
+		t.Error("sets=0 should fail")
+	}
+}
+
+// The headline reproduction: trace-driven prediction accuracy in the
+// paper's range (90% of errors within a few percent), with the paper's
+// PM1-vs-PM2 asymmetry.
+func TestFigure7Accuracy(t *testing.T) {
+	m := fittedModel(t)
+	results, err := PredictionExperiment(m, 1, []int{300, 700}, 80, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		p90cpu1 := stats.Percentile(r.PM1CPU, 90)
+		p90cpu2 := stats.Percentile(r.PM2CPU, 90)
+		p90bw1 := stats.Percentile(r.PM1BW, 90)
+		p90bw2 := stats.Percentile(r.PM2BW, 90)
+		if p90cpu1 > 6 {
+			t.Errorf("clients=%d: PM1 CPU p90 error = %v%%, want < 6 (paper: < 3)", r.Clients, p90cpu1)
+		}
+		if p90cpu2 > 9 {
+			t.Errorf("clients=%d: PM2 CPU p90 error = %v%%, want < 9 (paper: < 4-5)", r.Clients, p90cpu2)
+		}
+		if p90bw1 > 5 || p90bw2 > 5 {
+			t.Errorf("clients=%d: BW p90 errors = %v / %v%%, want < 5 (paper: < 4)", r.Clients, p90bw1, p90bw2)
+		}
+	}
+}
+
+// Paper: the web-tier PM (heavier load) predicts better than the DB-tier
+// PM, and more clients shrink the errors on PM1.
+func TestFigure7Asymmetry(t *testing.T) {
+	m := fittedModel(t)
+	results, err := PredictionExperiment(m, 1, []int{300, 700}, 80, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		m1 := stats.Mean(r.PM1CPU)
+		m2 := stats.Mean(r.PM2CPU)
+		if m1 >= m2 {
+			t.Errorf("clients=%d: PM1 mean err %v should be below PM2 %v", r.Clients, m1, m2)
+		}
+	}
+}
+
+func TestFigure8And9Run(t *testing.T) {
+	m := fittedModel(t)
+	for _, sets := range []int{2, 3} {
+		results, err := PredictionExperiment(m, sets, []int{500}, 60, int64(sets)*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := results[0]
+		if len(r.PM1CPU) != 60 || len(r.PM2CPU) != 60 {
+			t.Fatalf("sets=%d: sample counts = %d/%d, want 60", sets, len(r.PM1CPU), len(r.PM2CPU))
+		}
+		if p90 := stats.Percentile(r.PM1CPU, 90); p90 > 8 {
+			t.Errorf("sets=%d: PM1 CPU p90 = %v%%, want < 8 (paper: ~2)", sets, p90)
+		}
+		if p90 := stats.Percentile(r.PM1BW, 90); p90 > 5 {
+			t.Errorf("sets=%d: PM1 BW p90 = %v%%, want < 5", sets, p90)
+		}
+	}
+}
+
+func TestPredictionFigures(t *testing.T) {
+	results := []PredictionResult{
+		{Clients: 300, PM1CPU: []float64{1, 2, 3}, PM2CPU: []float64{2, 3, 4}, PM1BW: []float64{0.5}, PM2BW: []float64{0.7}},
+		{Clients: 700, PM1CPU: []float64{1, 1, 1}, PM2CPU: []float64{2}, PM1BW: []float64{0.1}, PM2BW: []float64{0.2}},
+	}
+	figs := PredictionFigures("7", results, 8, 17)
+	if len(figs) != 4 {
+		t.Fatalf("panels = %d, want 4", len(figs))
+	}
+	ids := []string{"7(a)", "7(b)", "7(c)", "7(d)"}
+	for i, f := range figs {
+		if f.ID != ids[i] {
+			t.Errorf("panel %d ID = %s, want %s", i, f.ID, ids[i])
+		}
+		if len(f.Series) != 2 {
+			t.Errorf("panel %s series = %d, want 2 client curves", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			// CDF curves are monotone and end at 100%.
+			for j := 1; j < len(s.Y); j++ {
+				if s.Y[j] < s.Y[j-1] {
+					t.Errorf("panel %s series %s not monotone", f.ID, s.Name)
+					break
+				}
+			}
+			if s.Y[len(s.Y)-1] != 100 {
+				t.Errorf("panel %s series %s should reach 100%%", f.ID, s.Name)
+			}
+		}
+	}
+	// Defaults kick in for bad grid parameters.
+	figs = PredictionFigures("9", results, 0, 0)
+	if len(figs[0].Series[0].X) != 17 {
+		t.Errorf("default grid points = %d, want 17", len(figs[0].Series[0].X))
+	}
+	if strings.Contains(figs[0].Title, "%!") {
+		t.Error("formatting artifact in title")
+	}
+}
+
+func TestP90Summary(t *testing.T) {
+	results := []PredictionResult{{
+		Clients: 500,
+		PM1CPU:  []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		PM2CPU:  []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		PM1BW:   []float64{1},
+		PM2BW:   []float64{2},
+	}}
+	s := P90Summary(results)
+	if len(s) != 1 || s[0].Clients != 500 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s[0].PM1CPU < 9 || s[0].PM1CPU > 10 {
+		t.Errorf("PM1 p90 = %v, want ~9.1", s[0].PM1CPU)
+	}
+	if s[0].PM2CPU <= s[0].PM1CPU {
+		t.Error("PM2 p90 should exceed PM1 p90 here")
+	}
+}

@@ -1,0 +1,77 @@
+package exps
+
+import (
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/workload"
+)
+
+func TestOutlierInjectionVisible(t *testing.T) {
+	noise := monitor.DefaultNoise()
+	noise.OutlierProb = 0.2
+	noise.OutlierMul = 10
+	sc := MicroScenario{N: 1, Kind: workload.CPU, LevelIdx: 2, Samples: 60, Seed: 9, Noise: &noise}
+	_, series, err := RunMicro(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 20% x10 glitches, some Dom0 CPU readings must be far above the
+	// ~23% truth.
+	spikes := 0
+	for _, row := range series {
+		if row[0].Dom0.CPU > 60 {
+			spikes++
+		}
+	}
+	if spikes < 3 {
+		t.Errorf("expected visible glitches, saw %d spiked samples of %d", spikes, len(series))
+	}
+}
+
+func TestNoiseOverrideNilMeansDefault(t *testing.T) {
+	a, _, err := RunMicro(MicroScenario{N: 1, Kind: workload.CPU, LevelIdx: 1, Samples: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := monitor.DefaultNoise()
+	b, _, err := RunMicro(MicroScenario{N: 1, Kind: workload.CPU, LevelIdx: 1, Samples: 20, Seed: 4, Noise: &def})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dom0 != b.Dom0 || a.Host != b.Host {
+		t.Error("explicit default noise must equal nil noise")
+	}
+}
+
+// The end-to-end robustness claim: under glitchy tools, LMS-fitted models
+// predict better than OLS-fitted ones on clean data.
+func TestRobustnessLMSBeatsOLS(t *testing.T) {
+	res, err := RobustnessExperiment(33, 25, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainN == 0 || res.EvalN == 0 {
+		t.Fatalf("degenerate experiment: %+v", res)
+	}
+	if res.LMSDom0MAE >= res.OLSDom0MAE {
+		t.Errorf("LMS Dom0 MAE %v should beat OLS %v under glitches", res.LMSDom0MAE, res.OLSDom0MAE)
+	}
+	if res.LMSPMCPUErr >= res.OLSPMCPUErr {
+		t.Errorf("LMS PM-CPU error %v%% should beat OLS %v%%", res.LMSPMCPUErr, res.OLSPMCPUErr)
+	}
+	// LMS on glitchy data should still land near the clean-fit regime.
+	if res.LMSDom0MAE > 1.5 {
+		t.Errorf("LMS Dom0 MAE %v implausibly large", res.LMSDom0MAE)
+	}
+}
+
+func TestRobustnessDefaults(t *testing.T) {
+	res, err := RobustnessExperiment(44, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlitchProb != 0.08 {
+		t.Errorf("default glitch prob = %v, want 0.08", res.GlitchProb)
+	}
+}

@@ -1,0 +1,100 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingPolicyStrings(t *testing.T) {
+	names := map[ScalingPolicy]string{
+		ScaleStaticPeak:    "static-peak",
+		ScaleStaticMean:    "static-mean",
+		ScaleSlidingWindow: "sliding-window",
+		ScaleSignature:     "fft-signature",
+		ScalingPolicy(99):  "ScalingPolicy(99)",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// The CloudScale elastic-scaling story on a bursty on/off workload:
+// static-peak wastes, static-mean violates half the time, the scaler with
+// the sliding-window predictor works, and the FFT-signature predictor is
+// strictly better on both axes.
+func TestScalingExperimentStory(t *testing.T) {
+	results, err := ScalingExperiment(DefaultScalingConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[ScalingPolicy]ScalingResult{}
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+	}
+	peak := byPolicy[ScaleStaticPeak]
+	mean := byPolicy[ScaleStaticMean]
+	sliding := byPolicy[ScaleSlidingWindow]
+	sig := byPolicy[ScaleSignature]
+
+	if peak.ViolationRate != 0 {
+		t.Errorf("static-peak violations = %v, want 0", peak.ViolationRate)
+	}
+	if peak.Efficiency > 0.7 {
+		t.Errorf("static-peak efficiency = %v, want wasteful (< 0.7)", peak.Efficiency)
+	}
+	if mean.ViolationRate < 0.4 {
+		t.Errorf("static-mean violations = %v, want ~0.5", mean.ViolationRate)
+	}
+	if sliding.ViolationRate > 0.12 {
+		t.Errorf("sliding-window violations = %v, want < 0.12", sliding.ViolationRate)
+	}
+	if sig.ViolationRate > sliding.ViolationRate {
+		t.Errorf("signature violations %v should not exceed sliding-window %v",
+			sig.ViolationRate, sliding.ViolationRate)
+	}
+	if sig.MeanReservation >= sliding.MeanReservation {
+		t.Errorf("signature reservation %v should undercut sliding-window %v",
+			sig.MeanReservation, sliding.MeanReservation)
+	}
+	if sig.Efficiency <= peak.Efficiency {
+		t.Error("signature efficiency should beat static-peak")
+	}
+}
+
+func TestScalingDefaultsAndRender(t *testing.T) {
+	cfg := DefaultScalingConfig(1)
+	cfg.Duration = 0 // exercise the default
+	results, err := ScalingExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("policies = %d, want 4", len(results))
+	}
+	s := RenderScaling(results)
+	for _, frag := range []string{"policy", "static-peak", "fft-signature", "efficiency"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+// Sine workloads are gentle enough that both adaptive policies behave.
+func TestScalingSineWorkload(t *testing.T) {
+	cfg := DefaultScalingConfig(9)
+	cfg.Square = false
+	cfg.Duration = 300
+	results, err := ScalingExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Policy == ScaleSlidingWindow || r.Policy == ScaleSignature {
+			if r.ViolationRate > 0.2 {
+				t.Errorf("%v violations = %v on a sine, want small", r.Policy, r.ViolationRate)
+			}
+		}
+	}
+}

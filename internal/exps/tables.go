@@ -1,0 +1,66 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"virtover/internal/monitor"
+	"virtover/internal/workload"
+)
+
+// RenderTableI delegates to the monitor package's capability matrix.
+func RenderTableI() string { return monitor.RenderTableI() }
+
+// RenderTableII prints the generated-benchmark intensity ladders.
+func RenderTableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: OUR GENERATED BENCHMARKS FOR MEASUREMENT STUDY\n")
+	fmt.Fprintf(&b, "%-24s %s\n", "Workload", "Workload intensity")
+	for _, k := range workload.Kinds() {
+		fmt.Fprintf(&b, "%-24s", fmt.Sprintf("%s-intensive (%s)", k, k.Unit()))
+		for _, lvl := range workload.Levels(k) {
+			fmt.Fprintf(&b, " %8.4g", lvl)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TableIIIRow is one row of the overhead-definition matrix: which intensity
+// workloads exhibit an obvious overhead on which measured metric.
+type TableIIIRow struct {
+	Metric     string
+	Definition string
+	// Marks indicate the workloads (CPU, MEM, IO, BW order) whose results
+	// the paper selected for that metric.
+	Marks [4]bool
+}
+
+// TableIII returns the paper's definition-of-utilization-overhead matrix.
+func TableIII() []TableIIIRow {
+	return []TableIIIRow{
+		{Metric: "CPU", Definition: "|Dom0|+|hypervisor|", Marks: [4]bool{true, false, false, true}},
+		{Metric: "I/O", Definition: "|sum(VM_io)-PM_io|", Marks: [4]bool{false, false, true, false}},
+		{Metric: "BW", Definition: "|sum(VM_bw)-PM_bw|", Marks: [4]bool{false, false, false, true}},
+		{Metric: "MEM", Definition: "|sum(VM_mem)-PM_mem|", Marks: [4]bool{false, true, false, false}},
+	}
+}
+
+// RenderTableIII prints the matrix in the paper's layout.
+func RenderTableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III: DEFINITION OF UTILIZATION OVERHEAD\n")
+	fmt.Fprintf(&b, "%-8s %-24s %-24s\n", "Metrics", "Resource util. overhead", "Intensity workload")
+	fmt.Fprintf(&b, "%-8s %-24s %5s %5s %5s %5s\n", "", "", "CPU", "MEM", "I/O", "BW")
+	for _, r := range TableIII() {
+		mark := func(on bool) string {
+			if on {
+				return "x"
+			}
+			return ""
+		}
+		fmt.Fprintf(&b, "%-8s %-24s %5s %5s %5s %5s\n",
+			r.Metric, r.Definition, mark(r.Marks[0]), mark(r.Marks[1]), mark(r.Marks[2]), mark(r.Marks[3]))
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"virtover/internal/stats"
+)
+
+// StreamAggregator folds an unbounded measurement stream into O(1)-memory
+// summaries per PM and metric: Welford moments plus P² percentile
+// estimators. Long monitoring campaigns (hours of 1 Hz samples) use it
+// instead of retaining the full series.
+type StreamAggregator struct {
+	pms map[string]*pmAgg
+}
+
+// metricAgg summarizes one scalar metric.
+type metricAgg struct {
+	w   stats.Welford
+	p50 *stats.P2Quantile
+	p90 *stats.P2Quantile
+	p99 *stats.P2Quantile
+}
+
+func newMetricAgg() *metricAgg {
+	p50, _ := stats.NewP2Quantile(0.50)
+	p90, _ := stats.NewP2Quantile(0.90)
+	p99, _ := stats.NewP2Quantile(0.99)
+	return &metricAgg{p50: p50, p90: p90, p99: p99}
+}
+
+func (m *metricAgg) add(x float64) {
+	m.w.Add(x)
+	m.p50.Add(x)
+	m.p90.Add(x)
+	m.p99.Add(x)
+}
+
+// MetricSummary is the exported snapshot of one metric's stream.
+type MetricSummary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+func (m *metricAgg) summary() MetricSummary {
+	return MetricSummary{
+		N:    m.w.N(),
+		Mean: m.w.Mean(),
+		Std:  sqrt(m.w.Variance()),
+		Min:  m.w.Min(),
+		Max:  m.w.Max(),
+		P50:  m.p50.Value(),
+		P90:  m.p90.Value(),
+		P99:  m.p99.Value(),
+	}
+}
+
+// sqrt clamps floating-point noise below zero before math.Sqrt.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// pmAgg summarizes one PM's stream.
+type pmAgg struct {
+	pmCPU, pmIO, pmBW, pmMem *metricAgg
+	dom0CPU, hypCPU          *metricAgg
+}
+
+// NewStreamAggregator creates an empty aggregator.
+func NewStreamAggregator() *StreamAggregator {
+	return &StreamAggregator{pms: make(map[string]*pmAgg)}
+}
+
+// Observe folds one measurement into the stream.
+func (a *StreamAggregator) Observe(m Measurement) {
+	agg := a.pms[m.PM]
+	if agg == nil {
+		agg = &pmAgg{
+			pmCPU: newMetricAgg(), pmIO: newMetricAgg(), pmBW: newMetricAgg(), pmMem: newMetricAgg(),
+			dom0CPU: newMetricAgg(), hypCPU: newMetricAgg(),
+		}
+		a.pms[m.PM] = agg
+	}
+	agg.pmCPU.add(m.Host.CPU)
+	agg.pmMem.add(m.Host.Mem)
+	agg.pmIO.add(m.Host.IO)
+	agg.pmBW.add(m.Host.BW)
+	agg.dom0CPU.add(m.Dom0.CPU)
+	agg.hypCPU.add(m.HypervisorCPU)
+}
+
+// ObserveSeries folds a whole series.
+func (a *StreamAggregator) ObserveSeries(series [][]Measurement) {
+	for _, row := range series {
+		for _, m := range row {
+			a.Observe(m)
+		}
+	}
+}
+
+// PMSummary is the per-PM snapshot.
+type PMSummary struct {
+	PM                       string
+	PMCPU, PMMem, PMIO, PMBW MetricSummary
+	Dom0CPU, HypCPU          MetricSummary
+}
+
+// Summary returns per-PM summaries sorted by PM name.
+func (a *StreamAggregator) Summary() []PMSummary {
+	names := make([]string, 0, len(a.pms))
+	for n := range a.pms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]PMSummary, 0, len(names))
+	for _, n := range names {
+		agg := a.pms[n]
+		out = append(out, PMSummary{
+			PM:      n,
+			PMCPU:   agg.pmCPU.summary(),
+			PMMem:   agg.pmMem.summary(),
+			PMIO:    agg.pmIO.summary(),
+			PMBW:    agg.pmBW.summary(),
+			Dom0CPU: agg.dom0CPU.summary(),
+			HypCPU:  agg.hypCPU.summary(),
+		})
+	}
+	return out
+}
+
+// Render prints the summaries as a table.
+func (a *StreamAggregator) Render() string {
+	var b strings.Builder
+	for _, s := range a.Summary() {
+		fmt.Fprintf(&b, "%s (%d samples)\n", s.PM, s.PMCPU.N)
+		row := func(name, unit string, m MetricSummary) {
+			fmt.Fprintf(&b, "  %-10s mean %9.2f  std %8.2f  p50 %9.2f  p90 %9.2f  p99 %9.2f  [%s]\n",
+				name, m.Mean, m.Std, m.P50, m.P90, m.P99, unit)
+		}
+		row("pm cpu", "%", s.PMCPU)
+		row("pm mem", "MB", s.PMMem)
+		row("pm io", "blk/s", s.PMIO)
+		row("pm bw", "Kb/s", s.PMBW)
+		row("dom0 cpu", "%", s.Dom0CPU)
+		row("hyp cpu", "%", s.HypCPU)
+	}
+	return b.String()
+}

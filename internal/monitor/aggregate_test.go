@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+func TestStreamAggregatorBasics(t *testing.T) {
+	a := NewStreamAggregator()
+	for i := 0; i < 100; i++ {
+		a.Observe(Measurement{
+			PM:            "pm1",
+			Host:          units.V(float64(i), 500, 20, 100),
+			Dom0:          units.V(17, 300, 0, 0),
+			HypervisorCPU: 3,
+		})
+	}
+	sums := a.Summary()
+	if len(sums) != 1 || sums[0].PM != "pm1" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	s := sums[0]
+	if s.PMCPU.N != 100 {
+		t.Errorf("N = %d", s.PMCPU.N)
+	}
+	if math.Abs(s.PMCPU.Mean-49.5) > 1e-9 {
+		t.Errorf("mean = %v, want 49.5", s.PMCPU.Mean)
+	}
+	if s.PMCPU.Min != 0 || s.PMCPU.Max != 99 {
+		t.Errorf("extremes = %v/%v", s.PMCPU.Min, s.PMCPU.Max)
+	}
+	// P90 of 0..99 is ~90.
+	if math.Abs(s.PMCPU.P90-90) > 4 {
+		t.Errorf("p90 = %v, want ~90", s.PMCPU.P90)
+	}
+	if math.Abs(s.Dom0CPU.Mean-17) > 1e-9 {
+		t.Errorf("dom0 mean = %v", s.Dom0CPU.Mean)
+	}
+}
+
+func TestStreamAggregatorMultiplePMsSorted(t *testing.T) {
+	a := NewStreamAggregator()
+	a.Observe(Measurement{PM: "zeta", Host: units.V(1, 1, 1, 1)})
+	a.Observe(Measurement{PM: "alpha", Host: units.V(2, 2, 2, 2)})
+	sums := a.Summary()
+	if len(sums) != 2 || sums[0].PM != "alpha" || sums[1].PM != "zeta" {
+		t.Errorf("order = %v, %v", sums[0].PM, sums[1].PM)
+	}
+}
+
+func TestStreamAggregatorMatchesBatchAverage(t *testing.T) {
+	// Feed a real measured series both ways: streaming means must equal
+	// the batch Average.
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "v", 512)
+	vm.SetSource(xen.SourceFunc(func(float64) xen.Demand { return xen.Demand{CPU: 40, IOBlocks: 10} }))
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), 5)
+	sc := Script{IntervalSteps: 1, Samples: 60, Noise: DefaultNoise(), Seed: 6}
+	series, err := sc.Run(e, []*xen.PM{pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Average(series)[0]
+	agg := NewStreamAggregator()
+	agg.ObserveSeries(series)
+	s := agg.Summary()[0]
+	if math.Abs(s.PMCPU.Mean-batch.Host.CPU) > 1e-9 {
+		t.Errorf("streaming mean %v vs batch %v", s.PMCPU.Mean, batch.Host.CPU)
+	}
+	if math.Abs(s.PMIO.Mean-batch.Host.IO) > 1e-9 {
+		t.Errorf("streaming IO mean %v vs batch %v", s.PMIO.Mean, batch.Host.IO)
+	}
+}
+
+func TestStreamAggregatorRender(t *testing.T) {
+	a := NewStreamAggregator()
+	a.Observe(Measurement{PM: "pm1", Host: units.V(10, 500, 5, 50), Dom0: units.V(17, 300, 0, 0), HypervisorCPU: 3})
+	out := a.Render()
+	for _, frag := range []string{"pm1 (1 samples)", "pm cpu", "dom0 cpu", "p99"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

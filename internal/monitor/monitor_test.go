@@ -1,0 +1,276 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+func testEngine(nVM int, d xen.Demand, noise float64) (*xen.Engine, *xen.PM) {
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	for i := 0; i < nVM; i++ {
+		vm := cl.AddVM(pm, "vm"+string(rune('a'+i)), 512)
+		vm.SetSource(xen.SourceFunc(func(float64) xen.Demand { return d }))
+	}
+	calib := xen.DefaultCalibration()
+	calib.ProcessNoiseRel = noise
+	return xen.NewEngine(cl, calib, 7), pm
+}
+
+func TestXentopReadsAllDomains(t *testing.T) {
+	e, pm := testEngine(2, xen.Demand{CPU: 50}, 0)
+	e.Advance(1)
+	x := NewXentop(NoNoise(), 1)
+	rows := x.Read(e.Snapshot(pm))
+	if len(rows) != 3 {
+		t.Fatalf("xentop rows = %d, want 3 (Dom0 + 2 guests)", len(rows))
+	}
+	byName := map[string]DomainReading{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if _, ok := byName["Domain-0"]; !ok {
+		t.Error("xentop must report Domain-0")
+	}
+	if r := byName["vma"]; math.Abs(r.CPU-50.4) > 1 {
+		t.Errorf("guest CPU = %v, want ~50.4", r.CPU)
+	}
+}
+
+func TestTopReadsMemoryInsideVM(t *testing.T) {
+	e, pm := testEngine(1, xen.Demand{MemMB: 50}, 0)
+	e.Advance(1)
+	top := NewTop(NoNoise(), 1)
+	s := e.Snapshot(pm)
+	r, ok := top.ReadVM(s, "vma")
+	if !ok {
+		t.Fatal("ReadVM failed for existing VM")
+	}
+	if math.Abs(r.Mem-110) > 1 { // 60 base + 50 workload
+		t.Errorf("VM mem = %v, want ~110", r.Mem)
+	}
+	if _, ok := top.ReadVM(s, "ghost"); ok {
+		t.Error("ReadVM should fail for unknown VM")
+	}
+	if m := top.ReadDom0Mem(s); math.Abs(m-300) > 1 {
+		t.Errorf("Dom0 mem = %v, want ~300", m)
+	}
+}
+
+func TestMpstatVmstatIfconfig(t *testing.T) {
+	e, pm := testEngine(1, xen.Demand{IOBlocks: 46, Flows: []xen.Flow{{Kbps: 640}}}, 0)
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	if got := NewMpstat(NoNoise(), 1).ReadHypervisorCPU(s); math.Abs(got-s.HypervisorCPU) > 1e-9 {
+		t.Errorf("mpstat = %v, want %v", got, s.HypervisorCPU)
+	}
+	if got := NewVmstat(NoNoise(), 1).ReadHostIO(s); math.Abs(got-s.Host.IO) > 1e-9 {
+		t.Errorf("vmstat = %v, want %v", got, s.Host.IO)
+	}
+	if got := NewIfconfig(NoNoise(), 1).ReadHostBW(s); math.Abs(got-s.Host.BW) > 1e-9 {
+		t.Errorf("ifconfig = %v, want %v", got, s.Host.BW)
+	}
+}
+
+func TestToolNoiseIsUnbiased(t *testing.T) {
+	e, pm := testEngine(1, xen.Demand{CPU: 50}, 0)
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	x := NewXentop(DefaultNoise(), 5)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		for _, r := range x.Read(s) {
+			if r.Name == "vma" {
+				sum += r.CPU
+			}
+		}
+	}
+	truth := s.VMs["vma"].CPU
+	if mean := sum / n; math.Abs(mean-truth) > 0.1 {
+		t.Errorf("noisy xentop mean = %v, want ~%v", mean, truth)
+	}
+}
+
+func TestNegativeReadingsClamped(t *testing.T) {
+	e, pm := testEngine(1, xen.Demand{}, 0) // idle VM, tiny utilizations
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	noisy := NoiseProfile{XentopCPUAbs: 50} // huge noise forces negatives
+	x := NewXentop(noisy, 3)
+	for i := 0; i < 200; i++ {
+		for _, r := range x.Read(s) {
+			if r.CPU < 0 {
+				t.Fatal("tool reported negative CPU")
+			}
+		}
+	}
+}
+
+func TestScriptRunAndAverage(t *testing.T) {
+	e, pm := testEngine(2, xen.Demand{CPU: 60, IOBlocks: 27}, 0.008)
+	sc := DefaultScript(11)
+	series, err := sc.Run(e, []*xen.PM{pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 120 {
+		t.Fatalf("samples = %d, want 120 (1 Hz x 2 min)", len(series))
+	}
+	avg := Average(series)
+	if len(avg) != 1 {
+		t.Fatalf("averaged PMs = %d, want 1", len(avg))
+	}
+	m := avg[0]
+	if m.PM != "pm1" {
+		t.Errorf("PM name = %q", m.PM)
+	}
+	if len(m.VMs) != 2 {
+		t.Fatalf("averaged VMs = %d, want 2", len(m.VMs))
+	}
+	// Averaging beats single-sample noise: mean guest CPU near 60.4.
+	for name, v := range m.VMs {
+		if math.Abs(v.CPU-60.6) > 1.5 {
+			t.Errorf("averaged %s CPU = %v, want ~60.6", name, v.CPU)
+		}
+	}
+	// Indirect PM CPU = Dom0 + hyp + guests.
+	want := m.Dom0.CPU + m.HypervisorCPU + m.GuestSum().CPU
+	if math.Abs(m.Host.CPU-want) > 1e-9 {
+		t.Errorf("PM CPU = %v, want indirect sum %v", m.Host.CPU, want)
+	}
+	// Estimated PM memory = Dom0 + guests.
+	wantMem := m.Dom0.Mem + m.GuestSum().Mem
+	if math.Abs(m.Host.Mem-wantMem) > 1e-9 {
+		t.Errorf("PM mem = %v, want %v", m.Host.Mem, wantMem)
+	}
+}
+
+func TestScriptValidation(t *testing.T) {
+	e, pm := testEngine(1, xen.Demand{}, 0)
+	if _, err := (Script{IntervalSteps: 0, Samples: 10}).Run(e, []*xen.PM{pm}); err == nil {
+		t.Error("IntervalSteps=0 should fail")
+	}
+	if _, err := (Script{IntervalSteps: 1, Samples: 0}).Run(e, []*xen.PM{pm}); err == nil {
+		t.Error("Samples=0 should fail")
+	}
+}
+
+func TestScriptDeterministic(t *testing.T) {
+	run := func() Measurement {
+		e, pm := testEngine(1, xen.Demand{CPU: 30}, 0.008)
+		sc := Script{IntervalSteps: 1, Samples: 30, Noise: DefaultNoise(), Seed: 42}
+		series, err := sc.Run(e, []*xen.PM{pm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Average(series)[0]
+	}
+	a, b := run(), run()
+	if a.Dom0 != b.Dom0 || a.Host != b.Host {
+		t.Error("same seeds must reproduce identical measurements")
+	}
+}
+
+func TestAverageEmpty(t *testing.T) {
+	if got := Average(nil); got != nil {
+		t.Errorf("Average(nil) = %v, want nil", got)
+	}
+}
+
+func TestMeasurementGuestSum(t *testing.T) {
+	m := Measurement{VMs: map[string]units.Vector{
+		"a": units.V(10, 100, 5, 50),
+		"b": units.V(20, 200, 10, 100),
+	}}
+	if got, want := m.GuestSum(), units.V(30, 300, 15, 150); got != want {
+		t.Errorf("GuestSum = %v, want %v", got, want)
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 {
+		t.Fatalf("Table I rows = %d, want 5", len(rows))
+	}
+	byTool := map[string]ToolRow{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	// Spot-check the published cells.
+	x := byTool["xentop"]
+	if x.VM[0] != YesInScript || x.VM[1] != No || x.Dom0[3] != YesInScript || x.PM[0] != No {
+		t.Errorf("xentop row wrong: %+v", x)
+	}
+	top := byTool["top"]
+	if top.VM[1] != YesInsideVMUsed || top.Dom0[1] != YesInScript {
+		t.Errorf("top row wrong: %+v", top)
+	}
+	mp := byTool["mpstat"]
+	if mp.PM[0] != YesInScript || mp.VM[0] != YesInsideVM {
+		t.Errorf("mpstat row wrong: %+v", mp)
+	}
+	ifc := byTool["ifconfig"]
+	if ifc.PM[3] != YesInScript || ifc.VM[3] != YesInsideVM {
+		t.Errorf("ifconfig row wrong: %+v", ifc)
+	}
+	vm := byTool["vmstat"]
+	if vm.PM[2] != YesInScript || vm.Dom0[1] != Yes {
+		t.Errorf("vmstat row wrong: %+v", vm)
+	}
+	// No single tool covers all 12 metrics — the paper's motivation for
+	// the script.
+	for _, r := range rows {
+		all := true
+		for i := 0; i < 4; i++ {
+			if !r.VM[i].Can() || !r.Dom0[i].Can() || !r.PM[i].Can() {
+				all = false
+			}
+		}
+		if all {
+			t.Errorf("tool %s claims full coverage; contradicts Section III-A", r.Tool)
+		}
+	}
+	// Every metric the script needs is covered by some tool.
+	for i := 0; i < 4; i++ {
+		vmCov, dom0Cov := false, false
+		for _, r := range rows {
+			vmCov = vmCov || r.VM[i].UsedByScript()
+			dom0Cov = dom0Cov || r.Dom0[i].UsedByScript()
+		}
+		if !vmCov {
+			t.Errorf("no scripted tool covers VM metric %d", i)
+		}
+		if !dom0Cov && i != 2 && i != 3 {
+			t.Errorf("no scripted tool covers Dom0 metric %d", i)
+		}
+	}
+}
+
+func TestCapabilityStrings(t *testing.T) {
+	want := map[Capability]string{No: "-", Yes: "Y", YesInScript: "Y+", YesInsideVM: "Y*", YesInsideVMUsed: "Y*+"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Capability %d = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if No.Can() || !YesInsideVM.Can() {
+		t.Error("Can() wrong")
+	}
+	if Yes.UsedByScript() || !YesInScript.UsedByScript() || !YesInsideVMUsed.UsedByScript() {
+		t.Error("UsedByScript() wrong")
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	s := RenderTableI()
+	for _, frag := range []string{"xentop", "mpstat", "ifconfig", "vmstat", "top", "Y: can"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("RenderTableI missing %q", frag)
+		}
+	}
+}

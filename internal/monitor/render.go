@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"virtover/internal/xen"
+)
+
+// This file renders tool readings in the textual formats of the real
+// utilities, so traces and debug sessions look like the screens the
+// paper's authors watched. Only the columns relevant to the study are
+// emitted.
+
+// RenderXentop formats a set of domain readings like the xentop screen:
+// one row per domain with CPU%, network and block-I/O columns.
+func RenderXentop(rows []DomainReading, t float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xentop - %8.1fs\n", t)
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s\n", "NAME", "CPU(%)", "NETTX(kbps)", "VBD_RD+WR(blk/s)")
+	sorted := append([]DomainReading(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		// Domain-0 first, then guests by name, like the real tool's
+		// default sort.
+		if sorted[i].Name == "Domain-0" {
+			return true
+		}
+		if sorted[j].Name == "Domain-0" {
+			return false
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-16s %8.1f %12.1f %12.1f\n", r.Name, r.CPU, r.BW, r.IO)
+	}
+	return b.String()
+}
+
+// RenderTop formats a top reading the way the `top` summary header shows
+// CPU and memory inside a guest.
+func RenderTop(vm string, r TopReading, memCapMB float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "top - guest %s\n", vm)
+	fmt.Fprintf(&b, "%%Cpu(s): %5.1f us\n", r.CPU)
+	used := r.Mem
+	free := memCapMB - used
+	if free < 0 {
+		free = 0
+	}
+	fmt.Fprintf(&b, "MiB Mem : %8.1f total, %8.1f free, %8.1f used\n", memCapMB, free, used)
+	return b.String()
+}
+
+// RenderMpstat formats a hypervisor CPU reading like an mpstat line.
+func RenderMpstat(hypCPU float64, t float64) string {
+	idle := 100 - hypCPU
+	if idle < 0 {
+		idle = 0
+	}
+	return fmt.Sprintf("%8.1fs  all  %%sys %6.2f  %%idle %6.2f\n", t, hypCPU, idle)
+}
+
+// RenderVmstat formats a host I/O reading like vmstat's io columns.
+func RenderVmstat(hostIOBlocks float64) string {
+	// vmstat splits bi/bo; the study sums them, so render an even split.
+	return fmt.Sprintf("io: bi %8.1f  bo %8.1f  (blocks/s)\n", hostIOBlocks/2, hostIOBlocks/2)
+}
+
+// RenderIfconfig formats a host bandwidth reading like an ifconfig
+// byte-counter delta over one second.
+func RenderIfconfig(hostBWKbps float64) string {
+	bytesPerSec := hostBWKbps * 1000 / 8
+	return fmt.Sprintf("eth0: RX+TX bytes delta %12.0f (%.2f Kb/s)\n", bytesPerSec, hostBWKbps)
+}
+
+// RenderSnapshotScreens renders all five tool screens for one measured PM
+// — a synchronized "terminal view" of what the paper's script collects.
+func RenderSnapshotScreens(e *xen.Engine, pm *xen.PM, noise NoiseProfile, seed int64) string {
+	snap := e.Snapshot(pm)
+	var b strings.Builder
+	x := NewXentop(noise, seed+1)
+	b.WriteString(RenderXentop(x.Read(snap), snap.Time))
+	top := NewTop(noise, seed+2)
+	names := make([]string, 0, len(snap.VMs))
+	for n := range snap.VMs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r, _ := top.ReadVM(snap, n)
+		var capMB float64 = 0
+		for _, vm := range pm.VMs {
+			if vm.Name == n {
+				capMB = vm.MemCapMB
+			}
+		}
+		b.WriteString(RenderTop(n, r, capMB))
+	}
+	b.WriteString(RenderMpstat(NewMpstat(noise, seed+3).ReadHypervisorCPU(snap), snap.Time))
+	b.WriteString(RenderVmstat(NewVmstat(noise, seed+4).ReadHostIO(snap)))
+	b.WriteString(RenderIfconfig(NewIfconfig(noise, seed+5).ReadHostBW(snap)))
+	return b.String()
+}

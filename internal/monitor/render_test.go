@@ -1,0 +1,87 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"virtover/internal/xen"
+)
+
+func TestRenderXentopOrderAndColumns(t *testing.T) {
+	rows := []DomainReading{
+		{Name: "zeta", CPU: 10, IO: 5, BW: 100},
+		{Name: "Domain-0", CPU: 17, IO: 0, BW: 0},
+		{Name: "alpha", CPU: 20, IO: 2, BW: 50},
+	}
+	s := RenderXentop(rows, 42)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want header x2 + 3 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "Domain-0") {
+		t.Errorf("Domain-0 must sort first, got %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.HasPrefix(lines[4], "zeta") {
+		t.Errorf("guests must sort by name: %q / %q", lines[3], lines[4])
+	}
+	for _, frag := range []string{"CPU(%)", "NETTX", "VBD"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing column %q", frag)
+		}
+	}
+	// Must not mutate the caller's slice order.
+	if rows[0].Name != "zeta" {
+		t.Error("RenderXentop mutated input")
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	s := RenderTop("web", TopReading{CPU: 42.5, Mem: 180}, 256)
+	for _, frag := range []string{"guest web", "42.5", "256.0 total", "180.0 used", "76.0 free"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("RenderTop missing %q in:\n%s", frag, s)
+		}
+	}
+	// Over-capacity readings must not show negative free memory.
+	s2 := RenderTop("web", TopReading{Mem: 300}, 256)
+	for _, line := range strings.Split(s2, "\n") {
+		if strings.Contains(line, "Mem") && strings.Contains(line, "-") {
+			t.Errorf("negative free memory rendered: %s", line)
+		}
+	}
+}
+
+func TestRenderMpstatVmstatIfconfig(t *testing.T) {
+	if s := RenderMpstat(3.5, 10); !strings.Contains(s, "3.50") || !strings.Contains(s, "96.50") {
+		t.Errorf("mpstat render: %q", s)
+	}
+	if s := RenderMpstat(150, 10); strings.Contains(s, "-") {
+		t.Errorf("mpstat idle must clamp at 0: %q", s)
+	}
+	if s := RenderVmstat(30); !strings.Contains(s, "15.0") {
+		t.Errorf("vmstat render: %q", s)
+	}
+	// 2.032 Kb/s = 254 bytes/s.
+	if s := RenderIfconfig(2.032); !strings.Contains(s, "254") {
+		t.Errorf("ifconfig render: %q", s)
+	}
+}
+
+func TestRenderSnapshotScreens(t *testing.T) {
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "guest", 512)
+	vm.SetSource(xen.SourceFunc(func(float64) xen.Demand {
+		return xen.Demand{CPU: 30, IOBlocks: 10, Flows: []xen.Flow{{Kbps: 100}}}
+	}))
+	calib := xen.DefaultCalibration()
+	calib.ProcessNoiseRel = 0
+	e := xen.NewEngine(cl, calib, 1)
+	e.Advance(2)
+	s := RenderSnapshotScreens(e, pm, NoNoise(), 7)
+	for _, frag := range []string{"xentop", "Domain-0", "guest", "top - guest guest", "all", "io: bi", "eth0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("screens missing %q in:\n%s", frag, s)
+		}
+	}
+}

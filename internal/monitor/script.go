@@ -1,0 +1,200 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+// Measurement is one synchronized multi-tool reading of a PM, assembled the
+// way the paper's shell script assembles it (Section III-A/C):
+//
+//   - guest CPU/IO/BW from xentop in Dom0;
+//   - guest memory from top inside each VM;
+//   - Dom0 CPU/IO/BW from xentop, Dom0 memory from top in Dom0;
+//   - hypervisor CPU from mpstat;
+//   - host IO from vmstat, host BW from ifconfig;
+//   - host CPU computed as Dom0 + hypervisor + sum of guests;
+//   - host memory estimated as Dom0 + sum of guests.
+type Measurement struct {
+	Time float64
+	PM   string
+
+	VMs           map[string]units.Vector
+	Dom0          units.Vector
+	HypervisorCPU float64
+	Host          units.Vector
+}
+
+// GuestNames returns the measured guests' names in sorted order.
+func (m Measurement) GuestNames() []string {
+	names := make([]string, 0, len(m.VMs))
+	for n := range m.VMs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GuestList returns the guest readings in sorted-name order. Use this
+// instead of ranging over the VMs map wherever the result feeds float
+// accumulation: a fixed order keeps results bit-reproducible.
+func (m Measurement) GuestList() []units.Vector {
+	names := m.GuestNames()
+	out := make([]units.Vector, len(names))
+	for i, n := range names {
+		out[i] = m.VMs[n]
+	}
+	return out
+}
+
+// GuestSum returns the componentwise sum of guest readings (sorted-name
+// accumulation order, so the sum is bit-reproducible).
+func (m Measurement) GuestSum() units.Vector {
+	var t units.Vector
+	for _, v := range m.GuestList() {
+		t = t.Add(v)
+	}
+	return t
+}
+
+// Script is the measurement orchestrator: it invokes every tool once per
+// interval against a live engine and records synchronized measurements,
+// then reports per-PM averages, exactly like the paper's "script that
+// incorporates different tools ... for automatic and synchronized execution
+// of measurements" with tunable interval and inspection time.
+type Script struct {
+	// IntervalSteps is the number of engine steps between samples (the
+	// paper samples every second with 1-second steps, i.e. 1).
+	IntervalSteps int
+	// Samples is the number of samples to take (the paper takes 120: every
+	// second for 2 minutes).
+	Samples int
+	// Noise configures the tools' measurement noise.
+	Noise NoiseProfile
+	// Seed derives each tool's noise stream.
+	Seed int64
+}
+
+// DefaultScript mirrors the paper's 1 Hz x 120 s campaign.
+func DefaultScript(seed int64) Script {
+	return Script{IntervalSteps: 1, Samples: 120, Noise: DefaultNoise(), Seed: seed}
+}
+
+// instruments bundles one tool set per monitored PM.
+type instruments struct {
+	xentop   *Xentop
+	top      *Top
+	mpstat   *Mpstat
+	vmstat   *Vmstat
+	ifconfig *Ifconfig
+}
+
+// Run drives the engine and measures the given PMs. It returns the raw
+// per-sample series (outer index: sample, inner: PM order as passed) and
+// advances the engine Samples*IntervalSteps steps.
+func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
+	if sc.IntervalSteps <= 0 {
+		return nil, fmt.Errorf("monitor: IntervalSteps must be positive, got %d", sc.IntervalSteps)
+	}
+	if sc.Samples <= 0 {
+		return nil, fmt.Errorf("monitor: Samples must be positive, got %d", sc.Samples)
+	}
+	ins := make([]instruments, len(pms))
+	for i := range pms {
+		base := sc.Seed + int64(i)*1000
+		ins[i] = instruments{
+			xentop:   NewXentop(sc.Noise, base+1),
+			top:      NewTop(sc.Noise, base+2),
+			mpstat:   NewMpstat(sc.Noise, base+3),
+			vmstat:   NewVmstat(sc.Noise, base+4),
+			ifconfig: NewIfconfig(sc.Noise, base+5),
+		}
+	}
+	series := make([][]Measurement, 0, sc.Samples)
+	for s := 0; s < sc.Samples; s++ {
+		e.Advance(sc.IntervalSteps)
+		row := make([]Measurement, len(pms))
+		for i, pm := range pms {
+			row[i] = measureOnce(e, pm, ins[i])
+		}
+		series = append(series, row)
+	}
+	return series, nil
+}
+
+// measureOnce performs one synchronized multi-tool reading.
+func measureOnce(e *xen.Engine, pm *xen.PM, in instruments) Measurement {
+	snap := e.Snapshot(pm)
+	m := Measurement{Time: snap.Time, PM: pm.Name, VMs: make(map[string]units.Vector, len(snap.VMs))}
+
+	// xentop: per-domain CPU/IO/BW.
+	var dom0 DomainReading
+	guests := make(map[string]DomainReading, len(snap.VMs))
+	for _, r := range in.xentop.Read(snap) {
+		if r.Name == "Domain-0" {
+			dom0 = r
+		} else {
+			guests[r.Name] = r
+		}
+	}
+	// top inside each VM: memory (and CPU, unused — xentop's CPU is kept,
+	// as in the paper's script). Sorted order keeps noise streams
+	// deterministic.
+	for _, name := range sortedVMNames(snap) {
+		tr, _ := in.top.ReadVM(snap, name)
+		g := guests[name]
+		m.VMs[name] = units.V(g.CPU, tr.Mem, g.IO, g.BW)
+	}
+	m.Dom0 = units.V(dom0.CPU, in.top.ReadDom0Mem(snap), dom0.IO, dom0.BW)
+	m.HypervisorCPU = in.mpstat.ReadHypervisorCPU(snap)
+
+	hostIO := in.vmstat.ReadHostIO(snap)
+	hostBW := in.ifconfig.ReadHostBW(snap)
+	guestSum := m.GuestSum()
+	m.Host = units.V(
+		m.Dom0.CPU+m.HypervisorCPU+guestSum.CPU, // indirect PM CPU
+		m.Dom0.Mem+guestSum.Mem,                 // estimated PM memory
+		hostIO,
+		hostBW,
+	)
+	return m
+}
+
+// Average collapses a per-sample series (as returned by Run) into one mean
+// Measurement per PM, which is what the paper reports for each experiment
+// ("we finally report the average of these 120 measurements").
+func Average(series [][]Measurement) []Measurement {
+	if len(series) == 0 {
+		return nil
+	}
+	nPM := len(series[0])
+	out := make([]Measurement, nPM)
+	for p := 0; p < nPM; p++ {
+		acc := Measurement{
+			PM:  series[0][p].PM,
+			VMs: make(map[string]units.Vector),
+		}
+		for _, row := range series {
+			m := row[p]
+			acc.Time = m.Time
+			acc.Dom0 = acc.Dom0.Add(m.Dom0)
+			acc.HypervisorCPU += m.HypervisorCPU
+			acc.Host = acc.Host.Add(m.Host)
+			for name, v := range m.VMs {
+				acc.VMs[name] = acc.VMs[name].Add(v)
+			}
+		}
+		k := 1 / float64(len(series))
+		acc.Dom0 = acc.Dom0.Scale(k)
+		acc.HypervisorCPU *= k
+		acc.Host = acc.Host.Scale(k)
+		for name, v := range acc.VMs {
+			acc.VMs[name] = v.Scale(k)
+		}
+		out[p] = acc
+	}
+	return out
+}

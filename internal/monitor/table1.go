@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Capability encodes one cell of Table I: whether a tool can measure a
+// metric, and with what caveat.
+type Capability int
+
+// Capability values, matching Table I's legend: "Y: can, -: cannot,
+// *: need to run inside the VM, +: included in our script".
+const (
+	No              Capability = iota // "-"
+	Yes                               // "Y"
+	YesInScript                       // "Y+"
+	YesInsideVM                       // "Y*"
+	YesInsideVMUsed                   // "Y*+"
+)
+
+// String renders the Table I cell notation.
+func (c Capability) String() string {
+	switch c {
+	case Yes:
+		return "Y"
+	case YesInScript:
+		return "Y+"
+	case YesInsideVM:
+		return "Y*"
+	case YesInsideVMUsed:
+		return "Y*+"
+	default:
+		return "-"
+	}
+}
+
+// Can reports whether the tool can measure the metric at all.
+func (c Capability) Can() bool { return c != No }
+
+// UsedByScript reports whether the paper's script (and ours) uses this
+// tool for this metric.
+func (c Capability) UsedByScript() bool {
+	return c == YesInScript || c == YesInsideVMUsed
+}
+
+// ToolRow is one row of Table I: a tool and its 12 capability cells
+// (VM cpu/mem/io/bw, Dom0 cpu/mem/io/bw, PM-or-hypervisor cpu/mem/io/bw).
+type ToolRow struct {
+	Tool string
+	VM   [4]Capability
+	Dom0 [4]Capability
+	PM   [4]Capability
+}
+
+// TableI returns the measurement-tool feature matrix exactly as published.
+func TableI() []ToolRow {
+	return []ToolRow{
+		{
+			Tool: "xentop",
+			VM:   [4]Capability{YesInScript, No, YesInScript, YesInScript},
+			Dom0: [4]Capability{YesInScript, No, YesInScript, YesInScript},
+			PM:   [4]Capability{No, No, No, No},
+		},
+		{
+			Tool: "top",
+			VM:   [4]Capability{YesInsideVM, YesInsideVMUsed, No, No},
+			Dom0: [4]Capability{Yes, YesInScript, No, No},
+			PM:   [4]Capability{No, No, No, No},
+		},
+		{
+			Tool: "mpstat",
+			VM:   [4]Capability{YesInsideVM, No, No, No},
+			Dom0: [4]Capability{No, No, No, No},
+			PM:   [4]Capability{YesInScript, No, No, No},
+		},
+		{
+			Tool: "ifconfig",
+			VM:   [4]Capability{No, No, No, YesInsideVM},
+			Dom0: [4]Capability{No, No, No, No},
+			PM:   [4]Capability{No, No, No, YesInScript},
+		},
+		{
+			Tool: "vmstat",
+			VM:   [4]Capability{YesInsideVM, YesInsideVM, YesInsideVM, No},
+			Dom0: [4]Capability{No, Yes, No, No},
+			PM:   [4]Capability{Yes, No, YesInScript, No},
+		},
+	}
+}
+
+// RenderTableI prints the feature matrix in the paper's layout.
+func RenderTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: FEATURES OF MEASUREMENT TOOLS\n")
+	fmt.Fprintf(&b, "%-10s %-20s %-20s %-20s\n", "tool", "VM", "Dom0", "PM/hypervisor")
+	fmt.Fprintf(&b, "%-10s %-20s %-20s %-20s\n", "", "cpu mem io  bw", "cpu mem io  bw", "cpu mem io  bw")
+	for _, row := range TableI() {
+		cells := func(c [4]Capability) string {
+			return fmt.Sprintf("%-3s %-3s %-3s %-3s", c[0], c[1], c[2], c[3])
+		}
+		fmt.Fprintf(&b, "%-10s %-20s %-20s %-20s\n", row.Tool, cells(row.VM), cells(row.Dom0), cells(row.PM))
+	}
+	b.WriteString("Y: can, -: cannot, *: need to run inside the VM, +: included in our script\n")
+	return b.String()
+}

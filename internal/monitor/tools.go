@@ -1,0 +1,221 @@
+// Package monitor emulates the measurement method of Section III-A: the
+// Xen-associated tools of Table I (xentop, top, mpstat, vmstat, ifconfig),
+// each with its real capability envelope and characteristic measurement
+// noise, plus the shell-script orchestrator that runs them concurrently and
+// synchronously at a fixed interval and averages the samples.
+//
+// The estimation model is trained on what these tools *report*, not on
+// simulator ground truth, reproducing the paper's indirect-measurement
+// pipeline (e.g. PM CPU is never measured directly; it is the sum of Dom0,
+// hypervisor and guest readings, and PM memory is the sum of Dom0 and guest
+// memory).
+package monitor
+
+import (
+	"sort"
+
+	"virtover/internal/simrand"
+	"virtover/internal/xen"
+)
+
+// NoiseProfile holds the per-tool measurement-noise standard deviations.
+// CPU noise is absolute (% points); IO/BW/Mem noise is relative.
+type NoiseProfile struct {
+	XentopCPUAbs  float64 // xentop's %CPU readings
+	XentopIORel   float64 // xentop's blocks/s readings
+	XentopBWRel   float64 // xentop's Kb/s readings
+	TopMemRel     float64 // top's resident-memory readings inside a VM
+	TopCPUAbs     float64 // top's %CPU readings
+	MpstatCPUAbs  float64 // mpstat's hypervisor %CPU
+	VmstatIORel   float64 // vmstat's host blocks/s
+	IfconfigBWRel float64 // ifconfig's host byte counters
+
+	// OutlierProb injects tool glitches: with this per-reading probability
+	// a value is multiplied by OutlierMul (real xentop/top occasionally
+	// report absurd spikes when a sampling interval straddles a scheduling
+	// boundary). Zero disables injection. These glitches are what makes
+	// robust regression (the paper's least median of squares [24]) matter;
+	// see the robustness ablation benchmark.
+	OutlierProb float64
+	// OutlierMul is the glitch multiplier (values <= 0 are treated as 5
+	// when OutlierProb > 0).
+	OutlierMul float64
+}
+
+// spike applies outlier injection to a reading.
+func (n NoiseProfile) spike(rng *simrand.Source, x float64) float64 {
+	if n.OutlierProb <= 0 || !rng.Bernoulli(n.OutlierProb) {
+		return x
+	}
+	mul := n.OutlierMul
+	if mul <= 0 {
+		mul = 5
+	}
+	return x * mul
+}
+
+// DefaultNoise reflects the jitter observed from the real tools at 1 Hz
+// sampling.
+func DefaultNoise() NoiseProfile {
+	return NoiseProfile{
+		XentopCPUAbs:  0.25,
+		XentopIORel:   0.02,
+		XentopBWRel:   0.01,
+		TopMemRel:     0.005,
+		TopCPUAbs:     0.3,
+		MpstatCPUAbs:  0.1,
+		VmstatIORel:   0.03,
+		IfconfigBWRel: 0.005,
+	}
+}
+
+// NoNoise disables measurement noise (unit tests, ablations).
+func NoNoise() NoiseProfile { return NoiseProfile{} }
+
+// Xentop emulates `xentop` run in Dom0: per-domain CPU, I/O and network
+// for the guests and Dom0. It cannot see memory usefully (Table I) nor
+// anything hypervisor- or host-level.
+type Xentop struct {
+	Noise NoiseProfile
+	rng   *simrand.Source
+}
+
+// NewXentop returns a xentop emulation with its own noise stream.
+func NewXentop(noise NoiseProfile, seed int64) *Xentop {
+	return &Xentop{Noise: noise, rng: simrand.New(seed)}
+}
+
+// DomainReading is one xentop row.
+type DomainReading struct {
+	Name string
+	CPU  float64 // %VCPU
+	IO   float64 // blocks/s
+	BW   float64 // Kb/s
+}
+
+// Read samples all domains of a PM snapshot: Dom0 first, then guests in
+// sorted name order (a fixed order keeps the noise streams deterministic
+// for a given seed).
+func (x *Xentop) Read(s xen.Snapshot) []DomainReading {
+	out := make([]DomainReading, 0, len(s.VMs)+1)
+	out = append(out, DomainReading{
+		Name: "Domain-0",
+		CPU:  pos(x.Noise.spike(x.rng, x.rng.Normal(s.Dom0.CPU, x.Noise.XentopCPUAbs))),
+		IO:   pos(x.rng.Jitter(s.Dom0.IO, x.Noise.XentopIORel)),
+		BW:   pos(x.rng.Jitter(s.Dom0.BW, x.Noise.XentopBWRel)),
+	})
+	for _, name := range sortedVMNames(s) {
+		v := s.VMs[name]
+		out = append(out, DomainReading{
+			Name: name,
+			CPU:  pos(x.Noise.spike(x.rng, x.rng.Normal(v.CPU, x.Noise.XentopCPUAbs))),
+			IO:   pos(x.rng.Jitter(v.IO, x.Noise.XentopIORel)),
+			BW:   pos(x.rng.Jitter(v.BW, x.Noise.XentopBWRel)),
+		})
+	}
+	return out
+}
+
+// sortedVMNames returns the snapshot's guest names in sorted order.
+func sortedVMNames(s xen.Snapshot) []string {
+	names := make([]string, 0, len(s.VMs))
+	for n := range s.VMs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Top emulates the Linux `top` command run *inside* a guest VM (Table I
+// marks top's VM metrics with "*": it must run in the VM). It reports the
+// guest's memory and CPU.
+type Top struct {
+	Noise NoiseProfile
+	rng   *simrand.Source
+}
+
+// NewTop returns a top emulation.
+func NewTop(noise NoiseProfile, seed int64) *Top {
+	return &Top{Noise: noise, rng: simrand.New(seed)}
+}
+
+// TopReading is what top reports inside one VM.
+type TopReading struct {
+	CPU float64 // %
+	Mem float64 // MB
+}
+
+// ReadVM samples the named VM; ok is false if the snapshot has no such VM.
+func (t *Top) ReadVM(s xen.Snapshot, vm string) (TopReading, bool) {
+	v, ok := s.VMs[vm]
+	if !ok {
+		return TopReading{}, false
+	}
+	return TopReading{
+		CPU: pos(t.rng.Normal(v.CPU, t.Noise.TopCPUAbs)),
+		Mem: pos(t.rng.Jitter(v.Mem, t.Noise.TopMemRel)),
+	}, true
+}
+
+// ReadDom0Mem samples Dom0's memory (top run in Dom0).
+func (t *Top) ReadDom0Mem(s xen.Snapshot) float64 {
+	return pos(t.rng.Jitter(s.Dom0.Mem, t.Noise.TopMemRel))
+}
+
+// Mpstat emulates `mpstat` run against the hypervisor: it reports the
+// hypervisor's CPU (Table I: PM/hypervisor CPU with "+").
+type Mpstat struct {
+	Noise NoiseProfile
+	rng   *simrand.Source
+}
+
+// NewMpstat returns an mpstat emulation.
+func NewMpstat(noise NoiseProfile, seed int64) *Mpstat {
+	return &Mpstat{Noise: noise, rng: simrand.New(seed)}
+}
+
+// ReadHypervisorCPU samples the hypervisor CPU in percent.
+func (m *Mpstat) ReadHypervisorCPU(s xen.Snapshot) float64 {
+	return pos(m.Noise.spike(m.rng, m.rng.Normal(s.HypervisorCPU, m.Noise.MpstatCPUAbs)))
+}
+
+// Vmstat emulates `vmstat` in Dom0 reading host-level disk I/O (Table I:
+// PM I/O with "+").
+type Vmstat struct {
+	Noise NoiseProfile
+	rng   *simrand.Source
+}
+
+// NewVmstat returns a vmstat emulation.
+func NewVmstat(noise NoiseProfile, seed int64) *Vmstat {
+	return &Vmstat{Noise: noise, rng: simrand.New(seed)}
+}
+
+// ReadHostIO samples the PM's disk throughput in blocks/s.
+func (v *Vmstat) ReadHostIO(s xen.Snapshot) float64 {
+	return pos(v.rng.Jitter(s.Host.IO, v.Noise.VmstatIORel))
+}
+
+// Ifconfig emulates `ifconfig` byte-counter deltas in Dom0 reading the
+// physical NIC (Table I: PM BW with "+").
+type Ifconfig struct {
+	Noise NoiseProfile
+	rng   *simrand.Source
+}
+
+// NewIfconfig returns an ifconfig emulation.
+func NewIfconfig(noise NoiseProfile, seed int64) *Ifconfig {
+	return &Ifconfig{Noise: noise, rng: simrand.New(seed)}
+}
+
+// ReadHostBW samples the PM's NIC throughput in Kb/s.
+func (f *Ifconfig) ReadHostBW(s xen.Snapshot) float64 {
+	return pos(f.rng.Jitter(s.Host.BW, f.Noise.IfconfigBWRel))
+}
+
+func pos(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,250 @@
+// Package scenario loads declarative simulation scenarios from JSON:
+// cluster topology (PMs, VMs with configurations) plus per-VM workloads
+// (Table II micro-benchmarks, fixed mixes, or scripted phases). It exists
+// so cmd/xensim users can describe experiments without writing Go.
+//
+// Example:
+//
+//	{
+//	  "seed": 7,
+//	  "duration": 120,
+//	  "pms": [{"name": "pm1"}, {"name": "pm2", "memMB": 4096}],
+//	  "vms": [
+//	    {"name": "web", "pm": "pm1", "memMB": 256,
+//	     "workload": {"kind": "mix", "cpu": 40, "ioBlocks": 10, "bwMbps": 0.5}},
+//	    {"name": "burst", "pm": "pm1", "vcpus": 2,
+//	     "workload": {"kind": "phases", "phases": [
+//	        {"seconds": 60, "cpu": 150}, {"seconds": 60, "cpu": 10}]}},
+//	    {"name": "pinger", "pm": "pm2",
+//	     "workload": {"kind": "bw", "level": 0.64, "target": "web"}}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"virtover/internal/monitor"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// Scenario is a declarative simulation setup.
+type Scenario struct {
+	// Seed drives the simulation and measurement noise.
+	Seed int64 `json:"seed"`
+	// Duration is the measured seconds (default 120).
+	Duration int      `json:"duration"`
+	PMs      []PMSpec `json:"pms"`
+	VMs      []VMSpec `json:"vms"`
+}
+
+// PMSpec declares one physical machine.
+type PMSpec struct {
+	Name  string  `json:"name"`
+	MemMB float64 `json:"memMB"` // default 2048
+}
+
+// VMSpec declares one guest.
+type VMSpec struct {
+	Name     string       `json:"name"`
+	PM       string       `json:"pm"`
+	MemMB    float64      `json:"memMB"`  // default 512
+	VCPUs    int          `json:"vcpus"`  // default 1
+	Weight   float64      `json:"weight"` // default 256
+	Workload WorkloadSpec `json:"workload"`
+}
+
+// WorkloadSpec declares a guest workload.
+//
+// Kinds:
+//   - "cpu", "mem", "io", "bw": a Table II micro-benchmark at Level
+//     (native unit; "bw" accepts Target for intra-PM streams)
+//   - "mix": a constant mixed demand (CPU %, MemMB, IOBlocks, BWMbps)
+//   - "phases": scripted piecewise-constant phases
+//   - "" or "idle": no workload
+type WorkloadSpec struct {
+	Kind   string  `json:"kind"`
+	Level  float64 `json:"level"`
+	Target string  `json:"target"`
+	Jitter float64 `json:"jitter"`
+
+	CPU      float64 `json:"cpu"`
+	MemMB    float64 `json:"memMB"`
+	IOBlocks float64 `json:"ioBlocks"`
+	BWMbps   float64 `json:"bwMbps"`
+
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// PhaseSpec is one phase of a scripted workload.
+type PhaseSpec struct {
+	Seconds  float64 `json:"seconds"`
+	CPU      float64 `json:"cpu"`
+	MemMB    float64 `json:"memMB"`
+	IOBlocks float64 `json:"ioBlocks"`
+	BWMbps   float64 `json:"bwMbps"`
+	Target   string  `json:"target"`
+}
+
+// Parse decodes and validates a scenario.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural consistency.
+func (s *Scenario) Validate() error {
+	if len(s.PMs) == 0 {
+		return fmt.Errorf("scenario: at least one PM is required")
+	}
+	pmNames := map[string]bool{}
+	for i, pm := range s.PMs {
+		if pm.Name == "" {
+			return fmt.Errorf("scenario: pm %d has no name", i)
+		}
+		if pmNames[pm.Name] {
+			return fmt.Errorf("scenario: duplicate PM %q", pm.Name)
+		}
+		pmNames[pm.Name] = true
+	}
+	vmNames := map[string]bool{}
+	for i, vm := range s.VMs {
+		if vm.Name == "" {
+			return fmt.Errorf("scenario: vm %d has no name", i)
+		}
+		if vmNames[vm.Name] {
+			return fmt.Errorf("scenario: duplicate VM %q", vm.Name)
+		}
+		vmNames[vm.Name] = true
+		if !pmNames[vm.PM] {
+			return fmt.Errorf("scenario: vm %q references unknown PM %q", vm.Name, vm.PM)
+		}
+		if err := vm.Workload.validate(vm.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *WorkloadSpec) validate(vm string) error {
+	switch w.Kind {
+	case "", "idle", "mix":
+		return nil
+	case "cpu", "mem", "io", "bw":
+		if w.Level <= 0 {
+			return fmt.Errorf("scenario: vm %q: %s workload needs a positive level", vm, w.Kind)
+		}
+		return nil
+	case "phases":
+		if len(w.Phases) == 0 {
+			return fmt.Errorf("scenario: vm %q: phases workload needs phases", vm)
+		}
+		for i, p := range w.Phases {
+			if p.Seconds <= 0 {
+				return fmt.Errorf("scenario: vm %q phase %d: seconds must be positive", vm, i)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: vm %q: unknown workload kind %q", vm, w.Kind)
+	}
+}
+
+// buildSource constructs the xen.Source for a VM.
+func (w *WorkloadSpec) buildSource(seed int64) xen.Source {
+	opt := workload.Options{JitterRel: w.Jitter, Seed: seed, BWTarget: w.Target}
+	switch w.Kind {
+	case "cpu":
+		return workload.New(workload.CPU, w.Level, opt)
+	case "mem":
+		return workload.New(workload.MEM, w.Level, opt)
+	case "io":
+		return workload.New(workload.IO, w.Level, opt)
+	case "bw":
+		return workload.New(workload.BW, w.Level, opt)
+	case "mix":
+		return workload.Const(xen.Demand{
+			CPU:      w.CPU,
+			MemMB:    w.MemMB,
+			IOBlocks: w.IOBlocks,
+			Flows:    flowsFor(w.BWMbps, w.Target),
+		})
+	case "phases":
+		phases := make([]workload.Phase, len(w.Phases))
+		for i, p := range w.Phases {
+			phases[i] = workload.Phase{
+				Seconds: p.Seconds,
+				Demand: xen.Demand{
+					CPU:      p.CPU,
+					MemMB:    p.MemMB,
+					IOBlocks: p.IOBlocks,
+					Flows:    flowsFor(p.BWMbps, p.Target),
+				},
+			}
+		}
+		return workload.Steps(phases)
+	default:
+		return xen.IdleSource
+	}
+}
+
+func flowsFor(mbps float64, target string) []xen.Flow {
+	if mbps <= 0 {
+		return nil
+	}
+	return []xen.Flow{{DstVM: target, Kbps: units.MbpsToKbps(mbps)}}
+}
+
+// Build constructs the cluster and an engine. PM order follows the spec.
+func (s *Scenario) Build() (*xen.Engine, []*xen.PM, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cl := xen.NewCluster()
+	pms := make([]*xen.PM, len(s.PMs))
+	byName := map[string]*xen.PM{}
+	for i, spec := range s.PMs {
+		pm := cl.AddPM(spec.Name)
+		if spec.MemMB > 0 {
+			pm.MemCapMB = spec.MemMB
+		}
+		pms[i] = pm
+		byName[spec.Name] = pm
+	}
+	for i, spec := range s.VMs {
+		mem := spec.MemMB
+		if mem <= 0 {
+			mem = 512
+		}
+		vm := cl.AddVMConfig(byName[spec.PM], spec.Name, mem, spec.VCPUs, spec.Weight)
+		vm.SetSource(spec.Workload.buildSource(s.Seed + int64(i)*101))
+	}
+	return xen.NewEngine(cl, xen.DefaultCalibration(), s.Seed), pms, nil
+}
+
+// Run builds the scenario and measures every PM with the paper's script
+// for the scenario duration, returning the raw measurement series.
+func (s *Scenario) Run() ([][]monitor.Measurement, error) {
+	e, pms, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	duration := s.Duration
+	if duration <= 0 {
+		duration = 120
+	}
+	script := monitor.Script{
+		IntervalSteps: 1, Samples: duration,
+		Noise: monitor.DefaultNoise(), Seed: s.Seed + 999,
+	}
+	return script.Run(e, pms)
+}

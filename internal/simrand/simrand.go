@@ -1,0 +1,92 @@
+// Package simrand provides the deterministic randomness used by the
+// simulator and experiment harness.
+//
+// All stochastic behaviour in the reproduction — workload jitter, measurement
+// noise injected by the emulated monitoring tools, placement shuffles — flows
+// through a *Source seeded explicitly by the caller, so every experiment is
+// reproducible bit-for-bit given its seed. Nothing in this module reads the
+// wall clock.
+package simrand
+
+import "math/rand"
+
+// Source is a seeded random source with the distributions the simulator
+// needs. It is not safe for concurrent use; give each goroutine its own
+// Source via Split.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child source. The child's stream is a pure
+// function of the parent's state at the time of the call, preserving
+// determinism while decoupling consumption orders.
+func (s *Source) Split() *Source {
+	return New(s.rng.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation. A non-positive sigma returns mean exactly (useful for switching
+// noise off in tests).
+func (s *Source) Normal(mean, sigma float64) float64 {
+	if sigma <= 0 {
+		return mean
+	}
+	return mean + sigma*s.rng.NormFloat64()
+}
+
+// Jitter returns x perturbed by multiplicative Gaussian noise:
+// x * (1 + N(0, rel)). rel <= 0 returns x unchanged.
+func (s *Source) Jitter(x, rel float64) float64 {
+	if rel <= 0 {
+		return x
+	}
+	return x * (1 + rel*s.rng.NormFloat64())
+}
+
+// Uniform returns a uniform sample in [lo, hi). It panics if hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("simrand: Uniform with hi < lo")
+	}
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean. A non-positive mean returns 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}

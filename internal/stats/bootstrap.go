@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+
+	"virtover/internal/simrand"
+)
+
+// CoefCI holds pointwise bootstrap confidence intervals for regression
+// coefficients (intercept first when the fit has one).
+type CoefCI struct {
+	Point []float64 // coefficients of the full-data fit
+	Lo    []float64 // lower confidence bounds
+	Hi    []float64 // upper confidence bounds
+	Conf  float64   // confidence level, e.g. 0.9
+	B     int       // bootstrap replicates
+}
+
+// BootstrapOLS computes percentile bootstrap confidence intervals for OLS
+// coefficients by resampling observations with replacement B times and
+// refitting. conf is the two-sided confidence level in (0,1); B <= 0
+// selects 200 replicates. Replicates whose resample is degenerate (rank
+// deficient) are skipped; an error is returned when fewer than half
+// survive.
+func BootstrapOLS(xs [][]float64, ys []float64, intercept bool, B int, conf float64, seed int64) (*CoefCI, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: BootstrapOLS got %d feature rows and %d targets", len(xs), len(ys))
+	}
+	if conf <= 0 || conf >= 1 {
+		return nil, fmt.Errorf("stats: BootstrapOLS confidence %v out of (0,1)", conf)
+	}
+	if B <= 0 {
+		B = 200
+	}
+	full, err := OLS(xs, ys, intercept)
+	if err != nil {
+		return nil, err
+	}
+	p := len(full.Coef)
+	n := len(xs)
+	rng := simrand.New(seed)
+
+	coefs := make([][]float64, 0, B)
+	rx := make([][]float64, n)
+	ry := make([]float64, n)
+	for b := 0; b < B; b++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			rx[i] = xs[j]
+			ry[i] = ys[j]
+		}
+		fit, err := OLS(rx, ry, intercept)
+		if err != nil {
+			continue
+		}
+		c := make([]float64, p)
+		copy(c, fit.Coef)
+		coefs = append(coefs, c)
+	}
+	if len(coefs) < B/2 {
+		return nil, fmt.Errorf("stats: BootstrapOLS: only %d of %d replicates converged", len(coefs), B)
+	}
+	out := &CoefCI{
+		Point: append([]float64(nil), full.Coef...),
+		Lo:    make([]float64, p),
+		Hi:    make([]float64, p),
+		Conf:  conf,
+		B:     len(coefs),
+	}
+	alpha := (1 - conf) / 2
+	col := make([]float64, len(coefs))
+	for j := 0; j < p; j++ {
+		for i, c := range coefs {
+			col[i] = c[j]
+		}
+		out.Lo[j] = Percentile(col, 100*alpha)
+		out.Hi[j] = Percentile(col, 100*(1-alpha))
+	}
+	return out, nil
+}
+
+// Contains reports whether coefficient j's interval contains v.
+func (ci *CoefCI) Contains(j int, v float64) bool {
+	return v >= ci.Lo[j] && v <= ci.Hi[j]
+}
+
+// Width returns the interval width of coefficient j.
+func (ci *CoefCI) Width(j int) float64 { return ci.Hi[j] - ci.Lo[j] }

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over a sample,
+// matching the prediction-error CDFs of Figures 7-9.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample. The input is copied.
+func NewCDF(sample []float64) *CDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x) as a fraction in [0,1]. An empty CDF returns 0.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Count of samples <= x via binary search for the first element > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with At(v) >= q, for
+// q in (0,1]. It returns 0 for an empty CDF and clamps q.
+func (c *CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q*float64(n)) - 1
+	if float64(idx+1) < q*float64(n) {
+		idx++
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points samples the CDF at k evenly spaced x positions spanning
+// [0, max], producing plottable (x, P(X<=x)·100) pairs like the paper's
+// figures (y axis in percent). k < 2 is treated as 2.
+func (c *CDF) Points(k int) []CDFPoint {
+	if k < 2 {
+		k = 2
+	}
+	var max float64
+	if n := len(c.sorted); n > 0 {
+		max = c.sorted[n-1]
+	}
+	pts := make([]CDFPoint, k)
+	for i := 0; i < k; i++ {
+		x := max * float64(i) / float64(k-1)
+		pts[i] = CDFPoint{X: x, PercentLE: 100 * c.At(x)}
+	}
+	return pts
+}
+
+// CDFPoint is one plotted point of an empirical CDF, with the cumulative
+// probability expressed in percent (the paper's y axis).
+type CDFPoint struct {
+	X         float64
+	PercentLE float64
+}
+
+// Render draws a small textual CDF table, handy for cmd output.
+func (c *CDF) Render(label, xUnit string, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CDF %s (n=%d)\n", label, c.N())
+	for _, p := range c.Points(k) {
+		fmt.Fprintf(&b, "  x=%8.3f%s  P<=x: %6.2f%%\n", p.X, xUnit, p.PercentLE)
+	}
+	return b.String()
+}

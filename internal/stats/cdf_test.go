@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.N() != 4 {
+		t.Fatalf("N = %d, want 4", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.N() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1.0, 40}, {0.9, 40},
+		{0, 10}, {2, 40},
+	}
+	for _, cse := range cases {
+		if got := c.Quantile(cse.q); got != cse.want {
+			t.Errorf("Quantile(%v) = %v, want %v", cse.q, got, cse.want)
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 100
+	if got := c.At(3); math.Abs(got-1) > 1e-12 {
+		t.Error("CDF must copy its input")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[4].X != 4 {
+		t.Errorf("Points span = [%v,%v], want [0,4]", pts[0].X, pts[4].X)
+	}
+	if pts[4].PercentLE != 100 {
+		t.Errorf("last point percent = %v, want 100", pts[4].PercentLE)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PercentLE < pts[i-1].PercentLE {
+			t.Errorf("CDF points not monotone at %d", i)
+		}
+	}
+	if got := c.Points(1); len(got) != 2 {
+		t.Errorf("Points(1) should clamp to 2, got %d", len(got))
+	}
+}
+
+func TestCDFRender(t *testing.T) {
+	c := NewCDF([]float64{1, 2})
+	s := c.Render("errors", "%", 3)
+	if !strings.Contains(s, "errors") || !strings.Contains(s, "n=2") {
+		t.Errorf("Render missing label/count: %q", s)
+	}
+}
+
+// Property: At is monotone and Quantile inverts At within sample resolution.
+func TestQuickCDFMonotoneAndInverse(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(60)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.Float64() * 10
+			}
+			args[0] = reflect.ValueOf(xs)
+			args[1] = reflect.ValueOf(r.Float64() * 12)
+			args[2] = reflect.ValueOf(r.Float64() * 12)
+		},
+	}
+	f := func(xs []float64, x1, x2 float64) bool {
+		c := NewCDF(xs)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if c.At(x1) > c.At(x2) {
+			return false
+		}
+		// Quantile(q) returns a value v with At(v) >= q.
+		for _, q := range []float64{0.1, 0.5, 0.9, 1.0} {
+			if c.At(c.Quantile(q)) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

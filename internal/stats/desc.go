@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := make([]float64, n)
+	copy(c, xs)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. xs is not modified. It returns 0
+// for an empty slice and clamps p to [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := make([]float64, n)
+	copy(c, xs)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := pos - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0,0) for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+// Mismatched lengths are truncated to the shorter.
+func MAE(pred, actual []float64) float64 {
+	n := len(pred)
+	if len(actual) < n {
+		n = len(actual)
+	}
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Abs(pred[i] - actual[i])
+	}
+	return s / float64(n)
+}
+
+// RMSEOf returns the root-mean-squared error between predictions and
+// targets, truncated to the shorter length.
+func RMSEOf(pred, actual []float64) float64 {
+	n := len(pred)
+	if len(actual) < n {
+		n = len(actual)
+	}
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// RelativeErrors returns |pred-actual|/actual for each pair, the paper's
+// prediction-error metric |p-m|/m (Section VI-A). Pairs whose actual value
+// has magnitude below eps are skipped, mirroring the paper's observation
+// that small denominators blow the metric up.
+func RelativeErrors(pred, actual []float64, eps float64) []float64 {
+	n := len(pred)
+	if len(actual) < n {
+		n = len(actual)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(actual[i]) < eps {
+			continue
+		}
+		out = append(out, math.Abs(pred[i]-actual[i])/math.Abs(actual[i]))
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty Median = %v, want 0", got)
+	}
+	// Must not mutate input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {90, 46},
+		{-5, 10}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty Percentile = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("singleton Percentile = %v, want 7", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("empty MinMax = (%v,%v), want (0,0)", min, max)
+	}
+}
+
+func TestMAEAndRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{2, 2, 1}
+	if got := MAE(pred, act); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if got := RMSEOf(pred, act); math.Abs(got-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(5/3)", got)
+	}
+	if MAE(nil, nil) != 0 || RMSEOf(nil, nil) != 0 {
+		t.Error("empty error metrics should be 0")
+	}
+	// Truncation to the shorter input.
+	if got := MAE([]float64{1, 100}, []float64{2}); got != 1 {
+		t.Errorf("truncated MAE = %v, want 1", got)
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	pred := []float64{110, 55, 10}
+	act := []float64{100, 50, 0}
+	got := RelativeErrors(pred, act, 1e-9)
+	want := []float64{0.1, 0.1}
+	if len(got) != len(want) {
+		t.Fatalf("RelativeErrors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("RelativeErrors[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(50)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.NormFloat64() * 10
+			}
+			args[0] = reflect.ValueOf(xs)
+			args[1] = reflect.ValueOf(r.Float64() * 100)
+			args[2] = reflect.ValueOf(r.Float64() * 100)
+		},
+	}
+	f := func(xs []float64, p1, p2 float64) bool {
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := MinMax(xs)
+		a, b := Percentile(xs, p1), Percentile(xs, p2)
+		return a <= b+1e-12 && a >= lo-1e-12 && b <= hi+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the median is the 50th percentile.
+func TestQuickMedianIsP50(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(40)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.NormFloat64()
+			}
+			args[0] = reflect.ValueOf(xs)
+		},
+	}
+	f := func(xs []float64) bool {
+		m := Median(xs)
+		p := Percentile(xs, 50)
+		// For even lengths the two conventions can differ by the gap between
+		// central order statistics; both must lie between them.
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		lo := s[(len(s)-1)/2]
+		hi := s[len(s)/2]
+		return m >= lo-1e-12 && m <= hi+1e-12 && p >= lo-1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+
+	"virtover/internal/simrand"
+)
+
+// LMSOptions configures the least-median-of-squares search.
+type LMSOptions struct {
+	// Subsamples is the number of random elemental p-subsets to try
+	// (Rousseeuw's PROGRESS resampling scheme). Zero selects a default that
+	// gives >99% probability of at least one outlier-free subset at 30%
+	// contamination for p<=5.
+	Subsamples int
+	// Refine, when true, polishes the best candidate with one OLS fit on the
+	// half of observations with the smallest residuals (a standard
+	// reweighted step that recovers efficiency).
+	Refine bool
+	// Seed drives the deterministic subset sampling.
+	Seed int64
+}
+
+// LMS fits y ≈ X·beta by least median of squares (Rousseeuw 1984), the
+// robust regression the paper cites as its fitting method [24]. LMS
+// tolerates up to 50% contaminated observations — useful because the
+// emulated monitors occasionally report outlier samples, just as real
+// xentop/top do under load.
+//
+// The exact LMS estimator is combinatorial; like the original PROGRESS
+// program we approximate it by drawing random elemental subsets of size p
+// (the number of coefficients), solving each exactly, and keeping the
+// candidate minimizing the median of squared residuals.
+func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: LMS got %d feature rows and %d targets", len(xs), len(ys))
+	}
+	x, err := designMatrix(xs, intercept)
+	if err != nil {
+		return nil, err
+	}
+	n, p := x.Rows, x.Cols
+	if n < p {
+		return nil, fmt.Errorf("stats: LMS needs at least %d observations, got %d", p, n)
+	}
+	trials := opt.Subsamples
+	if trials <= 0 {
+		trials = 500
+	}
+	rng := simrand.New(opt.Seed)
+
+	bestObj := -1.0
+	var bestBeta []float64
+	res2 := make([]float64, n)
+
+	sub := NewMatrix(p, p)
+	rhs := make([]float64, p)
+
+	for trial := 0; trial < trials; trial++ {
+		// Draw p distinct row indices.
+		idx := samplePDistinct(rng, n, p)
+		for i, r := range idx {
+			copy(sub.Data[i*p:(i+1)*p], x.Data[r*p:(r+1)*p])
+			rhs[i] = ys[r]
+		}
+		beta, err := SolveLinear(sub, rhs)
+		if err != nil {
+			continue // degenerate subset; skip
+		}
+		// Median of squared residuals over all observations.
+		for i := 0; i < n; i++ {
+			var pred float64
+			row := x.Data[i*p : (i+1)*p]
+			for j, v := range row {
+				pred += v * beta[j]
+			}
+			r := ys[i] - pred
+			res2[i] = r * r
+		}
+		obj := Median(res2)
+		if bestObj < 0 || obj < bestObj {
+			bestObj = obj
+			bestBeta = append(bestBeta[:0], beta...)
+		}
+	}
+	if bestBeta == nil {
+		return nil, fmt.Errorf("stats: LMS found no non-degenerate subset in %d trials", trials)
+	}
+
+	f := &Fit{Coef: bestBeta, Intercept: intercept}
+	residualDiagnostics(f, xs, ys)
+
+	if opt.Refine {
+		refined, err := lmsRefine(xs, ys, intercept, f)
+		if err == nil {
+			return refined, nil
+		}
+	}
+	return f, nil
+}
+
+// lmsRefine does one reweighted-least-squares step: keep the ceil(n/2)+1
+// observations with the smallest absolute residuals under the LMS candidate
+// and OLS-fit on them.
+func lmsRefine(xs [][]float64, ys []float64, intercept bool, cand *Fit) (*Fit, error) {
+	n := len(ys)
+	type resIdx struct {
+		r2 float64
+		i  int
+	}
+	rs := make([]resIdx, n)
+	for i, x := range xs {
+		pred, err := cand.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		d := ys[i] - pred
+		rs[i] = resIdx{d * d, i}
+	}
+	// Selection by partial sort.
+	keep := n/2 + 1
+	p := len(cand.Coef)
+	if keep < p {
+		keep = p
+	}
+	if keep > n {
+		keep = n
+	}
+	// Simple insertion-style selection is fine at these sizes.
+	for i := 0; i < keep; i++ {
+		minJ := i
+		for j := i + 1; j < n; j++ {
+			if rs[j].r2 < rs[minJ].r2 {
+				minJ = j
+			}
+		}
+		rs[i], rs[minJ] = rs[minJ], rs[i]
+	}
+	subX := make([][]float64, keep)
+	subY := make([]float64, keep)
+	for i := 0; i < keep; i++ {
+		subX[i] = xs[rs[i].i]
+		subY[i] = ys[rs[i].i]
+	}
+	f, err := OLS(subX, subY, intercept)
+	if err != nil {
+		return nil, err
+	}
+	// Report diagnostics against the full training set, not the kept half.
+	f.RSS, f.TSS, f.R2, f.MedianSqR = 0, 0, 0, 0
+	residualDiagnostics(f, xs, ys)
+	return f, nil
+}
+
+func samplePDistinct(rng *simrand.Source, n, p int) []int {
+	idx := make([]int, 0, p)
+	seen := make(map[int]bool, p)
+	for len(idx) < p {
+		c := rng.Intn(n)
+		if !seen[c] {
+			seen[c] = true
+			idx = append(idx, c)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLMSCleanDataMatchesOLS(t *testing.T) {
+	xs, ys := genLinearData(100, []float64{2, -1}, 5, 0, 10)
+	f, err := LMS(xs, ys, true, LMSOptions{Subsamples: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -1}
+	for j := range want {
+		if math.Abs(f.Coef[j]-want[j]) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", j, f.Coef[j], want[j])
+		}
+	}
+}
+
+func TestLMSRobustToOutliers(t *testing.T) {
+	// 30% gross outliers destroy OLS but not LMS.
+	xs, ys := genLinearData(200, []float64{3}, 2, 0.1, 11)
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 60; i++ {
+		ys[r.Intn(len(ys))] += 500 + r.Float64()*500
+	}
+	ols, err := OLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := LMS(xs, ys, true, LMSOptions{Subsamples: 800, Seed: 2, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	olsErr := math.Abs(ols.Coef[1] - 3)
+	lmsErr := math.Abs(lms.Coef[1] - 3)
+	if lmsErr > 0.2 {
+		t.Errorf("LMS slope = %v, want ~3 (err %v)", lms.Coef[1], lmsErr)
+	}
+	if lmsErr >= olsErr {
+		t.Errorf("LMS (err %v) should beat OLS (err %v) under contamination", lmsErr, olsErr)
+	}
+}
+
+func TestLMSRefineImprovesEfficiency(t *testing.T) {
+	xs, ys := genLinearData(300, []float64{1.5}, 0, 0.5, 13)
+	raw, err := LMS(xs, ys, false, LMSOptions{Subsamples: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := LMS(xs, ys, false, LMSOptions{Subsamples: 200, Seed: 3, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined fit should not be worse in RSS terms on clean data.
+	if ref.RSS > raw.RSS*1.05 {
+		t.Errorf("refined RSS %v much worse than raw %v", ref.RSS, raw.RSS)
+	}
+}
+
+func TestLMSDeterministicGivenSeed(t *testing.T) {
+	xs, ys := genLinearData(80, []float64{1, 2}, 3, 0.2, 14)
+	a, err := LMS(xs, ys, true, LMSOptions{Subsamples: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LMS(xs, ys, true, LMSOptions{Subsamples: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Coef {
+		if a.Coef[j] != b.Coef[j] {
+			t.Fatalf("same seed produced different fits: %v vs %v", a.Coef, b.Coef)
+		}
+	}
+}
+
+func TestLMSErrors(t *testing.T) {
+	if _, err := LMS(nil, nil, true, LMSOptions{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := LMS([][]float64{{1}}, []float64{1, 2}, true, LMSOptions{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := LMS([][]float64{{1, 2}}, []float64{1}, true, LMSOptions{}); err == nil {
+		t.Error("n < p should fail")
+	}
+}
+
+func TestLMSDefaultSubsamples(t *testing.T) {
+	xs, ys := genLinearData(40, []float64{2}, 1, 0, 15)
+	f, err := LMS(xs, ys, true, LMSOptions{Seed: 4}) // Subsamples = 0 -> default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Coef[1]-2) > 1e-6 {
+		t.Errorf("coef = %v, want 2", f.Coef[1])
+	}
+}
+
+func TestLMSObjectiveBelowOLSUnderContamination(t *testing.T) {
+	xs, ys := genLinearData(150, []float64{4}, 0, 0.1, 16)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		ys[r.Intn(len(ys))] -= 300
+	}
+	ols, _ := OLS(xs, ys, true)
+	lms, err := LMS(xs, ys, true, LMSOptions{Subsamples: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lms.MedianSqR > ols.MedianSqR {
+		t.Errorf("LMS median sq residual %v should be <= OLS %v", lms.MedianSqR, ols.MedianSqR)
+	}
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func genLinearData(n int, coef []float64, intercept float64, noise float64, seed int64) ([][]float64, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(coef))
+		y := intercept
+		for j := range coef {
+			row[j] = r.Float64() * 100
+			y += coef[j] * row[j]
+		}
+		if noise > 0 {
+			y += r.NormFloat64() * noise
+		}
+		xs[i] = row
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+func TestOLSExactRecovery(t *testing.T) {
+	coef := []float64{0.5, -2, 0.01}
+	xs, ys := genLinearData(50, coef, 7, 0, 1)
+	f, err := OLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Coef[0]-7) > 1e-6 {
+		t.Errorf("intercept = %v, want 7", f.Coef[0])
+	}
+	for j, c := range coef {
+		if math.Abs(f.Coef[j+1]-c) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", j, f.Coef[j+1], c)
+		}
+	}
+	if f.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", f.R2)
+	}
+}
+
+func TestOLSNoIntercept(t *testing.T) {
+	xs, ys := genLinearData(30, []float64{3}, 0, 0, 2)
+	f, err := OLS(xs, ys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Coef) != 1 || math.Abs(f.Coef[0]-3) > 1e-6 {
+		t.Errorf("coef = %v, want [3]", f.Coef)
+	}
+}
+
+func TestOLSNoisyStillClose(t *testing.T) {
+	coef := []float64{1.5, 0.25}
+	xs, ys := genLinearData(2000, coef, 10, 1.0, 3)
+	f, err := OLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Coef[0]-10) > 0.5 {
+		t.Errorf("intercept = %v, want ~10", f.Coef[0])
+	}
+	for j, c := range coef {
+		if math.Abs(f.Coef[j+1]-c) > 0.05 {
+			t.Errorf("coef[%d] = %v, want ~%v", j, f.Coef[j+1], c)
+		}
+	}
+	if f.RMSE() > 1.2 {
+		t.Errorf("RMSE = %v, want ~1", f.RMSE())
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil, true); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}, true); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1}, true); err == nil {
+		t.Error("fewer observations than coefficients should fail")
+	}
+	if _, err := OLS([][]float64{{1}, {1, 2}}, []float64{1, 2}, true); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestOLSConstantColumnFallsBackToRidge(t *testing.T) {
+	// A feature that is always zero makes QR rank-deficient; the ridge
+	// fallback should still produce a usable fit.
+	xs := [][]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	ys := []float64{2, 4, 6, 8}
+	f, err := OLS(xs, ys, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := f.Predict([]float64{5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-10) > 0.01 {
+		t.Errorf("prediction = %v, want ~10", pred)
+	}
+}
+
+func TestPredictLengthCheck(t *testing.T) {
+	f := &Fit{Coef: []float64{1, 2}, Intercept: true}
+	if _, err := f.Predict([]float64{1, 2}); err == nil {
+		t.Error("wrong feature length should fail")
+	}
+	y, err := f.Predict([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 7 {
+		t.Errorf("Predict = %v, want 7", y)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	xs, ys := genLinearData(100, []float64{5}, 0, 0, 4)
+	ols, err := Ridge(xs, ys, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Ridge(xs, ys, false, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ols.Coef[0]-5) > 1e-6 {
+		t.Errorf("lambda=0 coef = %v, want 5", ols.Coef[0])
+	}
+	if math.Abs(heavy.Coef[0]) >= math.Abs(ols.Coef[0]) {
+		t.Errorf("large lambda should shrink coefficient: %v vs %v", heavy.Coef[0], ols.Coef[0])
+	}
+}
+
+func TestRidgeNegativeLambdaTreatedAsZero(t *testing.T) {
+	xs, ys := genLinearData(20, []float64{2}, 1, 0, 5)
+	f, err := Ridge(xs, ys, true, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Coef[1]-2) > 1e-6 {
+		t.Errorf("coef = %v, want 2", f.Coef[1])
+	}
+}
+
+func TestRidgeLengthMismatch(t *testing.T) {
+	if _, err := Ridge([][]float64{{1}}, []float64{1, 2}, true, 0.1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// Property: OLS on exact linear data recovers the generating coefficients
+// for random coefficient vectors.
+func TestQuickOLSRecovery(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			p := 1 + r.Intn(4)
+			coef := make([]float64, p)
+			for j := range coef {
+				coef[j] = r.NormFloat64() * 5
+			}
+			args[0] = reflect.ValueOf(coef)
+			args[1] = reflect.ValueOf(r.Int63())
+		},
+	}
+	f := func(coef []float64, seed int64) bool {
+		xs, ys := genLinearData(20+5*len(coef), coef, 3, 0, seed)
+		fit, err := OLS(xs, ys, true)
+		if err != nil {
+			return false
+		}
+		if math.Abs(fit.Coef[0]-3) > 1e-5 {
+			return false
+		}
+		for j, c := range coef {
+			if math.Abs(fit.Coef[j+1]-c) > 1e-5*(1+math.Abs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: training RSS of OLS is never worse than that of the zero model
+// centered at the mean (i.e. R2 >= 0 on the training set).
+func TestQuickOLSR2NonNegative(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(50)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+			ys[i] = r.NormFloat64() * 10 // pure noise
+		}
+		fit, err := OLS(xs, ys, true)
+		if err != nil {
+			return false
+		}
+		return fit.R2 >= -1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile is the P² (P-squared) streaming quantile estimator of Jain &
+// Chlamtac (1985): it tracks a single quantile of an unbounded stream in
+// O(1) memory using five markers whose positions are adjusted with
+// piecewise-parabolic interpolation. Long monitoring sessions use it to
+// report percentiles without retaining every sample.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired positions
+	inc     [5]float64 // desired-position increments
+	init    []float64  // first five observations
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0,1).
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("stats: P2 quantile %v out of (0,1)", p)
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q, nil
+}
+
+// N returns the number of observations ingested.
+func (q *P2Quantile) N() int { return q.n }
+
+// Add ingests one observation.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if q.n <= 5 {
+		q.init = append(q.init, x)
+		if q.n == 5 {
+			sort.Float64s(q.init)
+			copy(q.heights[:], q.init)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+			q.init = nil
+		}
+		return
+	}
+	// Find the cell containing x and update extreme heights.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust the three middle markers.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return q.heights[i] + d*(q.heights[i+di]-q.heights[i])/(q.pos[i+di]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		c := append([]float64(nil), q.init...)
+		sort.Float64s(c)
+		idx := int(q.p * float64(len(c)))
+		if idx >= len(c) {
+			idx = len(c) - 1
+		}
+		return c[idx]
+	}
+	return q.heights[2]
+}
+
+// Welford is a streaming mean/variance accumulator (Welford 1962):
+// numerically stable one-pass moments in O(1) memory.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add ingests one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the observed maximum.
+func (w *Welford) Max() float64 { return w.max }

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2Validation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("p=%v should fail", p)
+		}
+	}
+}
+
+func TestP2AgainstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return r.Float64() * 100 },
+		"normal":      func() float64 { return 50 + 10*r.NormFloat64() },
+		"exponential": func() float64 { return r.ExpFloat64() * 20 },
+	}
+	for name, gen := range dists {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			q, err := NewP2Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			xs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x := gen()
+				xs[i] = x
+				q.Add(x)
+			}
+			exact := Percentile(xs, p*100)
+			got := q.Value()
+			// P2 is approximate; require agreement within a few percent of
+			// the distribution's scale.
+			scale := Percentile(xs, 99) - Percentile(xs, 1)
+			if math.Abs(got-exact) > 0.05*scale {
+				t.Errorf("%s p%.0f: P2 = %v, exact = %v (scale %v)", name, p*100, got, exact, scale)
+			}
+			if q.N() != n {
+				t.Errorf("N = %d, want %d", q.N(), n)
+			}
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	q, _ := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	// Exact fallback below five observations.
+	if got := q.Value(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+}
+
+func TestP2MonotoneMarkers(t *testing.T) {
+	q, _ := NewP2Quantile(0.9)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		q.Add(r.NormFloat64())
+		if q.N() >= 5 {
+			for j := 1; j < 5; j++ {
+				if q.heights[j] < q.heights[j-1]-1e-9 {
+					t.Fatalf("marker heights not monotone at n=%d: %v", q.N(), q.heights)
+				}
+			}
+		}
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("empty Welford should be zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Variance()-4) > 1e-12 {
+		t.Errorf("variance = %v, want 4", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("extremes = %v/%v", w.Min(), w.Max())
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var w Welford
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 1
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("streaming mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("streaming variance %v vs batch %v", w.Variance(), Variance(xs))
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace serializes measurement series to CSV and back, so that
+// measurement campaigns, model fitting and trace-driven prediction can run
+// as separate program invocations (the paper derives its model from traces
+// of the micro-benchmark study and replays RUBiS traces against it).
+//
+// The format is long-form CSV with one row per (sample, domain):
+//
+//	time,pm,domain,cpu,mem,io,bw
+//
+// where domain is a VM name, "Domain-0", "hypervisor" (cpu column only) or
+// "host".
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"virtover/internal/monitor"
+	"virtover/internal/units"
+)
+
+// Domain labels for non-guest rows.
+const (
+	DomainDom0       = "Domain-0"
+	DomainHypervisor = "hypervisor"
+	DomainHost       = "host"
+)
+
+// Write encodes a measurement series (as produced by monitor.Script.Run)
+// to CSV.
+func Write(w io.Writer, series [][]monitor.Measurement) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"time", "pm", "domain", "cpu", "mem", "io", "bw"}); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	row := func(t float64, pm, domain string, v units.Vector) error {
+		return cw.Write([]string{f(t), pm, domain, f(v.CPU), f(v.Mem), f(v.IO), f(v.BW)})
+	}
+	for _, sample := range series {
+		for _, m := range sample {
+			// Deterministic VM order for reproducible files.
+			names := make([]string, 0, len(m.VMs))
+			for n := range m.VMs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if err := row(m.Time, m.PM, n, m.VMs[n]); err != nil {
+					return err
+				}
+			}
+			if err := row(m.Time, m.PM, DomainDom0, m.Dom0); err != nil {
+				return err
+			}
+			if err := row(m.Time, m.PM, DomainHypervisor, units.V(m.HypervisorCPU, 0, 0, 0)); err != nil {
+				return err
+			}
+			if err := row(m.Time, m.PM, DomainHost, m.Host); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read decodes a CSV produced by Write back into a measurement series.
+// Samples are grouped by time value in file order; PMs within a sample by
+// first appearance.
+func Read(r io.Reader) ([][]monitor.Measurement, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != 7 || rows[0][0] != "time" {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	var series [][]monitor.Measurement
+	var curTime float64
+	haveTime := false
+	// index of PM within the current sample
+	var pmIdx map[string]int
+
+	for i, rec := range rows[1:] {
+		if len(rec) != 7 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 7", i+2, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+2, err)
+		}
+		var vals [4]float64
+		for j := 0; j < 4; j++ {
+			vals[j], err = strconv.ParseFloat(rec[3+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", i+2, 3+j, err)
+			}
+		}
+		v := units.V(vals[0], vals[1], vals[2], vals[3])
+		pm, domain := rec[1], rec[2]
+
+		if !haveTime || t != curTime {
+			series = append(series, nil)
+			pmIdx = make(map[string]int)
+			curTime, haveTime = t, true
+		}
+		cur := &series[len(series)-1]
+		idx, ok := pmIdx[pm]
+		if !ok {
+			idx = len(*cur)
+			pmIdx[pm] = idx
+			*cur = append(*cur, monitor.Measurement{Time: t, PM: pm, VMs: make(map[string]units.Vector)})
+		}
+		m := &(*cur)[idx]
+		switch domain {
+		case DomainDom0:
+			m.Dom0 = v
+		case DomainHypervisor:
+			m.HypervisorCPU = v.CPU
+		case DomainHost:
+			m.Host = v
+		default:
+			m.VMs[domain] = v
+		}
+	}
+	return series, nil
+}

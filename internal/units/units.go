@@ -1,0 +1,223 @@
+// Package units defines the resource-utilization quantities used throughout
+// the reproduction of "Profiling and Understanding Virtualization Overhead
+// in Cloud" (ICPP 2015) and a small vector algebra over them.
+//
+// The paper reports four resource metrics per domain (VM, Dom0, hypervisor,
+// PM). We keep the paper's units everywhere:
+//
+//   - CPU: percent of one virtual CPU (%VCPU). Dom0 and VM CPU are in %VCPU,
+//     hypervisor CPU in % of real CPU; the paper folds both into "CPU" and so
+//     do we (Section III-C).
+//   - Mem: megabytes (MB).
+//   - IO:  disk blocks per second (blocks/s).
+//   - BW:  network kilobits per second (Kb/s). Table II lists BW workloads in
+//     Mb/s; helpers convert.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource identifies one of the four measured resource dimensions.
+type Resource int
+
+// The four resource dimensions of the paper, in the order used by the
+// coefficient matrices of Eq. (1)-(3).
+const (
+	CPU Resource = iota
+	Mem
+	IO
+	BW
+	numResources
+)
+
+// NumResources is the number of resource dimensions (4).
+const NumResources = int(numResources)
+
+// Resources lists all resource dimensions in canonical order.
+func Resources() []Resource { return []Resource{CPU, Mem, IO, BW} }
+
+// String returns the conventional short name of the resource.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "cpu"
+	case Mem:
+		return "mem"
+	case IO:
+		return "io"
+	case BW:
+		return "bw"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Unit returns the measurement unit the paper uses for the resource.
+func (r Resource) Unit() string {
+	switch r {
+	case CPU:
+		return "%"
+	case Mem:
+		return "MB"
+	case IO:
+		return "blocks/s"
+	case BW:
+		return "Kb/s"
+	default:
+		return "?"
+	}
+}
+
+// Vector is a utilization sample across the four resource dimensions.
+// The zero value is a valid "idle" sample.
+type Vector struct {
+	CPU float64 // percent of a VCPU
+	Mem float64 // MB
+	IO  float64 // blocks/s
+	BW  float64 // Kb/s
+}
+
+// V is shorthand for constructing a Vector.
+func V(cpu, mem, io, bw float64) Vector { return Vector{CPU: cpu, Mem: mem, IO: io, BW: bw} }
+
+// Get returns the component for resource r.
+func (v Vector) Get(r Resource) float64 {
+	switch r {
+	case CPU:
+		return v.CPU
+	case Mem:
+		return v.Mem
+	case IO:
+		return v.IO
+	case BW:
+		return v.BW
+	default:
+		panic(fmt.Sprintf("units: invalid resource %d", int(r)))
+	}
+}
+
+// Set returns a copy of v with resource r replaced by x.
+func (v Vector) Set(r Resource, x float64) Vector {
+	switch r {
+	case CPU:
+		v.CPU = x
+	case Mem:
+		v.Mem = x
+	case IO:
+		v.IO = x
+	case BW:
+		v.BW = x
+	default:
+		panic(fmt.Sprintf("units: invalid resource %d", int(r)))
+	}
+	return v
+}
+
+// Add returns v + w componentwise.
+func (v Vector) Add(w Vector) Vector {
+	return Vector{v.CPU + w.CPU, v.Mem + w.Mem, v.IO + w.IO, v.BW + w.BW}
+}
+
+// Sub returns v - w componentwise.
+func (v Vector) Sub(w Vector) Vector {
+	return Vector{v.CPU - w.CPU, v.Mem - w.Mem, v.IO - w.IO, v.BW - w.BW}
+}
+
+// Scale returns k*v componentwise.
+func (v Vector) Scale(k float64) Vector {
+	return Vector{k * v.CPU, k * v.Mem, k * v.IO, k * v.BW}
+}
+
+// Max returns the componentwise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	return Vector{math.Max(v.CPU, w.CPU), math.Max(v.Mem, w.Mem), math.Max(v.IO, w.IO), math.Max(v.BW, w.BW)}
+}
+
+// Min returns the componentwise minimum of v and w.
+func (v Vector) Min(w Vector) Vector {
+	return Vector{math.Min(v.CPU, w.CPU), math.Min(v.Mem, w.Mem), math.Min(v.IO, w.IO), math.Min(v.BW, w.BW)}
+}
+
+// ClampNonNegative returns v with negative components replaced by zero.
+// Measured utilizations can dip below zero after noise injection; physical
+// quantities cannot.
+func (v Vector) ClampNonNegative() Vector {
+	return v.Max(Vector{})
+}
+
+// Clamp limits each component of v to [0, cap_i] for the corresponding
+// component of capacity.
+func (v Vector) Clamp(capacity Vector) Vector {
+	return v.ClampNonNegative().Min(capacity)
+}
+
+// Dominates reports whether every component of v is >= the corresponding
+// component of w.
+func (v Vector) Dominates(w Vector) bool {
+	return v.CPU >= w.CPU && v.Mem >= w.Mem && v.IO >= w.IO && v.BW >= w.BW
+}
+
+// FitsWithin reports whether v <= capacity componentwise.
+func (v Vector) FitsWithin(capacity Vector) bool { return capacity.Dominates(v) }
+
+// Slice returns the components in canonical order [CPU, Mem, IO, BW].
+func (v Vector) Slice() []float64 { return []float64{v.CPU, v.Mem, v.IO, v.BW} }
+
+// FromSlice builds a Vector from a canonical-order slice. It panics if the
+// slice does not have exactly NumResources entries.
+func FromSlice(s []float64) Vector {
+	if len(s) != NumResources {
+		panic(fmt.Sprintf("units: FromSlice needs %d entries, got %d", NumResources, len(s)))
+	}
+	return Vector{s[0], s[1], s[2], s[3]}
+}
+
+// Sum adds a set of vectors. Sum() is the zero vector.
+func Sum(vs ...Vector) Vector {
+	var t Vector
+	for _, v := range vs {
+		t = t.Add(v)
+	}
+	return t
+}
+
+// Mean returns the componentwise mean of vs, or the zero vector for an
+// empty slice.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		return Vector{}
+	}
+	return Sum(vs...).Scale(1 / float64(len(vs)))
+}
+
+// String renders the vector with paper units.
+func (v Vector) String() string {
+	return fmt.Sprintf("cpu=%.2f%% mem=%.1fMB io=%.2fblk/s bw=%.2fKb/s", v.CPU, v.Mem, v.IO, v.BW)
+}
+
+// MbpsToKbps converts megabits/s (Table II BW ladder) to Kb/s.
+func MbpsToKbps(mbps float64) float64 { return mbps * 1000 }
+
+// KbpsToMbps converts Kb/s to megabits/s.
+func KbpsToMbps(kbps float64) float64 { return kbps / 1000 }
+
+// BytesPerSecToKbps converts bytes/s (the paper reports some PM BW overheads
+// in bytes/s, e.g. 254 B/s and ~400 B/s) to Kb/s.
+func BytesPerSecToKbps(bps float64) float64 { return bps * 8 / 1000 }
+
+// KbpsToBytesPerSec converts Kb/s to bytes/s.
+func KbpsToBytesPerSec(kbps float64) float64 { return kbps * 1000 / 8 }
+
+// AbsDiff returns |a-b| componentwise.
+func AbsDiff(a, b Vector) Vector {
+	d := a.Sub(b)
+	return Vector{math.Abs(d.CPU), math.Abs(d.Mem), math.Abs(d.IO), math.Abs(d.BW)}
+}
+
+// NearlyEqual reports whether a and b agree within tol on every component.
+func NearlyEqual(a, b Vector, tol float64) bool {
+	d := AbsDiff(a, b)
+	return d.CPU <= tol && d.Mem <= tol && d.IO <= tol && d.BW <= tol
+}

@@ -1,0 +1,267 @@
+package units
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceString(t *testing.T) {
+	cases := map[Resource]string{CPU: "cpu", Mem: "mem", IO: "io", BW: "bw"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Resource(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Resource(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("invalid resource String() = %q, want it to mention 99", got)
+	}
+}
+
+func TestResourceUnit(t *testing.T) {
+	cases := map[Resource]string{CPU: "%", Mem: "MB", IO: "blocks/s", BW: "Kb/s"}
+	for r, want := range cases {
+		if got := r.Unit(); got != want {
+			t.Errorf("%v.Unit() = %q, want %q", r, got, want)
+		}
+	}
+	if got := Resource(99).Unit(); got != "?" {
+		t.Errorf("invalid resource Unit() = %q, want \"?\"", got)
+	}
+}
+
+func TestResourcesOrder(t *testing.T) {
+	rs := Resources()
+	if len(rs) != NumResources {
+		t.Fatalf("Resources() has %d entries, want %d", len(rs), NumResources)
+	}
+	want := []Resource{CPU, Mem, IO, BW}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("Resources()[%d] = %v, want %v", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	v := V(1, 2, 3, 4)
+	for i, r := range Resources() {
+		if got := v.Get(r); got != float64(i+1) {
+			t.Errorf("Get(%v) = %v, want %v", r, got, i+1)
+		}
+		w := v.Set(r, 42)
+		if got := w.Get(r); got != 42 {
+			t.Errorf("Set then Get(%v) = %v, want 42", r, got)
+		}
+		// Set must not mutate the receiver.
+		if got := v.Get(r); got != float64(i+1) {
+			t.Errorf("Set mutated receiver: Get(%v) = %v, want %v", r, got, i+1)
+		}
+	}
+}
+
+func TestGetPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(invalid) did not panic")
+		}
+	}()
+	V(0, 0, 0, 0).Get(Resource(17))
+}
+
+func TestSetPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(invalid) did not panic")
+		}
+	}()
+	V(0, 0, 0, 0).Set(Resource(17), 1)
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := V(10, 20, 30, 40)
+	b := V(1, 2, 3, 4)
+	if got, want := a.Add(b), V(11, 22, 33, 44); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := a.Sub(b), V(9, 18, 27, 36); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := b.Scale(2), V(2, 4, 6, 8); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+}
+
+func TestMaxMinClamp(t *testing.T) {
+	a := V(-1, 5, 10, -2)
+	if got, want := a.ClampNonNegative(), V(0, 5, 10, 0); got != want {
+		t.Errorf("ClampNonNegative = %v, want %v", got, want)
+	}
+	capV := V(4, 4, 4, 4)
+	if got, want := a.Clamp(capV), V(0, 4, 4, 0); got != want {
+		t.Errorf("Clamp = %v, want %v", got, want)
+	}
+	if got, want := a.Max(capV), V(4, 5, 10, 4); got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+	if got, want := a.Min(capV), V(-1, 4, 4, -2); got != want {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+}
+
+func TestDominatesAndFits(t *testing.T) {
+	big := V(10, 10, 10, 10)
+	small := V(1, 1, 1, 1)
+	if !big.Dominates(small) {
+		t.Error("big should dominate small")
+	}
+	if small.Dominates(big) {
+		t.Error("small should not dominate big")
+	}
+	if !small.FitsWithin(big) {
+		t.Error("small should fit within big")
+	}
+	mixed := V(11, 1, 1, 1)
+	if mixed.FitsWithin(big) {
+		t.Error("mixed exceeds CPU capacity, must not fit")
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	v := V(1.5, 2.5, 3.5, 4.5)
+	if got := FromSlice(v.Slice()); got != v {
+		t.Errorf("FromSlice(Slice()) = %v, want %v", got, v)
+	}
+}
+
+func TestFromSlicePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice(len 3) did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3})
+}
+
+func TestSumAndMean(t *testing.T) {
+	if got := Sum(); got != (Vector{}) {
+		t.Errorf("Sum() = %v, want zero", got)
+	}
+	vs := []Vector{V(1, 2, 3, 4), V(3, 2, 1, 0)}
+	if got, want := Sum(vs...), V(4, 4, 4, 4); got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got, want := Mean(vs), V(2, 2, 2, 2); got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := Mean(nil); got != (Vector{}) {
+		t.Errorf("Mean(nil) = %v, want zero", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := MbpsToKbps(1.28); math.Abs(got-1280) > 1e-12 {
+		t.Errorf("MbpsToKbps(1.28) = %v, want 1280", got)
+	}
+	if got := KbpsToMbps(1280); math.Abs(got-1.28) > 1e-12 {
+		t.Errorf("KbpsToMbps(1280) = %v, want 1.28", got)
+	}
+	// 254 bytes/s (Section III-C constant PM BW) = 2.032 Kb/s.
+	if got := BytesPerSecToKbps(254); math.Abs(got-2.032) > 1e-12 {
+		t.Errorf("BytesPerSecToKbps(254) = %v, want 2.032", got)
+	}
+	if got := KbpsToBytesPerSec(2.032); math.Abs(got-254) > 1e-9 {
+		t.Errorf("KbpsToBytesPerSec(2.032) = %v, want 254", got)
+	}
+}
+
+func TestAbsDiffAndNearlyEqual(t *testing.T) {
+	a := V(1, 2, 3, 4)
+	b := V(2, 0, 3, 6)
+	if got, want := AbsDiff(a, b), V(1, 2, 0, 2); got != want {
+		t.Errorf("AbsDiff = %v, want %v", got, want)
+	}
+	if !NearlyEqual(a, b, 2) {
+		t.Error("NearlyEqual tol=2 should hold")
+	}
+	if NearlyEqual(a, b, 1.5) {
+		t.Error("NearlyEqual tol=1.5 should fail (mem diff = 2)")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := V(1, 2, 3, 4).String()
+	for _, frag := range []string{"cpu=1.00%", "mem=2.0MB", "io=3.00blk/s", "bw=4.00Kb/s"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+// quickCfg bounds generated magnitudes to physically plausible utilization
+// ranges so that float arithmetic stays exact enough for the properties.
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(Vector{
+					CPU: r.Float64()*200 - 50,
+					Mem: r.Float64()*4096 - 1024,
+					IO:  r.Float64()*500 - 100,
+					BW:  r.Float64()*2000 - 500,
+				})
+			}
+		},
+	}
+}
+
+// Property: Add is commutative, Sub inverts Add.
+func TestQuickAddProperties(t *testing.T) {
+	comm := func(a, b Vector) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(comm, quickCfg()); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	inv := func(a, b Vector) bool {
+		return NearlyEqual(a.Add(b).Sub(b), a, 1e-6)
+	}
+	if err := quick.Check(inv, quickCfg()); err != nil {
+		t.Errorf("Sub does not invert Add: %v", err)
+	}
+}
+
+// Property: ClampNonNegative yields only non-negative components and is
+// idempotent.
+func TestQuickClampNonNegative(t *testing.T) {
+	f := func(v Vector) bool {
+		c := v.ClampNonNegative()
+		if c.CPU < 0 || c.Mem < 0 || c.IO < 0 || c.BW < 0 {
+			return false
+		}
+		return c.ClampNonNegative() == c
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp result always fits within a non-negative capacity.
+func TestQuickClampFits(t *testing.T) {
+	f := func(v, capV Vector) bool {
+		capV = capV.ClampNonNegative()
+		return v.Clamp(capV).FitsWithin(capV)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slice round trip is exact.
+func TestQuickSliceRoundTrip(t *testing.T) {
+	f := func(v Vector) bool { return FromSlice(v.Slice()) == v }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package viz renders experiment series as ASCII line charts, so the cmd
+// binaries can show the paper's figures directly in a terminal next to the
+// numeric tables.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height of the plot area in characters (defaults 56 x 16).
+	Width, Height int
+	// YLabel and XLabel annotate the axes.
+	YLabel, XLabel string
+	// Title is printed above the chart.
+	Title string
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series into one ASCII chart. Series may have
+// different X grids; the chart spans the union of their ranges. Empty
+// input renders a placeholder.
+func Chart(series []Series, opt Options) string {
+	w := opt.Width
+	if w <= 0 {
+		w = 56
+	}
+	h := opt.Height
+	if h <= 0 {
+		h = 16
+	}
+	var xMin, xMax, yMin, yMax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			if first {
+				xMin, xMax, yMin, yMax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		b.WriteString(opt.Title)
+		b.WriteByte('\n')
+	}
+	if first {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Degenerate ranges plot flat.
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(w-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		// Plot points and connect consecutive points with linear
+		// interpolation across columns.
+		for i := 0; i < n; i++ {
+			grid[rowOf(s.Y[i])][col(s.X[i])] = mark
+			if i == 0 {
+				continue
+			}
+			c0, c1 := col(s.X[i-1]), col(s.X[i])
+			if c1 <= c0+1 {
+				continue
+			}
+			for c := c0 + 1; c < c1; c++ {
+				frac := float64(c-c0) / float64(c1-c0)
+				y := s.Y[i-1] + frac*(s.Y[i]-s.Y[i-1])
+				r := rowOf(y)
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+	// Render with a y-axis gutter.
+	for r := 0; r < h; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", w/2, xMin, w-w/2, xMax)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", opt.XLabel, opt.YLabel)
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}

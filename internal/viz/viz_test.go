@@ -1,0 +1,88 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := Chart([]Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{30, 20, 10, 0}},
+	}, Options{Title: "demo", XLabel: "t", YLabel: "v"})
+	for _, frag := range []string{"demo", "* up", "o down", "x: t   y: v", "+--"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chart missing %q in:\n%s", frag, s)
+		}
+	}
+	// Rising series: its marker appears in the top row (y max) at the
+	// right edge region and bottom row near the left.
+	lines := strings.Split(s, "\n")
+	if !strings.Contains(lines[1], "*") && !strings.Contains(lines[1], "o") {
+		t.Errorf("top row should contain a marker:\n%s", s)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if s := Chart(nil, Options{Title: "none"}); !strings.Contains(s, "(no data)") {
+		t.Errorf("empty chart: %q", s)
+	}
+	if s := Chart([]Series{{Name: "e"}}, Options{}); !strings.Contains(s, "(no data)") {
+		t.Errorf("series without points: %q", s)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := Chart([]Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}, Options{})
+	if !strings.Contains(s, "*") {
+		t.Errorf("flat series should still plot:\n%s", s)
+	}
+	// Single point.
+	s2 := Chart([]Series{{Name: "pt", X: []float64{1}, Y: []float64{1}}}, Options{})
+	if !strings.Contains(s2, "*") {
+		t.Errorf("single point should plot:\n%s", s2)
+	}
+}
+
+func TestChartInterpolation(t *testing.T) {
+	// Two distant points should be connected by '.' fill.
+	s := Chart([]Series{{Name: "seg", X: []float64{0, 100}, Y: []float64{0, 100}}},
+		Options{Width: 40, Height: 10})
+	if !strings.Contains(s, ".") {
+		t.Errorf("expected interpolation dots:\n%s", s)
+	}
+}
+
+func TestChartMismatchedLengths(t *testing.T) {
+	// Y shorter than X: extra X values ignored, no panic.
+	s := Chart([]Series{{Name: "m", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2}}}, Options{})
+	if !strings.Contains(s, "* m") {
+		t.Errorf("legend missing:\n%s", s)
+	}
+}
+
+func TestChartDimensions(t *testing.T) {
+	s := Chart([]Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}},
+		Options{Width: 20, Height: 5})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend = 8.
+	if len(lines) != 8 {
+		t.Errorf("lines = %d, want 8:\n%s", len(lines), s)
+	}
+	// Each plot row: 10-char gutter + " |" + 20 columns.
+	if got := len(lines[0]); got != 12+20 {
+		t.Errorf("row width = %d, want 32: %q", got, lines[0])
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{Name: string(rune('a' + i)), X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}})
+	}
+	s := Chart(series, Options{})
+	// Marker cycle: series 6 reuses '*'.
+	if !strings.Contains(s, "* a") || !strings.Contains(s, "* g") {
+		t.Errorf("marker cycling broken:\n%s", s)
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import "virtover/internal/xen"
+
+// Combine merges several sources into one VM workload: demands are summed
+// componentwise and flows concatenated. Used for mixed workloads (e.g. a
+// RUBiS tier is CPU + BW + some IO simultaneously) and for the placement
+// experiment's "idle VM plus lookbusy 50%" scenarios.
+func Combine(sources ...xen.Source) xen.Source {
+	return xen.SourceFunc(func(t float64) xen.Demand {
+		var out xen.Demand
+		for _, s := range sources {
+			if s == nil {
+				continue
+			}
+			d := s.Demand(t)
+			out.CPU += d.CPU
+			out.MemMB += d.MemMB
+			out.IOBlocks += d.IOBlocks
+			out.Flows = append(out.Flows, d.Flows...)
+		}
+		return out
+	})
+}
+
+// Scale multiplies every demand component of src by k (flows included).
+func Scale(src xen.Source, k float64) xen.Source {
+	return xen.SourceFunc(func(t float64) xen.Demand {
+		d := src.Demand(t)
+		d.CPU *= k
+		d.MemMB *= k
+		d.IOBlocks *= k
+		scaled := make([]xen.Flow, len(d.Flows))
+		for i, f := range d.Flows {
+			scaled[i] = xen.Flow{DstVM: f.DstVM, Kbps: f.Kbps * k}
+		}
+		d.Flows = scaled
+		return d
+	})
+}
+
+// Ramp linearly interpolates the demand of src between factor start and end
+// over [0, duration] seconds, holding the end factor afterwards. The
+// trace-driven evaluation uses this for the 300 -> 700 client ramp.
+func Ramp(src xen.Source, start, end, duration float64) xen.Source {
+	return xen.SourceFunc(func(t float64) xen.Demand {
+		k := end
+		if duration > 0 && t < duration {
+			k = start + (end-start)*t/duration
+		}
+		return Scale(src, k).Demand(t)
+	})
+}
+
+// Const returns a source with a fixed demand.
+func Const(d xen.Demand) xen.Source {
+	return xen.SourceFunc(func(float64) xen.Demand { return d })
+}
+
+// Replay plays back a recorded per-second demand sequence: second t uses
+// demands[floor(t)]. With loop set the sequence repeats; otherwise the VM
+// idles after the last entry. An empty sequence is always idle.
+func Replay(demands []xen.Demand, loop bool) xen.Source {
+	return xen.SourceFunc(func(t float64) xen.Demand {
+		n := len(demands)
+		if n == 0 || t < 0 {
+			return xen.Demand{}
+		}
+		i := int(t)
+		if i >= n {
+			if !loop {
+				return xen.Demand{}
+			}
+			i %= n
+		}
+		return demands[i]
+	})
+}
+
+// Steps builds a piecewise-constant source from (duration, demand) phases:
+// each phase holds its demand for its duration in seconds, then the next
+// phase begins; after the last phase the VM idles. Useful for scripted
+// scenarios ("2 minutes busy, 1 minute idle, ...").
+func Steps(phases []Phase) xen.Source {
+	return xen.SourceFunc(func(t float64) xen.Demand {
+		if t < 0 {
+			return xen.Demand{}
+		}
+		for _, p := range phases {
+			if t < p.Seconds {
+				return p.Demand
+			}
+			t -= p.Seconds
+		}
+		return xen.Demand{}
+	})
+}
+
+// Phase is one segment of a Steps source.
+type Phase struct {
+	Seconds float64
+	Demand  xen.Demand
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"virtover/internal/simrand"
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+// This file models the benchmark tools the paper's related work trains on
+// (Section III-B): httperf and Iperf, plus the Fibonacci-style CPU burner
+// of Wood et al. [21]. The paper's point is that these tools "cannot
+// provide a workload that has high utilization on a sole resource": every
+// knob moves several resources at once, which leaves a regression trained
+// on them poorly conditioned. The isolation ablation experiment
+// (exps.IsolationExperiment) quantifies that claim against the Table II
+// lookbusy/ping ladders.
+
+// HttperfProfile is the per-request resource cost of an httperf-driven web
+// server.
+type HttperfProfile struct {
+	CPUPerReq float64 // %VCPU per req/s
+	KbPerReq  float64 // response Kb per request
+	IOPerReq  float64 // blocks per request (logging, page cache misses)
+	MemMB     float64 // server resident set
+}
+
+// DefaultHttperfProfile reflects a small static-content server.
+func DefaultHttperfProfile() HttperfProfile {
+	return HttperfProfile{CPUPerReq: 0.35, KbPerReq: 6, IOPerReq: 0.05, MemMB: 90}
+}
+
+// Httperf generates the coupled multi-resource load of an httperf run at
+// the given request rate (req/s): CPU, bandwidth and disk I/O all scale
+// with the one knob.
+func Httperf(reqPerSec float64, prof HttperfProfile, opt Options) xen.Source {
+	rng := simrand.New(opt.Seed)
+	return xen.SourceFunc(func(float64) xen.Demand {
+		x := rng.Jitter(reqPerSec, opt.JitterRel)
+		if x < 0 {
+			x = 0
+		}
+		return xen.Demand{
+			CPU:      prof.CPUPerReq * x,
+			MemMB:    prof.MemMB,
+			IOBlocks: prof.IOPerReq * x,
+			Flows:    []xen.Flow{{DstVM: opt.BWTarget, Kbps: prof.KbPerReq * x}},
+		}
+	})
+}
+
+// IperfCPUPerKbps is the sender-side CPU cost of an iperf TCP stream: the
+// generator saturates a socket, so CPU rises with the achieved rate.
+const IperfCPUPerKbps = 0.004
+
+// Iperf generates an iperf-style bulk TCP stream at the given rate with
+// its coupled CPU cost.
+func Iperf(mbps float64, opt Options) xen.Source {
+	rng := simrand.New(opt.Seed)
+	return xen.SourceFunc(func(float64) xen.Demand {
+		kbps := rng.Jitter(units.MbpsToKbps(mbps), opt.JitterRel)
+		if kbps < 0 {
+			kbps = 0
+		}
+		return xen.Demand{
+			CPU:   IperfCPUPerKbps * kbps,
+			MemMB: 15,
+			Flows: []xen.Flow{{DstVM: opt.BWTarget, Kbps: kbps}},
+		}
+	})
+}
+
+// Fibonacci generates the self-developed CPU benchmark of Wood et al.
+// [21]: computing Fibonacci numbers in a loop. Unlike lookbusy it cannot
+// hold a chosen utilization — it burns whatever share of a VCPU the duty
+// cycle allows and touches a growing memory table.
+func Fibonacci(dutyCycle float64, opt Options) xen.Source {
+	if dutyCycle < 0 {
+		dutyCycle = 0
+	}
+	if dutyCycle > 1 {
+		dutyCycle = 1
+	}
+	rng := simrand.New(opt.Seed)
+	return xen.SourceFunc(func(float64) xen.Demand {
+		cpu := rng.Jitter(100*dutyCycle, opt.JitterRel)
+		if cpu < 0 {
+			cpu = 0
+		}
+		return xen.Demand{
+			CPU:   cpu,
+			MemMB: 4 + 30*dutyCycle, // memoization table grows with work
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHttperfCouplesResources(t *testing.T) {
+	prof := DefaultHttperfProfile()
+	d := Httperf(100, prof, Options{}).Demand(0)
+	if math.Abs(d.CPU-35) > 1e-9 {
+		t.Errorf("CPU = %v, want 35", d.CPU)
+	}
+	if math.Abs(d.IOBlocks-5) > 1e-9 {
+		t.Errorf("IO = %v, want 5", d.IOBlocks)
+	}
+	if len(d.Flows) != 1 || math.Abs(d.Flows[0].Kbps-600) > 1e-9 {
+		t.Errorf("flows = %v, want one 600 Kb/s stream", d.Flows)
+	}
+	if d.MemMB != prof.MemMB {
+		t.Errorf("mem = %v, want %v", d.MemMB, prof.MemMB)
+	}
+	// The paper's complaint: no knob isolates a single resource.
+	d2 := Httperf(200, prof, Options{}).Demand(0)
+	if d2.CPU <= d.CPU || d2.IOBlocks <= d.IOBlocks || d2.Flows[0].Kbps <= d.Flows[0].Kbps {
+		t.Error("doubling the rate must raise CPU, IO and BW together")
+	}
+}
+
+func TestIperfCouplesCPUAndBW(t *testing.T) {
+	d := Iperf(1.0, Options{}).Demand(0)
+	if math.Abs(d.Flows[0].Kbps-1000) > 1e-9 {
+		t.Errorf("BW = %v, want 1000", d.Flows[0].Kbps)
+	}
+	if math.Abs(d.CPU-IperfCPUPerKbps*1000) > 1e-9 {
+		t.Errorf("CPU = %v, want %v", d.CPU, IperfCPUPerKbps*1000)
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	d := Fibonacci(0.5, Options{}).Demand(0)
+	if math.Abs(d.CPU-50) > 1e-9 {
+		t.Errorf("CPU = %v, want 50", d.CPU)
+	}
+	if d.MemMB <= 4 {
+		t.Errorf("mem = %v, want table growth beyond the base", d.MemMB)
+	}
+	// Duty cycle clamps.
+	if got := Fibonacci(2, Options{}).Demand(0).CPU; got != 100 {
+		t.Errorf("duty 2 should clamp to 100%%, got %v", got)
+	}
+	if got := Fibonacci(-1, Options{}).Demand(0).CPU; got != 0 {
+		t.Errorf("duty -1 should clamp to 0, got %v", got)
+	}
+}
+
+func TestToolJitterSeeded(t *testing.T) {
+	a := Iperf(0.5, Options{JitterRel: 0.05, Seed: 3})
+	b := Iperf(0.5, Options{JitterRel: 0.05, Seed: 3})
+	for i := 0; i < 20; i++ {
+		if a.Demand(0).Flows[0].Kbps != b.Demand(0).Flows[0].Kbps {
+			t.Fatal("same seed must reproduce jitter")
+		}
+	}
+}
+
+func TestToolBWTarget(t *testing.T) {
+	d := Httperf(10, DefaultHttperfProfile(), Options{BWTarget: "peer"}).Demand(0)
+	if d.Flows[0].DstVM != "peer" {
+		t.Errorf("flow target = %q, want peer", d.Flows[0].DstVM)
+	}
+}

@@ -1,0 +1,148 @@
+// Package workload generates the guest workloads of the paper's measurement
+// study (Section III-B): lookbusy-style single-resource-intensive CPU,
+// memory and disk-I/O loads, a ping-style network-bandwidth load, the
+// five-level intensity ladders of Table II, and composite workloads for the
+// trace-driven evaluation.
+//
+// Each generator implements xen.Source: it is attached to a simulated VM
+// and queried for its resource demand every engine step. Generators apply a
+// small deterministic jitter (real lookbusy does not hold its target
+// perfectly) driven by an explicit seed.
+package workload
+
+import (
+	"fmt"
+
+	"virtover/internal/simrand"
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+// Kind identifies one of the paper's four micro-benchmark families.
+type Kind int
+
+// The four workload families of Table II. The paper drops the "-intensive"
+// suffix in its figures and so do we.
+const (
+	CPU Kind = iota
+	MEM
+	IO
+	BW
+)
+
+// String returns the Table II workload name.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case MEM:
+		return "MEM"
+	case IO:
+		return "IO"
+	case BW:
+		return "BW"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Unit returns the intensity unit of Table II for this workload family.
+func (k Kind) Unit() string {
+	switch k {
+	case CPU:
+		return "%"
+	case MEM:
+		return "Mb"
+	case IO:
+		return "blocks/s"
+	case BW:
+		return "Mb/s"
+	default:
+		return "?"
+	}
+}
+
+// Kinds lists all workload families in Table II order.
+func Kinds() []Kind { return []Kind{CPU, MEM, IO, BW} }
+
+// Levels returns the five Table II intensity levels for a workload family,
+// in the family's native unit.
+func Levels(k Kind) []float64 {
+	switch k {
+	case CPU:
+		return []float64{1, 30, 60, 90, 99}
+	case MEM:
+		return []float64{0.03, 5, 10, 20, 50}
+	case IO:
+		return []float64{15, 19, 27, 46, 72}
+	case BW:
+		return []float64{0.001, 0.16, 0.32, 0.64, 1.28}
+	default:
+		return nil
+	}
+}
+
+// Options tunes generator realism.
+type Options struct {
+	// JitterRel is the relative standard deviation of the per-step demand
+	// jitter. Zero disables jitter (exact targets).
+	JitterRel float64
+	// Seed drives the jitter stream.
+	Seed int64
+	// BWTarget names the destination VM for BW workloads; empty targets an
+	// external host (the paper's inter-PM ping; Fig. 5 uses a co-located
+	// VM name instead).
+	BWTarget string
+}
+
+// gen is the common generator implementation.
+type gen struct {
+	kind  Kind
+	level float64 // native Table II unit
+	opt   Options
+	rng   *simrand.Source
+}
+
+// New creates a generator for the given family at the given intensity
+// (Table II native units: CPU %, MEM Mb, IO blocks/s, BW Mb/s).
+func New(kind Kind, level float64, opt Options) xen.Source {
+	return &gen{kind: kind, level: level, opt: opt, rng: simrand.New(opt.Seed)}
+}
+
+// NewLevel creates a generator at Table II ladder position idx (0..4).
+// It panics on an out-of-range index.
+func NewLevel(kind Kind, idx int, opt Options) xen.Source {
+	levels := Levels(kind)
+	if idx < 0 || idx >= len(levels) {
+		panic(fmt.Sprintf("workload: level index %d out of range for %v", idx, kind))
+	}
+	return New(kind, levels[idx], opt)
+}
+
+// Demand implements xen.Source.
+func (g *gen) Demand(float64) xen.Demand {
+	j := func(x float64) float64 {
+		v := g.rng.Jitter(x, g.opt.JitterRel)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	switch g.kind {
+	case CPU:
+		// lookbusy --cpu-util: spins to hold the target utilization.
+		return xen.Demand{CPU: j(g.level)}
+	case MEM:
+		// lookbusy --mem-util: holds an allocation and touches it; CPU cost
+		// of touching is negligible at Table II sizes.
+		return xen.Demand{MemMB: j(g.level)}
+	case IO:
+		// lookbusy --disk-util: streams blocks through the virtual disk.
+		return xen.Demand{IOBlocks: j(g.level)}
+	case BW:
+		// ping -s with large payloads towards BWTarget at the target rate.
+		return xen.Demand{Flows: []xen.Flow{{DstVM: g.opt.BWTarget, Kbps: j(units.MbpsToKbps(g.level))}}}
+	default:
+		return xen.Demand{}
+	}
+}

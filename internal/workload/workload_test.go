@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+func TestTableIILadders(t *testing.T) {
+	want := map[Kind][]float64{
+		CPU: {1, 30, 60, 90, 99},
+		MEM: {0.03, 5, 10, 20, 50},
+		IO:  {15, 19, 27, 46, 72},
+		BW:  {0.001, 0.16, 0.32, 0.64, 1.28},
+	}
+	for k, levels := range want {
+		got := Levels(k)
+		if len(got) != 5 {
+			t.Fatalf("%v ladder has %d levels, want 5 (Table II)", k, len(got))
+		}
+		for i := range levels {
+			if got[i] != levels[i] {
+				t.Errorf("%v ladder[%d] = %v, want %v", k, i, got[i], levels[i])
+			}
+		}
+	}
+	if Levels(Kind(9)) != nil {
+		t.Error("invalid kind should have nil ladder")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{CPU: "CPU", MEM: "MEM", IO: "IO", BW: "BW"}
+	for k, n := range names {
+		if k.String() != n {
+			t.Errorf("String() = %q, want %q", k.String(), n)
+		}
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("invalid kind String should mention the value")
+	}
+	unitWant := map[Kind]string{CPU: "%", MEM: "Mb", IO: "blocks/s", BW: "Mb/s"}
+	for k, u := range unitWant {
+		if k.Unit() != u {
+			t.Errorf("%v.Unit() = %q, want %q", k, k.Unit(), u)
+		}
+	}
+	if Kind(7).Unit() != "?" {
+		t.Error("invalid kind Unit should be ?")
+	}
+	if len(Kinds()) != 4 {
+		t.Error("Kinds() should list 4 families")
+	}
+}
+
+func TestCPUGenerator(t *testing.T) {
+	g := New(CPU, 60, Options{})
+	d := g.Demand(0)
+	if d.CPU != 60 || d.MemMB != 0 || d.IOBlocks != 0 || len(d.Flows) != 0 {
+		t.Errorf("CPU generator demand = %+v, want pure 60%% CPU", d)
+	}
+}
+
+func TestMEMGenerator(t *testing.T) {
+	d := New(MEM, 20, Options{}).Demand(0)
+	if d.MemMB != 20 || d.CPU != 0 {
+		t.Errorf("MEM generator demand = %+v, want pure 20 MB", d)
+	}
+}
+
+func TestIOGenerator(t *testing.T) {
+	d := New(IO, 46, Options{}).Demand(0)
+	if d.IOBlocks != 46 || d.CPU != 0 {
+		t.Errorf("IO generator demand = %+v, want pure 46 blocks/s", d)
+	}
+}
+
+func TestBWGeneratorUnits(t *testing.T) {
+	d := New(BW, 1.28, Options{BWTarget: "peer"}).Demand(0)
+	if len(d.Flows) != 1 {
+		t.Fatalf("BW generator flows = %v, want 1", d.Flows)
+	}
+	if math.Abs(d.Flows[0].Kbps-1280) > 1e-9 {
+		t.Errorf("BW flow = %v Kb/s, want 1280 (1.28 Mb/s)", d.Flows[0].Kbps)
+	}
+	if d.Flows[0].DstVM != "peer" {
+		t.Errorf("BW flow target = %q, want peer", d.Flows[0].DstVM)
+	}
+}
+
+func TestNewLevel(t *testing.T) {
+	d := NewLevel(IO, 4, Options{}).Demand(0)
+	if d.IOBlocks != 72 {
+		t.Errorf("NewLevel(IO, 4) = %v, want 72", d.IOBlocks)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range level should panic")
+		}
+	}()
+	NewLevel(CPU, 5, Options{})
+}
+
+func TestJitterBoundedAndSeeded(t *testing.T) {
+	a := New(CPU, 50, Options{JitterRel: 0.02, Seed: 5})
+	b := New(CPU, 50, Options{JitterRel: 0.02, Seed: 5})
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		da, db := a.Demand(float64(i)), b.Demand(float64(i))
+		if da.CPU != db.CPU {
+			t.Fatal("same seed must give identical jitter")
+		}
+		if da.CPU < 0 {
+			t.Fatal("jittered demand must be non-negative")
+		}
+		sum += da.CPU
+	}
+	if mean := sum / n; math.Abs(mean-50) > 0.5 {
+		t.Errorf("jittered mean = %v, want ~50", mean)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	c := Combine(
+		Const(xen.Demand{CPU: 10, MemMB: 5}),
+		Const(xen.Demand{CPU: 20, IOBlocks: 7, Flows: []xen.Flow{{Kbps: 100}}}),
+		nil,
+	)
+	d := c.Demand(0)
+	if d.CPU != 30 || d.MemMB != 5 || d.IOBlocks != 7 || len(d.Flows) != 1 {
+		t.Errorf("Combine = %+v", d)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Scale(Const(xen.Demand{CPU: 10, MemMB: 4, IOBlocks: 2, Flows: []xen.Flow{{DstVM: "x", Kbps: 100}}}), 2)
+	d := s.Demand(0)
+	if d.CPU != 20 || d.MemMB != 8 || d.IOBlocks != 4 {
+		t.Errorf("Scale scalar fields = %+v", d)
+	}
+	if d.Flows[0].Kbps != 200 || d.Flows[0].DstVM != "x" {
+		t.Errorf("Scale flows = %+v", d.Flows)
+	}
+	// Scale must not mutate the underlying source's flow slice.
+	d2 := s.Demand(0)
+	if d2.Flows[0].Kbps != 200 {
+		t.Error("Scale mutated shared state")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	src := Const(xen.Demand{CPU: 100})
+	r := Ramp(src, 0.3, 0.7, 100)
+	if d := r.Demand(0); math.Abs(d.CPU-30) > 1e-9 {
+		t.Errorf("Ramp at t=0: %v, want 30", d.CPU)
+	}
+	if d := r.Demand(50); math.Abs(d.CPU-50) > 1e-9 {
+		t.Errorf("Ramp at t=50: %v, want 50", d.CPU)
+	}
+	if d := r.Demand(100); math.Abs(d.CPU-70) > 1e-9 {
+		t.Errorf("Ramp at t=100: %v, want 70", d.CPU)
+	}
+	if d := r.Demand(500); math.Abs(d.CPU-70) > 1e-9 {
+		t.Errorf("Ramp after end: %v, want 70", d.CPU)
+	}
+	// Zero duration holds the end factor.
+	z := Ramp(src, 0.3, 0.7, 0)
+	if d := z.Demand(0); math.Abs(d.CPU-70) > 1e-9 {
+		t.Errorf("zero-duration Ramp: %v, want 70", d.CPU)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	seq := []xen.Demand{{CPU: 10}, {CPU: 20}, {CPU: 30}}
+	r := Replay(seq, false)
+	if d := r.Demand(0); d.CPU != 10 {
+		t.Errorf("t=0: %v, want 10", d.CPU)
+	}
+	if d := r.Demand(2.9); d.CPU != 30 {
+		t.Errorf("t=2.9: %v, want 30", d.CPU)
+	}
+	if d := r.Demand(3); d.CPU != 0 {
+		t.Errorf("t=3 without loop: %v, want idle", d.CPU)
+	}
+	if d := r.Demand(-1); d.CPU != 0 {
+		t.Errorf("negative time: %v, want idle", d.CPU)
+	}
+	looped := Replay(seq, true)
+	if d := looped.Demand(4); d.CPU != 20 {
+		t.Errorf("t=4 looped: %v, want 20", d.CPU)
+	}
+	if d := Replay(nil, true).Demand(1); d.CPU != 0 {
+		t.Errorf("empty replay: %v, want idle", d.CPU)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := Steps([]Phase{
+		{Seconds: 10, Demand: xen.Demand{CPU: 50}},
+		{Seconds: 5, Demand: xen.Demand{CPU: 5}},
+	})
+	if d := s.Demand(0); d.CPU != 50 {
+		t.Errorf("phase 1: %v", d.CPU)
+	}
+	if d := s.Demand(9.99); d.CPU != 50 {
+		t.Errorf("phase 1 end: %v", d.CPU)
+	}
+	if d := s.Demand(12); d.CPU != 5 {
+		t.Errorf("phase 2: %v", d.CPU)
+	}
+	if d := s.Demand(15); d.CPU != 0 {
+		t.Errorf("after phases: %v, want idle", d.CPU)
+	}
+	if d := s.Demand(-0.5); d.CPU != 0 {
+		t.Errorf("negative time: %v, want idle", d.CPU)
+	}
+}
+
+// Integration: a Table II BW workload on a simulated VM reproduces the
+// Fig. 2e Dom0 behaviour end to end.
+func TestWorkloadOnEngine(t *testing.T) {
+	cl := xen.NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "v", 512)
+	vm.SetSource(NewLevel(BW, 4, Options{})) // 1.28 Mb/s
+	calib := xen.DefaultCalibration()
+	calib.ProcessNoiseRel = 0
+	e := xen.NewEngine(cl, calib, 1)
+	e.Advance(2)
+	s := e.Snapshot(pm)
+	if s.Dom0.CPU < 28 || s.Dom0.CPU > 32 {
+		t.Errorf("Dom0 under Table II BW level 5 = %v, want ~30", s.Dom0.CPU)
+	}
+	if math.Abs(s.VMs["v"].BW-units.MbpsToKbps(1.28)) > 1 {
+		t.Errorf("VM BW = %v, want 1280", s.VMs["v"].BW)
+	}
+}

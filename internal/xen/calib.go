@@ -1,0 +1,205 @@
+// Package xen is a deterministic behavioural simulator of the Xen
+// virtualization stack measured in "Profiling and Understanding
+// Virtualization Overhead in Cloud" (ICPP 2015): physical machines hosting
+// paravirtualized VMs whose device I/O is serviced by a driver domain
+// (Dom0) through back-end drivers and a software bridge, under a hypervisor
+// that traps guest activity and schedules VCPUs.
+//
+// The simulator is mechanistic — Dom0 CPU is priced per network packet
+// stream and per block request, hypervisor CPU per scheduling/trap volume,
+// the virtual block device stripes guest blocks across physical disks, and
+// a proportional-share scheduler arbitrates CPU under contention — with the
+// cost constants calibrated against the paper's measurements (the original
+// testbed: XenServer 6.2 on 2.66 GHz quad-core Xeon, 2 GB RAM, SATA disks,
+// GbE). Every constant in Calibration cites the figure it reproduces.
+package xen
+
+// Calibration collects every behavioural constant of the simulated stack.
+// The zero value is useless; start from DefaultCalibration.
+type Calibration struct {
+	// ---- Background utilizations (paper Section III-C) ----
+
+	// Dom0BaseCPU is Dom0's idle CPU in %VCPU. The paper reports a constant
+	// 16.8% during memory-intensive runs (Fig. 2a left endpoint).
+	Dom0BaseCPU float64
+	// HypBaseCPU is the hypervisor's idle CPU in % of real CPU. The paper
+	// reports ~3.0% (2.5-3.0 across figures); we use the 2.6 baseline that
+	// reconciles Figs. 2a, 2c, 2e, 3c and 4c simultaneously.
+	HypBaseCPU float64
+	// PMBaseIOBlocks is the host's background disk activity (logging,
+	// metadata) visible even without I/O workloads: 18.8 blocks/s appears in
+	// the memory runs because lookbusy-mem pages lightly; we charge that
+	// paging to the MEM workload generator and keep a small true background.
+	PMBaseIOBlocks float64
+	// PMBaseBWKbps is the host's background network chatter: 254 bytes/s
+	// (Section III-C) = 2.032 Kb/s.
+	PMBaseBWKbps float64
+	// Dom0MemMB is the driver domain's resident memory.
+	Dom0MemMB float64
+	// VMBaseMemMB is a guest OS's resident memory without workloads.
+	VMBaseMemMB float64
+	// VMBaseCPU is a guest's idle CPU (background daemons), ~0.3-0.5%.
+	VMBaseCPU float64
+
+	// ---- CPU-intensive path (Fig. 2a/3a/4a) ----
+
+	// Dom0CtlLin and Dom0CtlQuad price Dom0's control-plane work (event
+	// channels, xenstore, console) per guest as a function of that guest's
+	// CPU input u (in %): cost_i = Lin*u_i + Quad*u_i^2, summed over guests.
+	// Calibrated so a single VM at 99% drives Dom0 16.8% -> 29.5% with the
+	// increase rate growing with u (Fig. 2a).
+	Dom0CtlLin, Dom0CtlQuad float64
+	// HypSchedLin and HypSchedQuad price hypervisor scheduling/trap work per
+	// guest CPU input, same form: 3% -> ~14% over 1..99% input (Fig. 2a).
+	HypSchedLin, HypSchedQuad float64
+	// Dom0PerVM and HypPerVM are the additive management costs of each
+	// co-located VM beyond the first (Figs. 3c/4c show Dom0 ~17.4% and the
+	// hypervisor 2.7 -> 3.5% as N grows with idle-ish guests).
+	Dom0PerVM, HypPerVM float64
+	// Dom0PerVCPU and HypPerVCPU are the additive costs of each configured
+	// VCPU beyond a VM's first: more VCPUs mean more event channels for
+	// Dom0 and more runqueue entries for the scheduler. Exercised by the
+	// heterogeneous-configuration extension (the paper's future work);
+	// zero-VCPU-delta VMs reproduce the paper's homogeneous testbed
+	// exactly.
+	Dom0PerVCPU, HypPerVCPU float64
+
+	// ---- Contention model (Figs. 3a/4a) ----
+
+	// GuestPoolCPU is the effective aggregate CPU available to guest VCPUs
+	// in %VCPU. The paper's quad-core host saturates 2 VMs at 95% each and 4
+	// VMs at 47% each (Figs. 3a/4a), i.e. an effective pool of ~190%.
+	GuestPoolCPU float64
+	// Dom0SatCPU and HypSatCPU are the allocations Dom0 and the hypervisor
+	// are squeezed to when the PM is CPU-saturated: the multi-VM plateaus of
+	// 23.4% and 12.0% (Section IV-B observation list).
+	Dom0SatCPU, HypSatCPU float64
+	// TotalCapCPU is the PM-wide effective CPU capacity that triggers
+	// contention: GuestPoolCPU + Dom0SatCPU + HypSatCPU.
+	TotalCapCPU float64
+	// VMCPUCap caps a single guest's VCPU utilization (one VCPU = 100%).
+	VMCPUCap float64
+
+	// ---- Disk I/O path (Fig. 2b/2c, 3b/3c, 4b/4c) ----
+
+	// DiskStripeAmp is the physical-to-virtual block amplification: the
+	// guest's virtual disk is striped across physical disks so one guest
+	// block turns into ~2 physical accesses ("nearly twice", Fig. 2b).
+	DiskStripeAmp float64
+	// DiskStripeAmpPerVM adds amplification per extra co-located VM ("more
+	// than twice of the sum", Figs. 3b/4b).
+	DiskStripeAmpPerVM float64
+	// VMIOCapBlocks is the per-VM virtual disk throughput cap: ~90 blocks/s
+	// under the default configuration (Fig. 2c discussion).
+	VMIOCapBlocks float64
+	// Dom0CPUPerBlock prices Dom0's block back-end work per guest block/s.
+	// Small: 4 VMs x 72 blocks/s raise Dom0 by well under 1% (Fig. 4c).
+	Dom0CPUPerBlock float64
+	// HypCPUPerBlock prices hypervisor grant/trap work per guest block/s.
+	HypCPUPerBlock float64
+	// VMCPUPerBlock prices the guest front-end driver work per block/s; the
+	// paper observes ~0.84% guest CPU during I/O runs (Fig. 3c).
+	VMCPUPerBlock float64
+
+	// ---- Network path (Fig. 2d/2e, 3d/3e, 4d/4e, 5a/5b) ----
+
+	// Dom0CPUPerKbps prices Dom0's netback + bridge work per Kb/s of guest
+	// traffic that crosses the physical NIC: the 0.01 %/(Kb/s) slope of
+	// Figs. 2e/3e/4e.
+	Dom0CPUPerKbps float64
+	// Dom0CPUPerKbpsIntra prices Dom0 work for VM-to-VM traffic inside the
+	// same PM: 5x cheaper because packets short-circuit at the bridge and
+	// never touch the NIC (Fig. 5b: slope 0.002).
+	Dom0CPUPerKbpsIntra float64
+	// HypCPUPerKbps prices hypervisor event-channel work per Kb/s of guest
+	// traffic: ~0.0005 (Figs. 3e/4e).
+	HypCPUPerKbps float64
+	// VMCPUPerKbps prices the guest netfront work per Kb/s it sends or
+	// receives: a single VM climbs 0.5% -> 3% over 1280 Kb/s (Fig. 2e).
+	VMCPUPerKbps float64
+	// PMBWOverheadFracPerVM is the relative PM bandwidth overhead added per
+	// active sender beyond the first (ARP/broadcast/encapsulation): the
+	// multi-VM |PM-sum|/PM ~ 3% of Figs. 3d/4d.
+	PMBWOverheadFracPerVM float64
+	// PMBWOverheadKbps is the constant PM bandwidth overhead when any guest
+	// network activity exists: ~400 bytes/s = 3.2 Kb/s (Fig. 2d).
+	PMBWOverheadKbps float64
+	// PMBWCapKbps is the physical NIC capacity (GbE).
+	PMBWCapKbps float64
+
+	// ---- Live migration (pre-copy) ----
+
+	// MigrationRateKbps is the memory-copy rate of a live migration
+	// (bounded by the GbE link and Xen's migration throttle).
+	MigrationRateKbps float64
+	// MigrationDirtyFactor inflates the bytes copied relative to the
+	// guest's memory: pre-copy re-sends pages dirtied during the copy.
+	MigrationDirtyFactor float64
+
+	// ---- Memory path (Section III-C constants) ----
+
+	// MemIOBlocksPerMB charges the light paging activity of the
+	// memory-intensive workload: lookbusy-mem at any ladder level produced a
+	// constant PM I/O of 18.8 blocks/s on the testbed.
+	MemIOBlocksBase float64
+
+	// ---- Noise ----
+
+	// ProcessNoiseRel is the relative standard deviation of multiplicative
+	// jitter applied to every simulated utilization each step, representing
+	// genuine run-to-run variation of the stack (distinct from measurement
+	// noise, which the monitor tools add on top).
+	ProcessNoiseRel float64
+}
+
+// DefaultCalibration returns the constants calibrated against the paper's
+// testbed (see field comments for the figure each value reproduces).
+func DefaultCalibration() Calibration {
+	c := Calibration{
+		Dom0BaseCPU:    16.8,
+		HypBaseCPU:     2.6,
+		PMBaseIOBlocks: 2.0,
+		PMBaseBWKbps:   2.032, // 254 bytes/s
+		Dom0MemMB:      300,
+		VMBaseMemMB:    60,
+		VMBaseCPU:      0.4,
+
+		Dom0CtlLin:   0.080,
+		Dom0CtlQuad:  0.0004877, // 16.8 -> 29.5 at u=99, slope growing with u (Fig. 2a)
+		HypSchedLin:  0.070,
+		HypSchedQuad: 0.000456, // 2.6 -> ~14 at u=99 (Fig. 2a)
+		Dom0PerVM:    0.20,
+		HypPerVM:     0.25,
+		Dom0PerVCPU:  0.15,
+		HypPerVCPU:   0.35,
+
+		GuestPoolCPU: 190,
+		Dom0SatCPU:   23.4,
+		HypSatCPU:    12.0,
+		VMCPUCap:     100,
+
+		DiskStripeAmp:      2.05,
+		DiskStripeAmpPerVM: 0.02,
+		VMIOCapBlocks:      90,
+		Dom0CPUPerBlock:    0.0025,
+		HypCPUPerBlock:     0.0008,
+		VMCPUPerBlock:      0.005,
+
+		Dom0CPUPerKbps:        0.0105,
+		Dom0CPUPerKbpsIntra:   0.0021,
+		HypCPUPerKbps:         0.00055,
+		VMCPUPerKbps:          0.00195,
+		PMBWOverheadFracPerVM: 0.015,
+		PMBWOverheadKbps:      3.2,
+		PMBWCapKbps:           1e6,
+
+		MigrationRateKbps:    400000, // ~50 MB/s effective pre-copy rate
+		MigrationDirtyFactor: 1.3,
+
+		MemIOBlocksBase: 8.2, // amplified by DiskStripeAmp to ~18.8 blocks/s
+
+		ProcessNoiseRel: 0.008,
+	}
+	c.TotalCapCPU = c.GuestPoolCPU + c.Dom0SatCPU + c.HypSatCPU
+	return c
+}

@@ -1,0 +1,49 @@
+package xen
+
+// Flow describes one outbound traffic stream of a VM during a step.
+type Flow struct {
+	// DstVM names the destination VM. Empty means an external destination
+	// (another physical host, a client machine): the traffic crosses this
+	// PM's NIC. A name resolving to a VM on the same PM short-circuits at
+	// the Dom0 bridge (Fig. 5); a name on another PM crosses both NICs.
+	DstVM string
+	// Kbps is the stream's send rate in Kb/s.
+	Kbps float64
+}
+
+// Demand is what a guest workload asks of its VM during one step. All
+// quantities are rates (per second), sampled at the step start.
+type Demand struct {
+	// CPU is the desired VCPU utilization in percent (lookbusy's target).
+	CPU float64
+	// MemMB is the workload's resident memory beyond the guest OS base.
+	MemMB float64
+	// IOBlocks is the desired virtual disk throughput in blocks/s.
+	IOBlocks float64
+	// Flows are outbound network streams.
+	Flows []Flow
+}
+
+// TotalKbps sums the flow rates.
+func (d Demand) TotalKbps() float64 {
+	var s float64
+	for _, f := range d.Flows {
+		s += f.Kbps
+	}
+	return s
+}
+
+// Source produces the demand of a VM's workload over time. Implementations
+// live in internal/workload; t is simulation seconds since engine start.
+type Source interface {
+	Demand(t float64) Demand
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(t float64) Demand
+
+// Demand implements Source.
+func (f SourceFunc) Demand(t float64) Demand { return f(t) }
+
+// IdleSource is a Source with zero demand.
+var IdleSource Source = SourceFunc(func(float64) Demand { return Demand{} })

@@ -1,0 +1,309 @@
+package xen
+
+import (
+	"virtover/internal/simrand"
+	"virtover/internal/units"
+)
+
+// Engine advances a Cluster through time in fixed steps, computing the
+// ground-truth utilization of every VM, Dom0, hypervisor and PM from the
+// attached workload demands and the Calibration's cost model.
+type Engine struct {
+	Cluster *Cluster
+	Calib   Calibration
+	Step    float64 // seconds per step
+
+	now        float64
+	rng        *simrand.Source
+	migrations []*liveMigration
+}
+
+// NewEngine creates an engine over cluster with 1-second steps (the paper's
+// sampling interval) and the given seed for process noise.
+func NewEngine(cluster *Cluster, calib Calibration, seed int64) *Engine {
+	return &Engine{Cluster: cluster, Calib: calib, Step: 1.0, rng: simrand.New(seed)}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Advance runs n steps.
+func (e *Engine) Advance(n int) {
+	for i := 0; i < n; i++ {
+		e.step()
+	}
+}
+
+// vmFlows captures a VM's routed traffic for one step.
+type vmFlows struct {
+	interOutKbps float64 // leaves this PM's NIC
+	intraOutKbps float64 // short-circuits at the bridge
+	inKbps       float64 // arrives at this VM (either path)
+	interInKbps  float64 // arrives via this PM's NIC
+	intraInKbps  float64 // arrives via the local bridge
+}
+
+func (e *Engine) step() {
+	t := e.now
+
+	// Phase 1: collect demands per VM.
+	demands := make(map[*VM]Demand, len(e.Cluster.vmIndex))
+	for _, pm := range e.Cluster.PMs {
+		for _, vm := range pm.VMs {
+			demands[vm] = vm.source.Demand(t)
+		}
+	}
+
+	// Phase 2: route network flows.
+	flows := make(map[*VM]*vmFlows, len(demands))
+	getFlows := func(vm *VM) *vmFlows {
+		f := flows[vm]
+		if f == nil {
+			f = &vmFlows{}
+			flows[vm] = f
+		}
+		return f
+	}
+	for vm, d := range demands {
+		for _, fl := range d.Flows {
+			if fl.Kbps <= 0 {
+				continue
+			}
+			src := getFlows(vm)
+			dst, ok := e.Cluster.LookupVM(fl.DstVM)
+			switch {
+			case fl.DstVM == "" || !ok:
+				// External destination: crosses this PM's NIC only.
+				src.interOutKbps += fl.Kbps
+			case dst.pm == vm.pm:
+				// Co-located: bridge short-circuit, no NIC bytes (Fig. 5a).
+				src.intraOutKbps += fl.Kbps
+				df := getFlows(dst)
+				df.inKbps += fl.Kbps
+				df.intraInKbps += fl.Kbps
+			default:
+				// Cross-PM: both NICs carry the bytes.
+				src.interOutKbps += fl.Kbps
+				df := getFlows(dst)
+				df.inKbps += fl.Kbps
+				df.interInKbps += fl.Kbps
+			}
+		}
+	}
+
+	// Phase 3: per-PM resolution.
+	for _, pm := range e.Cluster.PMs {
+		e.stepPM(pm, demands, flows)
+	}
+
+	// Phase 4: live migrations. Copy traffic and Dom0 cost land on this
+	// step's readings; a completed copy switches the guest for the next
+	// step (pre-copy semantics: the guest runs on the source throughout).
+	if loads := e.stepMigrations(); loads != nil {
+		for _, pm := range e.Cluster.PMs {
+			applyMigrationLoad(pm, loads, e.Calib.PMBWCapKbps)
+		}
+	}
+	e.now += e.Step
+}
+
+func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) {
+	c := &e.Calib
+	n := len(pm.VMs)
+	if n == 0 {
+		pm.dom0Util = units.V(e.noisy(c.Dom0BaseCPU), c.Dom0MemMB, 0, 0)
+		pm.hypCPU = e.noisy(c.HypBaseCPU)
+		pm.pmUtil = units.V(pm.dom0Util.CPU+pm.hypCPU, c.Dom0MemMB,
+			e.noisy(c.PMBaseIOBlocks), e.noisy(c.PMBaseBWKbps))
+		return
+	}
+
+	// --- Disk path ---
+	// Guest block throughput is capped by the virtual disk; physical blocks
+	// are amplified by striping.
+	vmIO := make([]float64, n)
+	var totalGuestBlocks float64
+	for i, vm := range pm.VMs {
+		io := demands[vm].IOBlocks
+		if demands[vm].MemMB > 0 {
+			// lookbusy-mem pages lightly regardless of ladder level
+			// (Section III-C: constant 18.8 blocks/s PM I/O in memory runs).
+			io += c.MemIOBlocksBase
+		}
+		if io > c.VMIOCapBlocks {
+			io = c.VMIOCapBlocks
+		}
+		if io < 0 {
+			io = 0
+		}
+		vmIO[i] = io
+		totalGuestBlocks += io
+	}
+	amp := c.DiskStripeAmp + c.DiskStripeAmpPerVM*float64(n-1)
+	pmIO := c.PMBaseIOBlocks + amp*totalGuestBlocks
+
+	// --- Network path ---
+	var pmNICKbps float64 // bytes crossing the physical NIC
+	var interKbps float64 // guest traffic priced at the NIC-path Dom0 rate
+	var intraKbps float64 // guest traffic priced at the bridge-path rate
+	var activeSenders int // VMs pushing traffic through the NIC
+	vmBW := make([]float64, n)
+	for i, vm := range pm.VMs {
+		f := flows[vm]
+		if f == nil {
+			continue
+		}
+		vmBW[i] = f.interOutKbps + f.intraOutKbps + f.inKbps
+		pmNICKbps += f.interOutKbps + f.interInKbps
+		interKbps += f.interOutKbps + f.interInKbps
+		// Intra-PM packets traverse the bridge exactly once, so Dom0 is
+		// charged on the sender side only (Fig. 5b's 0.002 slope is per
+		// stream Kb/s, not per endpoint).
+		intraKbps += f.intraOutKbps
+		if f.interOutKbps > 0 {
+			activeSenders++
+		}
+	}
+	pmBW := c.PMBaseBWKbps + pmNICKbps
+	if pmNICKbps > 0 {
+		pmBW += c.PMBWOverheadKbps
+		if activeSenders > 1 {
+			pmBW += c.PMBWOverheadFracPerVM * float64(activeSenders-1) * pmNICKbps
+		}
+	}
+	if pmBW > c.PMBWCapKbps {
+		pmBW = c.PMBWCapKbps
+	}
+
+	// --- Guest CPU demand ---
+	// The workload target plus the front-end driver costs of I/O and
+	// networking, plus the idle base.
+	vmCPUDemand := make([]float64, n)
+	vmWeights := make([]float64, n)
+	var ctlCost, schedCost, vcpuCostDom0, vcpuCostHyp float64
+	for i, vm := range pm.VMs {
+		d := demands[vm]
+		vmCap := c.VMCPUCap * float64(vm.VCPUs)
+		in := d.CPU
+		if in < 0 {
+			in = 0
+		}
+		if in > vmCap {
+			in = vmCap
+		}
+		// Each guest contributes its own convex control-plane and
+		// scheduling cost: event-channel notifications and preemptions grow
+		// superlinearly with that guest's activity (Fig. 2a). The quadratic
+		// is per VCPU: a 2-VCPU guest at 160% behaves like two VCPUs at 80%.
+		perVCPU := in / float64(vm.VCPUs)
+		ctlCost += float64(vm.VCPUs) * (c.Dom0CtlLin*perVCPU + c.Dom0CtlQuad*perVCPU*perVCPU)
+		schedCost += float64(vm.VCPUs) * (c.HypSchedLin*perVCPU + c.HypSchedQuad*perVCPU*perVCPU)
+		if extra := vm.VCPUs - 1; extra > 0 {
+			vcpuCostDom0 += c.Dom0PerVCPU * float64(extra)
+			vcpuCostHyp += c.HypPerVCPU * float64(extra)
+		}
+		cpu := c.VMBaseCPU + in + c.VMCPUPerBlock*vmIO[i] + c.VMCPUPerKbps*vmBW[i]
+		if cpu > vmCap {
+			cpu = vmCap
+		}
+		// The credit-scheduler cap bounds the guest's allocation even on an
+		// idle host (Xen's sched-credit cap; adjusted online by CloudScale's
+		// elastic scaling).
+		if vm.capCPU > 0 && cpu > vm.capCPU {
+			cpu = vm.capCPU
+		}
+		vmCPUDemand[i] = cpu
+		vmWeights[i] = vm.Weight
+	}
+
+	// --- Dom0 CPU demand ---
+	// Per-guest control-plane cost; netback/bridge per Kb/s with the
+	// intra-PM discount; block back-end per block/s; per-VM management.
+	dom0Demand := c.Dom0BaseCPU +
+		ctlCost +
+		c.Dom0CPUPerKbps*interKbps +
+		c.Dom0CPUPerKbpsIntra*intraKbps +
+		c.Dom0CPUPerBlock*totalGuestBlocks +
+		c.Dom0PerVM*float64(n-1) +
+		vcpuCostDom0
+
+	// --- Hypervisor CPU demand ---
+	hypDemand := c.HypBaseCPU +
+		schedCost +
+		c.HypCPUPerKbps*(interKbps+intraKbps) +
+		c.HypCPUPerBlock*totalGuestBlocks +
+		c.HypPerVM*float64(n-1) +
+		vcpuCostHyp
+
+	// --- Contention resolution ---
+	// When the PM is CPU-saturated the credit scheduler squeezes Dom0 and
+	// the hypervisor to their saturation allocations (the 23.4% / 12.0%
+	// plateaus of Section IV-B) and guests share the remaining pool
+	// max-min-fairly.
+	var guestAlloc []float64
+	var dom0CPU, hypCPU float64
+	totalDemand := dom0Demand + hypDemand
+	for _, d := range vmCPUDemand {
+		totalDemand += d
+	}
+	if totalDemand <= c.TotalCapCPU {
+		guestAlloc = make([]float64, n)
+		copy(guestAlloc, vmCPUDemand)
+		dom0CPU = dom0Demand
+		hypCPU = hypDemand
+	} else {
+		dom0CPU = dom0Demand
+		if dom0CPU > c.Dom0SatCPU {
+			dom0CPU = c.Dom0SatCPU
+		}
+		hypCPU = hypDemand
+		if hypCPU > c.HypSatCPU {
+			hypCPU = c.HypSatCPU
+		}
+		guestAlloc = WaterFillWeighted(vmCPUDemand, vmWeights, c.TotalCapCPU-dom0CPU-hypCPU)
+	}
+
+	// --- Memory ---
+	var totalMem float64
+	for i, vm := range pm.VMs {
+		mem := c.VMBaseMemMB + demands[vm].MemMB
+		if mem > vm.MemCapMB {
+			mem = vm.MemCapMB
+		}
+		totalMem += mem
+		pm.VMs[i].util = units.V(
+			e.noisy(guestAlloc[i]),
+			e.noisy(mem),
+			e.noisy(vmIO[i]),
+			e.noisy(vmBW[i]),
+		).ClampNonNegative()
+	}
+
+	pm.dom0Util = units.V(e.noisy(dom0CPU), e.noisy(c.Dom0MemMB), 0, 0).ClampNonNegative()
+	pm.hypCPU = e.noisy(hypCPU)
+	if pm.hypCPU < 0 {
+		pm.hypCPU = 0
+	}
+
+	// PM CPU is reported as Dom0 + hypervisor + sum of guests, matching the
+	// paper's indirect computation.
+	var guestCPUSum float64
+	for _, vm := range pm.VMs {
+		guestCPUSum += vm.util.CPU
+	}
+	pmMem := pm.dom0Util.Mem + totalMem
+	if pmMem > pm.MemCapMB {
+		pmMem = pm.MemCapMB
+	}
+	pm.pmUtil = units.V(
+		pm.dom0Util.CPU+pm.hypCPU+guestCPUSum,
+		pmMem,
+		e.noisy(pmIO),
+		e.noisy(pmBW),
+	).ClampNonNegative()
+}
+
+// noisy applies multiplicative process noise.
+func (e *Engine) noisy(x float64) float64 {
+	return e.rng.Jitter(x, e.Calib.ProcessNoiseRel)
+}

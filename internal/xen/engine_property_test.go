@@ -1,0 +1,211 @@
+package xen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"virtover/internal/units"
+)
+
+// Property-based tests of the simulation engine's physical invariants.
+
+// randomDemand draws a plausible guest demand.
+func randomDemand(r *rand.Rand) Demand {
+	d := Demand{
+		CPU:      r.Float64() * 110,
+		MemMB:    r.Float64() * 300,
+		IOBlocks: r.Float64() * 120,
+	}
+	if r.Intn(2) == 0 {
+		d.Flows = []Flow{{Kbps: r.Float64() * 1500}}
+	}
+	return d
+}
+
+func snapshotFor(demands []Demand) Snapshot {
+	cl := NewCluster()
+	pm := cl.AddPM("pm")
+	for i, d := range demands {
+		d := d
+		vm := cl.AddVM(pm, string(rune('a'+i)), 512)
+		vm.SetSource(SourceFunc(func(float64) Demand { return d }))
+	}
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(2)
+	return e.Snapshot(pm)
+}
+
+// All utilizations are non-negative and finite; the CPU identity holds.
+func TestQuickEngineSanity(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(4)
+			ds := make([]Demand, n)
+			for i := range ds {
+				ds[i] = randomDemand(r)
+			}
+			args[0] = reflect.ValueOf(ds)
+		},
+	}
+	ok := func(x float64) bool { return x >= 0 && !math.IsNaN(x) && !math.IsInf(x, 0) }
+	f := func(ds []Demand) bool {
+		s := snapshotFor(ds)
+		if !ok(s.Dom0.CPU) || !ok(s.HypervisorCPU) || !ok(s.Host.CPU) ||
+			!ok(s.Host.IO) || !ok(s.Host.BW) || !ok(s.Host.Mem) {
+			return false
+		}
+		for _, v := range s.VMs {
+			if !ok(v.CPU) || !ok(v.Mem) || !ok(v.IO) || !ok(v.BW) {
+				return false
+			}
+		}
+		// PM CPU identity (the paper's indirect computation).
+		return math.Abs(s.Host.CPU-(s.Dom0.CPU+s.HypervisorCPU+s.GuestCPUSum())) < 1e-6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The allocated total never exceeds the effective capacity, and guests
+// never exceed their VCPU caps or demands.
+func TestQuickEngineCapacity(t *testing.T) {
+	calib := DefaultCalibration()
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(5)
+			ds := make([]Demand, n)
+			for i := range ds {
+				ds[i] = Demand{CPU: r.Float64() * 120}
+			}
+			args[0] = reflect.ValueOf(ds)
+		},
+	}
+	f := func(ds []Demand) bool {
+		s := snapshotFor(ds)
+		if s.Host.CPU > calib.TotalCapCPU+1e-6 {
+			return false
+		}
+		for _, v := range s.VMs {
+			if v.CPU > calib.VMCPUCap+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity: raising one guest's CPU demand never lowers Dom0 or
+// hypervisor demand-regime utilization (checked in the uncontended regime
+// where allocations equal demands).
+func TestQuickEngineMonotoneCPU(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Float64() * 60)
+			args[1] = reflect.ValueOf(r.Float64() * 39)
+		},
+	}
+	f := func(base, delta float64) bool {
+		lo := snapshotFor([]Demand{{CPU: base}})
+		hi := snapshotFor([]Demand{{CPU: base + delta}})
+		return hi.Dom0.CPU >= lo.Dom0.CPU-1e-9 && hi.HypervisorCPU >= lo.HypervisorCPU-1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bandwidth additivity: the PM NIC carries the sum of external streams
+// (plus bounded overhead).
+func TestQuickEngineBWAdditive(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(4)
+			rates := make([]float64, n)
+			for i := range rates {
+				rates[i] = r.Float64() * 1200
+			}
+			args[0] = reflect.ValueOf(rates)
+		},
+	}
+	f := func(rates []float64) bool {
+		ds := make([]Demand, len(rates))
+		var sum float64
+		for i, rt := range rates {
+			ds[i] = Demand{Flows: []Flow{{Kbps: rt}}}
+			sum += rt
+		}
+		s := snapshotFor(ds)
+		over := s.Host.BW - sum
+		// Background + constant overhead + per-sender fraction.
+		maxOver := 2.04 + 3.21 + 0.015*float64(len(rates))*sum + 1
+		return over >= -1e-6 && over <= maxOver
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disk amplification is bounded and linear-ish: PM IO scales with guest
+// blocks by the striping factor.
+func TestQuickEngineIOAmplification(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(1 + r.Intn(4))
+			args[1] = reflect.ValueOf(5 + r.Float64()*80)
+		},
+	}
+	f := func(n int, blocks float64) bool {
+		ds := make([]Demand, n)
+		for i := range ds {
+			ds[i] = Demand{IOBlocks: blocks}
+		}
+		s := snapshotFor(ds)
+		guest := s.GuestSum().IO
+		if guest <= 0 {
+			return false
+		}
+		amp := (s.Host.IO - 2) / guest
+		return amp > 1.9 && amp < 2.3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Engine trajectories are pure functions of (topology, demands, seed).
+func TestQuickEngineDeterminism(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Int63())
+			args[1] = reflect.ValueOf(randomDemand(r))
+		},
+	}
+	f := func(seed int64, d Demand) bool {
+		run := func() units.Vector {
+			cl := NewCluster()
+			pm := cl.AddPM("pm")
+			vm := cl.AddVM(pm, "v", 512)
+			vm.SetSource(constSource(d))
+			e := NewEngine(cl, DefaultCalibration(), seed)
+			e.Advance(5)
+			return e.Snapshot(pm).Host
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,415 @@
+package xen
+
+import (
+	"math"
+	"testing"
+
+	"virtover/internal/units"
+)
+
+// noiseless returns a calibration with process noise disabled so tests can
+// assert exact model behaviour.
+func noiseless() Calibration {
+	c := DefaultCalibration()
+	c.ProcessNoiseRel = 0
+	return c
+}
+
+// constSource produces the same demand forever.
+func constSource(d Demand) Source {
+	return SourceFunc(func(float64) Demand { return d })
+}
+
+// runSingle builds one PM with n identical VMs under demand d, advances a
+// few steps, and returns the snapshot.
+func runSingle(t *testing.T, n int, d Demand) Snapshot {
+	t.Helper()
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	for i := 0; i < n; i++ {
+		vm := cl.AddVM(pm, vmName(i), 512)
+		vm.SetSource(constSource(d))
+	}
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(3)
+	return e.Snapshot(pm)
+}
+
+func vmName(i int) string { return string(rune('a'+i)) + "-vm" }
+
+func TestIdlePMBackground(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	c := DefaultCalibration()
+	if math.Abs(s.Dom0.CPU-c.Dom0BaseCPU) > 1e-9 {
+		t.Errorf("idle Dom0 CPU = %v, want %v", s.Dom0.CPU, c.Dom0BaseCPU)
+	}
+	if math.Abs(s.HypervisorCPU-c.HypBaseCPU) > 1e-9 {
+		t.Errorf("idle hypervisor CPU = %v, want %v", s.HypervisorCPU, c.HypBaseCPU)
+	}
+	if math.Abs(s.Host.BW-c.PMBaseBWKbps) > 1e-9 {
+		t.Errorf("idle PM BW = %v, want %v (254 B/s)", s.Host.BW, c.PMBaseBWKbps)
+	}
+}
+
+// Fig. 2a: single VM CPU ladder. Dom0 climbs 16.8 -> ~29.5, hypervisor
+// 3 -> ~14, VM tracks the input.
+func TestFig2aSingleVMCPU(t *testing.T) {
+	s1 := runSingle(t, 1, Demand{CPU: 1})
+	s99 := runSingle(t, 1, Demand{CPU: 99})
+
+	if math.Abs(s1.Dom0.CPU-16.8) > 0.2 {
+		t.Errorf("Dom0 at 1%% input = %v, want ~16.8", s1.Dom0.CPU)
+	}
+	if math.Abs(s99.Dom0.CPU-29.5) > 1.0 {
+		t.Errorf("Dom0 at 99%% input = %v, want ~29.5", s99.Dom0.CPU)
+	}
+	if math.Abs(s99.HypervisorCPU-14) > 1.0 {
+		t.Errorf("hypervisor at 99%% input = %v, want ~14", s99.HypervisorCPU)
+	}
+	vm := s99.VMs["a-vm"]
+	if math.Abs(vm.CPU-99) > 1.5 {
+		t.Errorf("VM CPU at 99%% input = %v, want ~99", vm.CPU)
+	}
+	// Increase rate grows with input (convexity).
+	s50 := runSingle(t, 1, Demand{CPU: 50})
+	lowSlope := (s50.Dom0.CPU - s1.Dom0.CPU) / 49
+	highSlope := (s99.Dom0.CPU - s50.Dom0.CPU) / 49
+	if highSlope <= lowSlope {
+		t.Errorf("Dom0 slope must grow with input: low %v, high %v", lowSlope, highSlope)
+	}
+}
+
+// Figs. 3a/4a: co-located VMs saturate at ~95% (N=2) and ~47% (N=4), Dom0
+// and hypervisor plateau at 23.4% / 12.0%.
+func TestFig3a4aSaturation(t *testing.T) {
+	s2 := runSingle(t, 2, Demand{CPU: 100})
+	for name, vm := range s2.VMs {
+		if math.Abs(vm.CPU-95) > 1.5 {
+			t.Errorf("N=2 %s CPU = %v, want ~95", name, vm.CPU)
+		}
+	}
+	if math.Abs(s2.Dom0.CPU-23.4) > 0.5 {
+		t.Errorf("N=2 saturated Dom0 = %v, want 23.4", s2.Dom0.CPU)
+	}
+	if math.Abs(s2.HypervisorCPU-12.0) > 0.5 {
+		t.Errorf("N=2 saturated hypervisor = %v, want 12.0", s2.HypervisorCPU)
+	}
+
+	s4 := runSingle(t, 4, Demand{CPU: 100})
+	for name, vm := range s4.VMs {
+		if math.Abs(vm.CPU-47.5) > 1.5 {
+			t.Errorf("N=4 %s CPU = %v, want ~47", name, vm.CPU)
+		}
+	}
+	if math.Abs(s4.Dom0.CPU-23.4) > 0.5 {
+		t.Errorf("N=4 saturated Dom0 = %v, want 23.4", s4.Dom0.CPU)
+	}
+}
+
+// Fig. 2b: PM I/O is roughly twice the VM's; Dom0 I/O is zero.
+func TestFig2bIOAmplification(t *testing.T) {
+	s := runSingle(t, 1, Demand{IOBlocks: 46})
+	vm := s.VMs["a-vm"]
+	if math.Abs(vm.IO-46) > 0.5 {
+		t.Errorf("VM IO = %v, want 46", vm.IO)
+	}
+	if s.Dom0.IO != 0 {
+		t.Errorf("Dom0 IO = %v, want 0", s.Dom0.IO)
+	}
+	ratio := s.Host.IO / vm.IO
+	if ratio < 1.9 || ratio > 2.3 {
+		t.Errorf("PM/VM IO ratio = %v, want ~2 (Fig. 2b)", ratio)
+	}
+}
+
+// VM I/O cap ~90 blocks/s (Fig. 2c discussion).
+func TestVMIOCap(t *testing.T) {
+	s := runSingle(t, 1, Demand{IOBlocks: 500})
+	if vm := s.VMs["a-vm"]; math.Abs(vm.IO-90) > 0.5 {
+		t.Errorf("VM IO under 500 blocks/s demand = %v, want capped at 90", vm.IO)
+	}
+}
+
+// Fig. 2c: CPU utilizations stay nearly flat across the I/O ladder.
+func TestFig2cStableCPUUnderIO(t *testing.T) {
+	lo := runSingle(t, 1, Demand{IOBlocks: 15})
+	hi := runSingle(t, 1, Demand{IOBlocks: 72})
+	if d := math.Abs(hi.Dom0.CPU - lo.Dom0.CPU); d > 0.5 {
+		t.Errorf("Dom0 CPU moved %v across the IO ladder, want < 0.5", d)
+	}
+	if d := math.Abs(hi.HypervisorCPU - lo.HypervisorCPU); d > 0.3 {
+		t.Errorf("hypervisor CPU moved %v across the IO ladder, want < 0.3", d)
+	}
+	if hi.VMs["a-vm"].CPU > 2.0 {
+		t.Errorf("VM CPU under IO = %v, want < 2 (paper: ~0.84)", hi.VMs["a-vm"].CPU)
+	}
+}
+
+// Fig. 2d/2e: external BW. PM BW ~ VM BW + ~3.2 Kb/s; Dom0 CPU slope ~0.01
+// per Kb/s; Dom0 BW zero.
+func TestFig2dBW(t *testing.T) {
+	kbps := units.MbpsToKbps(1.28)
+	s := runSingle(t, 1, Demand{Flows: []Flow{{DstVM: "", Kbps: kbps}}})
+	vm := s.VMs["a-vm"]
+	if math.Abs(vm.BW-kbps) > 1 {
+		t.Errorf("VM BW = %v, want %v", vm.BW, kbps)
+	}
+	if s.Dom0.BW != 0 {
+		t.Errorf("Dom0 BW = %v, want 0", s.Dom0.BW)
+	}
+	over := s.Host.BW - vm.BW
+	if over < 2 || over > 8 {
+		t.Errorf("PM BW overhead = %v Kb/s, want ~3-5 (400 B/s + base)", over)
+	}
+}
+
+func TestFig2eDom0CPUvsBW(t *testing.T) {
+	lo := runSingle(t, 1, Demand{Flows: []Flow{{Kbps: 1}}})
+	hi := runSingle(t, 1, Demand{Flows: []Flow{{Kbps: 1280}}})
+	slope := (hi.Dom0.CPU - lo.Dom0.CPU) / 1279
+	if slope < 0.008 || slope > 0.013 {
+		t.Errorf("Dom0 CPU/BW slope = %v, want ~0.01 (Fig. 2e)", slope)
+	}
+	if hi.Dom0.CPU < 28 || hi.Dom0.CPU > 32 {
+		t.Errorf("Dom0 at 1.28 Mb/s = %v, want ~30 (Fig. 2e)", hi.Dom0.CPU)
+	}
+	if vm := hi.VMs["a-vm"]; vm.CPU < 2 || vm.CPU > 4.5 {
+		t.Errorf("VM CPU at 1.28 Mb/s = %v, want ~3 (Fig. 2e)", vm.CPU)
+	}
+}
+
+// Fig. 4e: 4 VMs at full BW drive Dom0 to ~67%, hypervisor to ~6.
+func TestFig4eMultiVMBW(t *testing.T) {
+	kbps := units.MbpsToKbps(1.28)
+	s := runSingle(t, 4, Demand{Flows: []Flow{{Kbps: kbps}}})
+	if s.Dom0.CPU < 60 || s.Dom0.CPU > 75 {
+		t.Errorf("Dom0 with 4 BW VMs = %v, want ~67 (Fig. 4e)", s.Dom0.CPU)
+	}
+	if s.HypervisorCPU < 5 || s.HypervisorCPU > 8 {
+		t.Errorf("hypervisor with 4 BW VMs = %v, want ~6.3 (Fig. 4e)", s.HypervisorCPU)
+	}
+}
+
+// Fig. 3d/4d: multi-VM PM BW overhead about 3% of PM BW.
+func TestFig3dBWOverheadFraction(t *testing.T) {
+	kbps := units.MbpsToKbps(1.28)
+	s := runSingle(t, 4, Demand{Flows: []Flow{{Kbps: kbps}}})
+	sum := s.GuestSum().BW
+	frac := math.Abs(s.Host.BW-sum) / s.Host.BW
+	if frac < 0.005 || frac > 0.08 {
+		t.Errorf("|PM-sum|/PM = %v, want a few percent (Figs. 3d/4d)", frac)
+	}
+}
+
+// Fig. 5: intra-PM traffic consumes no PM bandwidth and prices Dom0 at a
+// 5x smaller slope.
+func TestFig5IntraPM(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	v1 := cl.AddVM(pm, "vm1", 512)
+	cl.AddVM(pm, "vm2", 512)
+	kbps := units.MbpsToKbps(1.28)
+	v1.SetSource(constSource(Demand{Flows: []Flow{{DstVM: "vm2", Kbps: kbps}}}))
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(2)
+	s := e.Snapshot(pm)
+
+	c := DefaultCalibration()
+	if s.Host.BW > c.PMBaseBWKbps+0.1 {
+		t.Errorf("intra-PM traffic leaked to PM BW: %v (Fig. 5a)", s.Host.BW)
+	}
+	if s.Dom0.BW != 0 {
+		t.Errorf("Dom0 BW = %v, want 0", s.Dom0.BW)
+	}
+	// Sender and receiver both observe the stream.
+	if bw := s.VMs["vm1"].BW; math.Abs(bw-kbps) > 1 {
+		t.Errorf("sender BW = %v, want %v", bw, kbps)
+	}
+	if bw := s.VMs["vm2"].BW; math.Abs(bw-kbps) > 1 {
+		t.Errorf("receiver BW = %v, want %v", bw, kbps)
+	}
+	// Slope 5x less than inter-PM: Dom0 ~ 16.8 + 2*0.0021*1280/2... check
+	// absolute rise is roughly 0.002 per Kb/s of stream rate.
+	rise := s.Dom0.CPU - (c.Dom0BaseCPU + c.Dom0PerVM)
+	slope := rise / kbps
+	if slope < 0.0015 || slope > 0.0035 {
+		t.Errorf("intra-PM Dom0 slope = %v, want ~0.002 (Fig. 5b)", slope)
+	}
+}
+
+// Cross-PM traffic charges both NICs and both Dom0s.
+func TestCrossPMTraffic(t *testing.T) {
+	cl := NewCluster()
+	p1 := cl.AddPM("pm1")
+	p2 := cl.AddPM("pm2")
+	v1 := cl.AddVM(p1, "web", 512)
+	cl.AddVM(p2, "db", 512)
+	v1.SetSource(constSource(Demand{Flows: []Flow{{DstVM: "db", Kbps: 800}}}))
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(2)
+	s1 := e.Snapshot(p1)
+	s2 := e.Snapshot(p2)
+	if s1.Host.BW < 800 {
+		t.Errorf("sender PM BW = %v, want >= 800", s1.Host.BW)
+	}
+	if s2.Host.BW < 800 {
+		t.Errorf("receiver PM BW = %v, want >= 800", s2.Host.BW)
+	}
+	if s2.VMs["db"].BW < 790 {
+		t.Errorf("receiver VM BW = %v, want ~800", s2.VMs["db"].BW)
+	}
+	c := DefaultCalibration()
+	if s2.Dom0.CPU <= c.Dom0BaseCPU {
+		t.Error("receiver Dom0 should pay netback CPU for inbound traffic")
+	}
+}
+
+// Memory workloads: constant overheads per Section III-C.
+func TestMemoryRunConstants(t *testing.T) {
+	s := runSingle(t, 1, Demand{MemMB: 50})
+	if math.Abs(s.Dom0.CPU-16.8) > 0.5 {
+		t.Errorf("Dom0 CPU in memory run = %v, want ~16.8", s.Dom0.CPU)
+	}
+	if s.HypervisorCPU < 2.3 || s.HypervisorCPU > 3.3 {
+		t.Errorf("hypervisor CPU in memory run = %v, want ~3", s.HypervisorCPU)
+	}
+	if math.Abs(s.Host.IO-18.8) > 1.5 {
+		t.Errorf("PM IO in memory run = %v, want ~18.8", s.Host.IO)
+	}
+	if math.Abs(s.Host.BW-2.032) > 0.3 {
+		t.Errorf("PM BW in memory run = %v Kb/s, want ~2.03 (254 B/s)", s.Host.BW)
+	}
+	// PM memory = Dom0 + sum of VM memory.
+	vm := s.VMs["a-vm"]
+	if math.Abs(s.Host.Mem-(s.Dom0.Mem+vm.Mem)) > 1e-6 {
+		t.Errorf("PM mem %v != Dom0 %v + VM %v", s.Host.Mem, s.Dom0.Mem, vm.Mem)
+	}
+}
+
+func TestVMMemCapRespected(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "small", 128)
+	vm.SetSource(constSource(Demand{MemMB: 4096}))
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	if s.VMs["small"].Mem > 128+1e-9 {
+		t.Errorf("VM mem = %v, want capped at 128", s.VMs["small"].Mem)
+	}
+}
+
+func TestPMCPUIsSumOfDomains(t *testing.T) {
+	s := runSingle(t, 2, Demand{CPU: 40})
+	want := s.Dom0.CPU + s.HypervisorCPU + s.GuestCPUSum()
+	if math.Abs(s.Host.CPU-want) > 1e-9 {
+		t.Errorf("PM CPU = %v, want sum of domains %v", s.Host.CPU, want)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Snapshot {
+		cl := NewCluster()
+		pm := cl.AddPM("pm1")
+		vm := cl.AddVM(pm, "v", 512)
+		vm.SetSource(constSource(Demand{CPU: 50, IOBlocks: 20, Flows: []Flow{{Kbps: 100}}}))
+		e := NewEngine(cl, DefaultCalibration(), 99) // noise on
+		e.Advance(10)
+		return e.Snapshot(pm)
+	}
+	a, b := run(), run()
+	if a.Dom0 != b.Dom0 || a.Host != b.Host || a.HypervisorCPU != b.HypervisorCPU {
+		t.Error("same seed must produce identical trajectories")
+	}
+}
+
+func TestClusterTopologyOps(t *testing.T) {
+	cl := NewCluster()
+	p1 := cl.AddPM("pm1")
+	p2 := cl.AddPM("pm2")
+	vm := cl.AddVM(p1, "v1", 256)
+	if got, ok := cl.LookupVM("v1"); !ok || got != vm {
+		t.Fatal("LookupVM failed")
+	}
+	if vm.PM() != p1 {
+		t.Error("VM on wrong PM")
+	}
+	if err := cl.MigrateVM("v1", p2); err != nil {
+		t.Fatal(err)
+	}
+	if vm.PM() != p2 || len(p1.VMs) != 0 || len(p2.VMs) != 1 {
+		t.Error("migration did not move the VM")
+	}
+	if err := cl.MigrateVM("v1", p2); err != nil {
+		t.Errorf("same-PM migration should be a no-op, got %v", err)
+	}
+	if err := cl.MigrateVM("nope", p1); err == nil {
+		t.Error("migrating unknown VM should fail")
+	}
+	cl.RemoveVM("v1")
+	if _, ok := cl.LookupVM("v1"); ok {
+		t.Error("RemoveVM left the VM in the index")
+	}
+	cl.RemoveVM("nope") // must not panic
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	cl := NewCluster()
+	cl.AddPM("pm1")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate PM name should panic")
+			}
+		}()
+		cl.AddPM("pm1")
+	}()
+	pm2 := cl.AddPM("pm2")
+	cl.AddVM(pm2, "v", 256)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate VM name should panic")
+		}
+	}()
+	cl.AddVM(pm2, "v", 256)
+}
+
+func TestUnknownFlowDestinationIsExternal(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVM(pm, "v", 512)
+	vm.SetSource(constSource(Demand{Flows: []Flow{{DstVM: "ghost", Kbps: 500}}}))
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(1)
+	s := e.Snapshot(pm)
+	if s.Host.BW < 500 {
+		t.Errorf("unknown destination should behave as external; PM BW = %v", s.Host.BW)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	cl := NewCluster()
+	cl.AddPM("pm1")
+	e := NewEngine(cl, noiseless(), 1)
+	if e.Now() != 0 {
+		t.Errorf("initial Now = %v", e.Now())
+	}
+	e.Advance(5)
+	if e.Now() != 5 {
+		t.Errorf("Now after 5 steps = %v, want 5", e.Now())
+	}
+}
+
+func TestDemandTotalKbps(t *testing.T) {
+	d := Demand{Flows: []Flow{{Kbps: 10}, {Kbps: 5.5}}}
+	if got := d.TotalKbps(); math.Abs(got-15.5) > 1e-12 {
+		t.Errorf("TotalKbps = %v, want 15.5", got)
+	}
+	if got := (Demand{}).TotalKbps(); got != 0 {
+		t.Errorf("empty TotalKbps = %v, want 0", got)
+	}
+}

@@ -1,0 +1,128 @@
+package xen
+
+import (
+	"fmt"
+
+	"virtover/internal/units"
+)
+
+// Live migration: Xen's pre-copy scheme ships the guest's memory over the
+// management network while the guest keeps running on the source; pages
+// dirtied during the copy are re-sent (the dirty factor), then a brief
+// stop-and-copy switches execution to the destination. During the copy
+// both hosts' NICs carry the stream and both Dom0s pay the per-Kb/s
+// network-processing cost — the same netback path as guest traffic.
+
+// liveMigration is one in-flight migration.
+type liveMigration struct {
+	vm          *VM
+	dst         *PM
+	remainingKb float64
+}
+
+// MigrationStatus describes an in-flight migration.
+type MigrationStatus struct {
+	VM          string
+	From, To    string
+	RemainingMB float64
+}
+
+// BeginLiveMigration starts a pre-copy migration of the named VM to dst.
+// The guest keeps running on its source PM until the copy completes, at
+// which point it switches to dst. It fails for unknown VMs, same-PM
+// targets, or a VM already migrating.
+func (e *Engine) BeginLiveMigration(name string, dst *PM) error {
+	vm, ok := e.Cluster.LookupVM(name)
+	if !ok {
+		return fmt.Errorf("xen: BeginLiveMigration: unknown VM %q", name)
+	}
+	if vm.pm == dst {
+		return fmt.Errorf("xen: BeginLiveMigration: %q already on %s", name, dst.Name)
+	}
+	for _, m := range e.migrations {
+		if m.vm == vm {
+			return fmt.Errorf("xen: BeginLiveMigration: %q already migrating", name)
+		}
+	}
+	factor := e.Calib.MigrationDirtyFactor
+	if factor < 1 {
+		factor = 1
+	}
+	kb := vm.MemCapMB * 8000 * factor // 1 MB = 8000 Kb
+	e.migrations = append(e.migrations, &liveMigration{vm: vm, dst: dst, remainingKb: kb})
+	return nil
+}
+
+// Migrations lists the in-flight migrations.
+func (e *Engine) Migrations() []MigrationStatus {
+	out := make([]MigrationStatus, 0, len(e.migrations))
+	for _, m := range e.migrations {
+		out = append(out, MigrationStatus{
+			VM:          m.vm.Name,
+			From:        m.vm.pm.Name,
+			To:          m.dst.Name,
+			RemainingMB: m.remainingKb / 8000,
+		})
+	}
+	return out
+}
+
+// migrationLoad is the per-PM extra NIC traffic and Dom0 CPU from
+// migrations during one step.
+type migrationLoad struct {
+	nicKbps float64
+	dom0CPU float64
+}
+
+// stepMigrations advances in-flight copies by one step and returns the
+// per-PM extra load. Completed migrations move their VM.
+func (e *Engine) stepMigrations() map[*PM]migrationLoad {
+	if len(e.migrations) == 0 {
+		return nil
+	}
+	c := &e.Calib
+	loads := make(map[*PM]migrationLoad)
+	keep := e.migrations[:0]
+	for _, m := range e.migrations {
+		rate := c.MigrationRateKbps
+		if rate <= 0 {
+			rate = 400000
+		}
+		sent := rate * e.Step
+		if sent > m.remainingKb {
+			sent = m.remainingKb
+		}
+		kbps := sent / e.Step
+		for _, pm := range []*PM{m.vm.pm, m.dst} {
+			l := loads[pm]
+			l.nicKbps += kbps
+			l.dom0CPU += c.Dom0CPUPerKbps * kbps
+			loads[pm] = l
+		}
+		m.remainingKb -= sent
+		if m.remainingKb <= 0 {
+			// Stop-and-copy: switch execution to the destination.
+			_ = e.Cluster.MigrateVM(m.vm.Name, m.dst)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	e.migrations = keep
+	return loads
+}
+
+// migrationUtil folds migration load into a PM's reported utilization.
+func applyMigrationLoad(pm *PM, loads map[*PM]migrationLoad, capBW float64) {
+	l, ok := loads[pm]
+	if !ok {
+		return
+	}
+	pm.dom0Util = pm.dom0Util.Add(units.V(l.dom0CPU, 0, 0, 0))
+	host := pm.pmUtil
+	host.CPU += l.dom0CPU
+	host.BW += l.nicKbps
+	if host.BW > capBW {
+		host.BW = capBW
+	}
+	pm.pmUtil = host
+}

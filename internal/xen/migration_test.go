@@ -1,0 +1,113 @@
+package xen
+
+import (
+	"math"
+	"testing"
+)
+
+func migrationFixture(t *testing.T) (*Engine, *Cluster, *PM, *PM) {
+	t.Helper()
+	cl := NewCluster()
+	p1 := cl.AddPM("pm1")
+	p2 := cl.AddPM("pm2")
+	vm := cl.AddVM(p1, "guest", 256)
+	vm.SetSource(constSource(Demand{CPU: 40}))
+	e := NewEngine(cl, noiseless(), 1)
+	return e, cl, p1, p2
+}
+
+func TestLiveMigrationValidation(t *testing.T) {
+	e, _, p1, p2 := migrationFixture(t)
+	if err := e.BeginLiveMigration("ghost", p2); err == nil {
+		t.Error("unknown VM should fail")
+	}
+	if err := e.BeginLiveMigration("guest", p1); err == nil {
+		t.Error("same-PM migration should fail")
+	}
+	if err := e.BeginLiveMigration("guest", p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BeginLiveMigration("guest", p2); err == nil {
+		t.Error("double migration should fail")
+	}
+}
+
+func TestLiveMigrationDuration(t *testing.T) {
+	e, _, p1, p2 := migrationFixture(t)
+	if err := e.BeginLiveMigration("guest", p2); err != nil {
+		t.Fatal(err)
+	}
+	// 256 MB x 8000 Kb/MB x 1.3 / 400000 Kbps = 6.66 s -> completes on
+	// step 7.
+	wantSteps := int(math.Ceil(256 * 8000 * 1.3 / 400000))
+	steps := 0
+	for len(e.Migrations()) > 0 {
+		e.Advance(1)
+		steps++
+		if steps > wantSteps+2 {
+			t.Fatalf("migration did not finish after %d steps", steps)
+		}
+	}
+	if steps < wantSteps-1 || steps > wantSteps+1 {
+		t.Errorf("migration took %d steps, want ~%d", steps, wantSteps)
+	}
+	vm, _ := e.Cluster.LookupVM("guest")
+	if vm.PM() != p2 {
+		t.Error("guest should run on pm2 after the copy")
+	}
+	if len(p1.VMs) != 0 || len(p2.VMs) != 1 {
+		t.Error("topology not updated")
+	}
+}
+
+func TestLiveMigrationTrafficVisible(t *testing.T) {
+	e, _, p1, p2 := migrationFixture(t)
+	e.Advance(1)
+	idleBW := e.Snapshot(p2).Host.BW
+	if err := e.BeginLiveMigration("guest", p2); err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(1)
+	s1, s2 := e.Snapshot(p1), e.Snapshot(p2)
+	// Both NICs carry the ~400 Mb/s copy stream.
+	if s1.Host.BW < 300000 || s2.Host.BW < 300000 {
+		t.Errorf("copy traffic missing: src %v, dst %v Kb/s", s1.Host.BW, s2.Host.BW)
+	}
+	if idleBW > 100 && s2.Host.BW <= idleBW {
+		t.Error("destination BW should spike during the copy")
+	}
+	// Both Dom0s pay the netback cost (~0.0105 x 400000 is capped by
+	// saturation; expect a large rise).
+	if s1.Dom0.CPU < 30 || s2.Dom0.CPU < 30 {
+		t.Errorf("Dom0 migration cost missing: src %v, dst %v", s1.Dom0.CPU, s2.Dom0.CPU)
+	}
+}
+
+func TestGuestRunsDuringMigration(t *testing.T) {
+	e, _, p1, p2 := migrationFixture(t)
+	if err := e.BeginLiveMigration("guest", p2); err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(2) // mid-copy
+	s1 := e.Snapshot(p1)
+	if got := s1.VMs["guest"].CPU; math.Abs(got-40.4) > 1.5 {
+		t.Errorf("guest CPU during copy = %v, want ~40 (still on source)", got)
+	}
+	if len(e.Migrations()) == 0 {
+		t.Fatal("migration should still be in flight")
+	}
+	st := e.Migrations()[0]
+	if st.From != "pm1" || st.To != "pm2" || st.VM != "guest" {
+		t.Errorf("status = %+v", st)
+	}
+	if st.RemainingMB <= 0 || st.RemainingMB >= 256*1.3 {
+		t.Errorf("remaining = %v MB, want mid-copy", st.RemainingMB)
+	}
+}
+
+func TestMigrationStatusEmpty(t *testing.T) {
+	e, _, _, _ := migrationFixture(t)
+	if got := e.Migrations(); len(got) != 0 {
+		t.Errorf("idle engine migrations = %v", got)
+	}
+}

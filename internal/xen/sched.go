@@ -1,0 +1,102 @@
+package xen
+
+import "sort"
+
+// WaterFillWeighted allocates a shared pool across demands with weighted
+// max-min fairness, the behaviour of Xen's credit scheduler with per-domain
+// weights: capacity is offered proportionally to weight, and capacity
+// declined by small demands is redistributed to the rest, again by weight.
+// Non-positive weights are treated as 1. It returns the per-demand
+// allocation, aligned with demands, and panics if the slices differ in
+// length.
+//
+// Invariants (property-tested): 0 <= alloc[i] <= demand[i]; sum(alloc) <=
+// pool; if sum(demand) <= pool then alloc == demand; with equal weights it
+// equals WaterFill; among backlogged demands allocations are proportional
+// to weights.
+func WaterFillWeighted(demands, weights []float64, pool float64) []float64 {
+	if len(demands) != len(weights) {
+		panic("xen: WaterFillWeighted: demands and weights differ in length")
+	}
+	n := len(demands)
+	alloc := make([]float64, n)
+	if n == 0 || pool <= 0 {
+		return alloc
+	}
+	w := make([]float64, n)
+	for i, wi := range weights {
+		if wi <= 0 {
+			wi = 1
+		}
+		w[i] = wi
+	}
+	// Sort by demand/weight so the relatively smallest demands settle
+	// first; remaining capacity is re-shared by weight among the rest.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return demands[idx[a]]/w[idx[a]] < demands[idx[b]]/w[idx[b]]
+	})
+	remaining := pool
+	var weightLeft float64
+	for _, i := range idx {
+		weightLeft += w[i]
+	}
+	for _, i := range idx {
+		d := demands[i]
+		if d < 0 {
+			d = 0
+		}
+		share := remaining * w[i] / weightLeft
+		if d <= share {
+			alloc[i] = d
+		} else {
+			alloc[i] = share
+		}
+		remaining -= alloc[i]
+		weightLeft -= w[i]
+	}
+	return alloc
+}
+
+// WaterFill allocates a shared pool across demands with max-min fairness,
+// the behaviour of Xen's credit scheduler with equal weights: every demand
+// is satisfied up to an equal share, and capacity left over by small
+// demands is redistributed to larger ones. It returns the per-demand
+// allocation, aligned with demands.
+//
+// Invariants (property-tested): 0 <= alloc[i] <= demand[i]; sum(alloc) <=
+// pool; if sum(demand) <= pool then alloc == demand; equal demands receive
+// equal allocations.
+func WaterFill(demands []float64, pool float64) []float64 {
+	n := len(demands)
+	alloc := make([]float64, n)
+	if n == 0 || pool <= 0 {
+		return alloc
+	}
+	// Work on indices sorted by demand so we can satisfy small demands
+	// first and redistribute.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return demands[idx[a]] < demands[idx[b]] })
+
+	remaining := pool
+	for k, i := range idx {
+		d := demands[i]
+		if d < 0 {
+			d = 0
+		}
+		share := remaining / float64(n-k)
+		if d <= share {
+			alloc[i] = d
+		} else {
+			alloc[i] = share
+		}
+		remaining -= alloc[i]
+	}
+	return alloc
+}

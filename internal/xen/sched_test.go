@@ -1,0 +1,141 @@
+package xen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaterFillNoContention(t *testing.T) {
+	d := []float64{10, 20, 30}
+	a := WaterFill(d, 100)
+	if !reflect.DeepEqual(a, d) {
+		t.Errorf("uncontended WaterFill = %v, want %v", a, d)
+	}
+}
+
+func TestWaterFillEqualDemandsEqualShares(t *testing.T) {
+	d := []float64{100, 100}
+	a := WaterFill(d, 190)
+	if math.Abs(a[0]-95) > 1e-9 || math.Abs(a[1]-95) > 1e-9 {
+		t.Errorf("2x100 over 190 = %v, want [95 95] (Fig. 3a)", a)
+	}
+	d4 := []float64{100, 100, 100, 100}
+	a4 := WaterFill(d4, 190)
+	for i, v := range a4 {
+		if math.Abs(v-47.5) > 1e-9 {
+			t.Errorf("4x100 over 190: alloc[%d] = %v, want 47.5 (Fig. 4a)", i, v)
+		}
+	}
+}
+
+func TestWaterFillRedistribution(t *testing.T) {
+	// The small demand's leftover goes to the big one.
+	a := WaterFill([]float64{10, 100}, 60)
+	if math.Abs(a[0]-10) > 1e-9 || math.Abs(a[1]-50) > 1e-9 {
+		t.Errorf("WaterFill = %v, want [10 50]", a)
+	}
+}
+
+func TestWaterFillEdgeCases(t *testing.T) {
+	if a := WaterFill(nil, 100); len(a) != 0 {
+		t.Errorf("empty demands: %v", a)
+	}
+	if a := WaterFill([]float64{5, 5}, 0); a[0] != 0 || a[1] != 0 {
+		t.Errorf("zero pool: %v", a)
+	}
+	if a := WaterFill([]float64{-5, 10}, 100); a[0] != 0 || a[1] != 10 {
+		t.Errorf("negative demand: %v, want [0 10]", a)
+	}
+}
+
+func TestWaterFillThreeWay(t *testing.T) {
+	a := WaterFill([]float64{30, 60, 90}, 120)
+	// Fair share 40: first takes 30, leftover splits 45/45 each capped by
+	// demand -> [30, 45, 45].
+	want := []float64{30, 45, 45}
+	for i := range want {
+		if math.Abs(a[i]-want[i]) > 1e-9 {
+			t.Errorf("WaterFill = %v, want %v", a, want)
+			break
+		}
+	}
+}
+
+// Properties of the scheduler.
+func TestQuickWaterFillInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = r.Float64() * 120
+			}
+			args[0] = reflect.ValueOf(d)
+			args[1] = reflect.ValueOf(r.Float64() * 400)
+		},
+	}
+	f := func(d []float64, pool float64) bool {
+		a := WaterFill(d, pool)
+		if len(a) != len(d) {
+			return false
+		}
+		var sumA, sumD float64
+		for i := range d {
+			if a[i] < -1e-9 || a[i] > d[i]+1e-9 {
+				return false
+			}
+			sumA += a[i]
+			sumD += d[i]
+		}
+		if sumA > pool+1e-9 {
+			return false
+		}
+		// Work conservation: if demand exceeds pool, the pool is fully used.
+		if sumD >= pool && math.Abs(sumA-pool) > 1e-6 {
+			return false
+		}
+		// If demand fits, everyone gets their demand.
+		if sumD <= pool {
+			for i := range d {
+				if math.Abs(a[i]-d[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWaterFillEqualTreatment(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Float64() * 100)
+			args[1] = reflect.ValueOf(2 + r.Intn(6))
+			args[2] = reflect.ValueOf(r.Float64() * 300)
+		},
+	}
+	f := func(d float64, n int, pool float64) bool {
+		demands := make([]float64, n)
+		for i := range demands {
+			demands[i] = d
+		}
+		a := WaterFill(demands, pool)
+		for i := 1; i < n; i++ {
+			if math.Abs(a[i]-a[0]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

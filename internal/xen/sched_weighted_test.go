@@ -1,0 +1,213 @@
+package xen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaterFillWeightedEqualsUnweighted(t *testing.T) {
+	demands := []float64{10, 95, 40, 70, 100}
+	w := []float64{256, 256, 256, 256, 256}
+	a := WaterFill(demands, 190)
+	b := WaterFillWeighted(demands, w, 190)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("equal weights must match WaterFill: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWaterFillWeightedProportional(t *testing.T) {
+	// Both backlogged: 2:1 weights split the pool 2:1.
+	a := WaterFillWeighted([]float64{100, 100}, []float64{2, 1}, 90)
+	if math.Abs(a[0]-60) > 1e-9 || math.Abs(a[1]-30) > 1e-9 {
+		t.Errorf("2:1 weighted split = %v, want [60 30]", a)
+	}
+}
+
+func TestWaterFillWeightedRedistribution(t *testing.T) {
+	// The light demand settles; its unused weighted share goes to the
+	// heavy one.
+	a := WaterFillWeighted([]float64{10, 100}, []float64{3, 1}, 80)
+	if math.Abs(a[0]-10) > 1e-9 || math.Abs(a[1]-70) > 1e-9 {
+		t.Errorf("redistribution = %v, want [10 70]", a)
+	}
+}
+
+func TestWaterFillWeightedEdgeCases(t *testing.T) {
+	if got := WaterFillWeighted(nil, nil, 50); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Non-positive weights are treated as 1.
+	a := WaterFillWeighted([]float64{100, 100}, []float64{0, -5}, 100)
+	if math.Abs(a[0]-50) > 1e-9 || math.Abs(a[1]-50) > 1e-9 {
+		t.Errorf("defaulted weights = %v, want [50 50]", a)
+	}
+	// Negative demand clamps to zero.
+	b := WaterFillWeighted([]float64{-10, 50}, []float64{1, 1}, 100)
+	if b[0] != 0 || b[1] != 50 {
+		t.Errorf("negative demand = %v, want [0 50]", b)
+	}
+}
+
+func TestWaterFillWeightedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	WaterFillWeighted([]float64{1, 2}, []float64{1}, 10)
+}
+
+func TestQuickWaterFillWeightedInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			d := make([]float64, n)
+			w := make([]float64, n)
+			for i := range d {
+				d[i] = r.Float64() * 150
+				w[i] = 0.5 + r.Float64()*4
+			}
+			args[0] = reflect.ValueOf(d)
+			args[1] = reflect.ValueOf(w)
+			args[2] = reflect.ValueOf(r.Float64() * 400)
+		},
+	}
+	f := func(d, w []float64, pool float64) bool {
+		a := WaterFillWeighted(d, w, pool)
+		var sumA, sumD float64
+		for i := range d {
+			if a[i] < -1e-9 || a[i] > d[i]+1e-9 {
+				return false
+			}
+			sumA += a[i]
+			sumD += d[i]
+		}
+		if sumA > pool+1e-9 {
+			return false
+		}
+		if sumD <= pool {
+			for i := range d {
+				if math.Abs(a[i]-d[i]) > 1e-9 {
+					return false
+				}
+			}
+		} else if math.Abs(sumA-pool) > 1e-6 {
+			return false // work conservation
+		}
+		// Backlogged demands (alloc < demand) are weight-proportional.
+		type bl struct{ a, w float64 }
+		var back []bl
+		for i := range d {
+			if a[i] < d[i]-1e-6 {
+				back = append(back, bl{a[i], w[i]})
+			}
+		}
+		for i := 1; i < len(back); i++ {
+			r0 := back[0].a / back[0].w
+			ri := back[i].a / back[i].w
+			if math.Abs(r0-ri) > 1e-6*(1+r0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- Multi-VCPU guests ----
+
+func TestMultiVCPUCapacity(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVMConfig(pm, "big", 512, 2, 0)
+	if vm.VCPUs != 2 || vm.Weight != DefaultWeight {
+		t.Fatalf("config = %d VCPUs, weight %v", vm.VCPUs, vm.Weight)
+	}
+	if vm.CPUCapPercent() != 200 {
+		t.Errorf("CPUCapPercent = %v, want 200", vm.CPUCapPercent())
+	}
+	vm.SetSource(constSource(Demand{CPU: 170}))
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(2)
+	s := e.Snapshot(pm)
+	if math.Abs(s.VMs["big"].CPU-170.4) > 1 {
+		t.Errorf("2-VCPU guest CPU = %v, want ~170 (above a single VCPU)", s.VMs["big"].CPU)
+	}
+}
+
+func TestVCPUCountDefaultsAndClamps(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	vm := cl.AddVMConfig(pm, "v", 256, 0, -1)
+	if vm.VCPUs != 1 || vm.Weight != DefaultWeight {
+		t.Errorf("defaults not applied: %d VCPUs, weight %v", vm.VCPUs, vm.Weight)
+	}
+	// AddVM yields a single-VCPU default-weight guest.
+	vm2 := cl.AddVM(pm, "w", 256)
+	if vm2.VCPUs != 1 || vm2.Weight != DefaultWeight {
+		t.Errorf("AddVM defaults wrong: %d VCPUs, weight %v", vm2.VCPUs, vm2.Weight)
+	}
+}
+
+func TestMultiVCPUOverheadCosts(t *testing.T) {
+	// A 2-VCPU guest at 2x60% costs Dom0/hypervisor like two 1-VCPU
+	// guests at 60% (per-VCPU quadratic), plus the per-VCPU management
+	// delta, minus the per-VM management delta.
+	run := func(build func(cl *Cluster, pm *PM)) Snapshot {
+		cl := NewCluster()
+		pm := cl.AddPM("pm1")
+		build(cl, pm)
+		e := NewEngine(cl, noiseless(), 1)
+		e.Advance(2)
+		return e.Snapshot(pm)
+	}
+	c := DefaultCalibration()
+	one := run(func(cl *Cluster, pm *PM) {
+		vm := cl.AddVMConfig(pm, "big", 512, 2, 0)
+		vm.SetSource(constSource(Demand{CPU: 120}))
+	})
+	two := run(func(cl *Cluster, pm *PM) {
+		a := cl.AddVM(pm, "a", 512)
+		a.SetSource(constSource(Demand{CPU: 60}))
+		b := cl.AddVM(pm, "b", 512)
+		b.SetSource(constSource(Demand{CPU: 60}))
+	})
+	// Dom0: same ctl cost; the 2-VCPU guest pays Dom0PerVCPU while the
+	// two-guest setup pays Dom0PerVM.
+	wantDelta := c.Dom0PerVM - c.Dom0PerVCPU
+	if got := two.Dom0.CPU - one.Dom0.CPU; math.Abs(got-wantDelta) > 0.05 {
+		t.Errorf("Dom0 delta two-guests vs 2-VCPU = %v, want ~%v", got, wantDelta)
+	}
+}
+
+func TestWeightedContentionFavoursHeavyGuest(t *testing.T) {
+	cl := NewCluster()
+	pm := cl.AddPM("pm1")
+	heavy := cl.AddVMConfig(pm, "heavy", 512, 1, 512)
+	light := cl.AddVMConfig(pm, "light", 512, 1, 256)
+	heavy.SetSource(constSource(Demand{CPU: 100}))
+	light.SetSource(constSource(Demand{CPU: 100}))
+	// Force contention with two more demanding guests.
+	for _, n := range []string{"x", "y"} {
+		vm := cl.AddVM(pm, n, 512)
+		vm.SetSource(constSource(Demand{CPU: 100}))
+	}
+	e := NewEngine(cl, noiseless(), 1)
+	e.Advance(2)
+	s := e.Snapshot(pm)
+	h, l := s.VMs["heavy"].CPU, s.VMs["light"].CPU
+	if h <= l {
+		t.Errorf("weight-512 guest got %v, weight-256 got %v; want heavier > lighter", h, l)
+	}
+	if r := h / l; math.Abs(r-2) > 0.1 {
+		t.Errorf("allocation ratio = %v, want ~2 (proportional to weights)", r)
+	}
+}

@@ -1,0 +1,55 @@
+package xen
+
+import "virtover/internal/units"
+
+// Snapshot is a point-in-time ground-truth reading of one PM and its
+// domains. Monitor tools consume snapshots and add their own access
+// restrictions and measurement noise.
+type Snapshot struct {
+	Time float64
+	PM   string
+
+	// VMs maps VM name to its utilization.
+	VMs map[string]units.Vector
+	// Dom0 is the driver domain's utilization (IO and BW always zero).
+	Dom0 units.Vector
+	// HypervisorCPU is the hypervisor's CPU in percent.
+	HypervisorCPU float64
+	// Host is the PM-level utilization; Host.CPU = Dom0.CPU +
+	// HypervisorCPU + sum of guest CPU (the paper's indirect computation).
+	Host units.Vector
+}
+
+// Snapshot captures the current state of pm.
+func (e *Engine) Snapshot(pm *PM) Snapshot {
+	s := Snapshot{
+		Time:          e.now,
+		PM:            pm.Name,
+		VMs:           make(map[string]units.Vector, len(pm.VMs)),
+		Dom0:          pm.dom0Util,
+		HypervisorCPU: pm.hypCPU,
+		Host:          pm.pmUtil,
+	}
+	for _, vm := range pm.VMs {
+		s.VMs[vm.Name] = vm.util
+	}
+	return s
+}
+
+// GuestCPUSum returns the summed guest CPU of the snapshot.
+func (s Snapshot) GuestCPUSum() float64 {
+	var t float64
+	for _, v := range s.VMs {
+		t += v.CPU
+	}
+	return t
+}
+
+// GuestSum returns the componentwise sum of guest utilizations.
+func (s Snapshot) GuestSum() units.Vector {
+	var t units.Vector
+	for _, v := range s.VMs {
+		t = t.Add(v)
+	}
+	return t
+}

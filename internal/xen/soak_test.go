@@ -1,0 +1,90 @@
+package xen
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"virtover/internal/units"
+)
+
+// Soak test: a paper-sized cluster (7 PMs, 4 guests each, mixed workloads)
+// runs for an hour of simulated time; physical invariants must hold at
+// every step and nothing may drift.
+func TestSoakClusterInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cl := NewCluster()
+	calib := DefaultCalibration()
+	var pms []*PM
+	for p := 0; p < 7; p++ {
+		pm := cl.AddPM(fmt.Sprintf("pm%d", p+1))
+		pms = append(pms, pm)
+		for v := 0; v < 4; v++ {
+			name := fmt.Sprintf("pm%d-vm%d", p+1, v+1)
+			vm := cl.AddVMConfig(pm, name, 512, 1+v%2, 0)
+			idx := p*4 + v
+			d := Demand{
+				CPU:      float64(10 + (idx*17)%80),
+				MemMB:    float64((idx * 13) % 200),
+				IOBlocks: float64((idx * 7) % 60),
+			}
+			if idx%3 == 0 {
+				// Cross-PM stream to a guest on the next PM.
+				peer := fmt.Sprintf("pm%d-vm1", (p+1)%7+1)
+				d.Flows = []Flow{{DstVM: peer, Kbps: float64(50 + (idx*31)%800)}}
+			}
+			dd := d
+			vm.SetSource(SourceFunc(func(float64) Demand { return dd }))
+		}
+	}
+	e := NewEngine(cl, calib, 99)
+
+	checkPM := func(step int, pm *PM) {
+		s := e.Snapshot(pm)
+		// Multiplicative process noise (ProcessNoiseRel) rides on top of the
+		// allocation, so allow a few points of headroom over the nominal cap.
+		if s.Host.CPU < 0 || s.Host.CPU > calib.TotalCapCPU+6 {
+			t.Fatalf("step %d %s: PM CPU %v out of [0, %v+noise]", step, pm.Name, s.Host.CPU, calib.TotalCapCPU)
+		}
+		if math.IsNaN(s.Host.BW) || s.Host.BW < 0 || s.Host.BW > calib.PMBWCapKbps {
+			t.Fatalf("step %d %s: PM BW %v invalid", step, pm.Name, s.Host.BW)
+		}
+		sum := s.Dom0.CPU + s.HypervisorCPU + s.GuestCPUSum()
+		if math.Abs(s.Host.CPU-sum) > 1e-6 {
+			t.Fatalf("step %d %s: CPU identity broken: %v vs %v", step, pm.Name, s.Host.CPU, sum)
+		}
+		for name, v := range s.VMs {
+			if v.CPU < 0 || v.Mem < 0 || v.IO < 0 || v.BW < 0 {
+				t.Fatalf("step %d %s/%s: negative utilization %v", step, pm.Name, name, v)
+			}
+		}
+	}
+
+	var first, last []units.Vector
+	for step := 0; step < 3600; step++ {
+		e.Advance(1)
+		if step%200 == 0 {
+			for _, pm := range pms {
+				checkPM(step, pm)
+			}
+		}
+		if step == 100 {
+			for _, pm := range pms {
+				first = append(first, e.Snapshot(pm).Host)
+			}
+		}
+		if step == 3599 {
+			for _, pm := range pms {
+				last = append(last, e.Snapshot(pm).Host)
+			}
+		}
+	}
+	// Stationary workloads must not drift over the hour (beyond noise).
+	for i := range first {
+		if d := math.Abs(first[i].CPU - last[i].CPU); d > 8 {
+			t.Errorf("pm%d drifted: CPU %v -> %v", i+1, first[i].CPU, last[i].CPU)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package xen
+
+import (
+	"fmt"
+
+	"virtover/internal/units"
+)
+
+// VM is a guest virtual machine. Construct with Cluster.AddVM (one VCPU,
+// default scheduler weight) or Cluster.AddVMConfig.
+type VM struct {
+	Name     string
+	MemCapMB float64 // configured memory size
+	// VCPUs is the number of virtual CPUs; the guest's CPU utilization can
+	// reach 100% per VCPU. The paper's testbed VMs have one VCPU; the
+	// heterogeneous-configuration extension (the paper's future work) uses
+	// more.
+	VCPUs int
+	// Weight is the credit-scheduler weight (Xen's default is 256). Under
+	// contention, backlogged guests receive CPU proportionally to weight.
+	Weight float64
+	// capCPU is the credit-scheduler cap in %VCPU: the guest cannot
+	// consume more CPU than this even when the host is idle (Xen's `xm
+	// sched-credit -c`). Zero means uncapped. CloudScale's elastic scaling
+	// adjusts this knob online.
+	capCPU float64
+
+	pm     *PM
+	source Source
+
+	// util is the most recent per-step utilization (ground truth, before
+	// monitor noise).
+	util units.Vector
+}
+
+// CPUCapPercent returns the guest's CPU ceiling in %VCPU (100 per VCPU).
+func (v *VM) CPUCapPercent() float64 { return 100 * float64(v.VCPUs) }
+
+// SetCPUCap sets the credit-scheduler cap in %VCPU. Non-positive values
+// remove the cap.
+func (v *VM) SetCPUCap(cap float64) {
+	if cap <= 0 {
+		cap = 0
+	}
+	v.capCPU = cap
+}
+
+// CPUCap returns the current credit-scheduler cap (0 = uncapped).
+func (v *VM) CPUCap() float64 { return v.capCPU }
+
+// SetSource attaches the workload driving this VM. A nil source idles the
+// VM.
+func (v *VM) SetSource(s Source) {
+	if s == nil {
+		s = IdleSource
+	}
+	v.source = s
+}
+
+// PM returns the hosting physical machine.
+func (v *VM) PM() *PM { return v.pm }
+
+// Util returns the VM's utilization from the last engine step.
+func (v *VM) Util() units.Vector { return v.util }
+
+// PM is a physical machine: capacity, a driver domain, a hypervisor, and
+// hosted VMs.
+type PM struct {
+	Name     string
+	MemCapMB float64
+	VMs      []*VM
+
+	// Per-step state (ground truth).
+	dom0Util units.Vector
+	hypCPU   float64
+	pmUtil   units.Vector
+}
+
+// Dom0Util returns the driver domain's utilization from the last step.
+// Dom0's IO and BW components are always zero: it schedules guest requests
+// but issues no disk or NIC traffic of its own (Figs. 2b/2d).
+func (p *PM) Dom0Util() units.Vector { return p.dom0Util }
+
+// HypervisorCPU returns the hypervisor's CPU from the last step.
+func (p *PM) HypervisorCPU() float64 { return p.hypCPU }
+
+// PMUtil returns the host-level utilization from the last step. Its CPU
+// component is the sum of Dom0, hypervisor and guest CPU, matching the
+// paper's indirect PM CPU computation (Section III-C).
+func (p *PM) PMUtil() units.Vector { return p.pmUtil }
+
+// Cluster is a set of PMs sharing a physical network.
+type Cluster struct {
+	PMs []*PM
+
+	vmIndex map[string]*VM
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{vmIndex: make(map[string]*VM)}
+}
+
+// AddPM creates a PM with the testbed's memory capacity (2 GB) and adds it
+// to the cluster. PM names must be unique.
+func (c *Cluster) AddPM(name string) *PM {
+	for _, p := range c.PMs {
+		if p.Name == name {
+			panic(fmt.Sprintf("xen: duplicate PM name %q", name))
+		}
+	}
+	pm := &PM{Name: name, MemCapMB: 2048}
+	c.PMs = append(c.PMs, pm)
+	return pm
+}
+
+// DefaultWeight is Xen's default credit-scheduler domain weight.
+const DefaultWeight = 256
+
+// AddVM creates a single-VCPU VM with the default scheduler weight on pm
+// and registers it in the cluster's name index. VM names must be
+// cluster-unique.
+func (c *Cluster) AddVM(pm *PM, name string, memCapMB float64) *VM {
+	return c.AddVMConfig(pm, name, memCapMB, 1, DefaultWeight)
+}
+
+// AddVMConfig creates a VM with an explicit VCPU count and scheduler
+// weight (the heterogeneous-configuration extension). vcpus < 1 is treated
+// as 1 and weight <= 0 as the default.
+func (c *Cluster) AddVMConfig(pm *PM, name string, memCapMB float64, vcpus int, weight float64) *VM {
+	if _, dup := c.vmIndex[name]; dup {
+		panic(fmt.Sprintf("xen: duplicate VM name %q", name))
+	}
+	if vcpus < 1 {
+		vcpus = 1
+	}
+	if weight <= 0 {
+		weight = DefaultWeight
+	}
+	vm := &VM{Name: name, MemCapMB: memCapMB, VCPUs: vcpus, Weight: weight, pm: pm, source: IdleSource}
+	pm.VMs = append(pm.VMs, vm)
+	c.vmIndex[name] = vm
+	return vm
+}
+
+// LookupVM resolves a VM by name; ok is false for unknown names.
+func (c *Cluster) LookupVM(name string) (*VM, bool) {
+	v, ok := c.vmIndex[name]
+	return v, ok
+}
+
+// RemoveVM detaches a VM from its PM and the cluster index. Unknown names
+// are ignored.
+func (c *Cluster) RemoveVM(name string) {
+	vm, ok := c.vmIndex[name]
+	if !ok {
+		return
+	}
+	delete(c.vmIndex, name)
+	pm := vm.pm
+	for i, v := range pm.VMs {
+		if v == vm {
+			pm.VMs = append(pm.VMs[:i], pm.VMs[i+1:]...)
+			break
+		}
+	}
+	vm.pm = nil
+}
+
+// MigrateVM moves a VM to another PM (placement experiments use this).
+func (c *Cluster) MigrateVM(name string, dst *PM) error {
+	vm, ok := c.vmIndex[name]
+	if !ok {
+		return fmt.Errorf("xen: MigrateVM: unknown VM %q", name)
+	}
+	src := vm.pm
+	if src == dst {
+		return nil
+	}
+	for i, v := range src.VMs {
+		if v == vm {
+			src.VMs = append(src.VMs[:i], src.VMs[i+1:]...)
+			break
+		}
+	}
+	dst.VMs = append(dst.VMs, vm)
+	vm.pm = dst
+	return nil
+}

@@ -1,0 +1,542 @@
+// Package virtover is a library reproduction of "Profiling and
+// Understanding Virtualization Overhead in Cloud" (Chen, Patel, Shen, Zhou
+// — ICPP 2015): a measurement study of the resource-utilization overhead
+// that Xen virtualization imposes on a physical machine, a regression model
+// estimating that overhead from guest-VM utilizations, and an
+// overhead-aware VM-placement policy built on the model.
+//
+// The package is organised in three layers, all driven through this facade:
+//
+//   - A calibrated behavioural simulator of the Xen stack (PMs, guests,
+//     Dom0, hypervisor, credit scheduler, virtual disks, VIF/bridge/NIC
+//     network path) standing in for the paper's XenServer testbed, plus
+//     emulations of the xentop/top/mpstat/vmstat/ifconfig measurement
+//     tools and the paper's synchronized measurement script.
+//   - The virtualization-overhead estimation model (Eq. 1-3 of the paper):
+//     per-resource linear models fitted by OLS or least-median-of-squares
+//     regression, with a co-location term scaled by α(N) = N−1.
+//   - The evaluation harness: micro-benchmark campaigns regenerating the
+//     paper's Figures 2-5 and Tables I-III, trace-driven RUBiS prediction
+//     experiments (Figures 7-9) and the CloudScale-style VOA-vs-VOU
+//     placement experiment (Figure 10).
+//
+// Quick start:
+//
+//	model, err := virtover.FitModel(42, 120, virtover.FitOptions{})
+//	if err != nil { ... }
+//	pred := model.Predict([]virtover.Vector{{CPU: 50, Mem: 256, IO: 20, BW: 400}})
+//	fmt.Println(pred.PM) // estimated PM utilization incl. Dom0 + hypervisor
+//
+// See examples/ for runnable programs and DESIGN.md for the experiment
+// index.
+package virtover
+
+import (
+	"io"
+
+	"virtover/internal/cloudscale"
+	"virtover/internal/core"
+	"virtover/internal/exps"
+	"virtover/internal/monitor"
+	"virtover/internal/rubis"
+	"virtover/internal/scenario"
+	"virtover/internal/stats"
+	"virtover/internal/units"
+	"virtover/internal/workload"
+	"virtover/internal/xen"
+)
+
+// ---- Resource vectors ----
+
+// Vector is a four-dimensional resource utilization sample: CPU in %VCPU,
+// memory in MB, disk I/O in blocks/s, network bandwidth in Kb/s.
+type Vector = units.Vector
+
+// Resource identifies one of the four measured resource dimensions.
+type Resource = units.Resource
+
+// Resource dimensions in the coefficient order of the paper's Eq. (1).
+const (
+	CPU = units.CPU
+	Mem = units.Mem
+	IO  = units.IO
+	BW  = units.BW
+)
+
+// V constructs a Vector.
+func V(cpu, mem, io, bw float64) Vector { return units.V(cpu, mem, io, bw) }
+
+// ---- Simulated Xen stack ----
+
+// Cluster is a set of simulated physical machines sharing a network.
+type Cluster = xen.Cluster
+
+// PM is a simulated physical machine with a driver domain and hypervisor.
+type PM = xen.PM
+
+// VM is a simulated guest virtual machine.
+type VM = xen.VM
+
+// Engine advances a cluster through time under a Calibration's cost model.
+type Engine = xen.Engine
+
+// Calibration collects the behavioural constants of the simulated stack;
+// every constant cites the figure of the paper it reproduces.
+type Calibration = xen.Calibration
+
+// Snapshot is a ground-truth reading of one PM and its domains.
+type Snapshot = xen.Snapshot
+
+// Demand is a guest workload's per-step resource request.
+type Demand = xen.Demand
+
+// Flow is one outbound network stream of a guest.
+type Flow = xen.Flow
+
+// WorkloadSource produces the demand of a VM's workload over time.
+type WorkloadSource = xen.Source
+
+// NewCluster creates an empty cluster.
+func NewCluster() *Cluster { return xen.NewCluster() }
+
+// NewEngine creates a simulation engine with 1-second steps.
+func NewEngine(c *Cluster, calib Calibration, seed int64) *Engine {
+	return xen.NewEngine(c, calib, seed)
+}
+
+// DefaultCalibration returns the constants calibrated against the paper's
+// XenServer 6.2 testbed.
+func DefaultCalibration() Calibration { return xen.DefaultCalibration() }
+
+// ---- Workloads (Table II) ----
+
+// WorkloadKind identifies one of the paper's micro-benchmark families.
+type WorkloadKind = workload.Kind
+
+// The four Table II workload families.
+const (
+	WorkloadCPU = workload.CPU
+	WorkloadMEM = workload.MEM
+	WorkloadIO  = workload.IO
+	WorkloadBW  = workload.BW
+)
+
+// WorkloadOptions tunes generator realism.
+type WorkloadOptions = workload.Options
+
+// NewWorkload creates a lookbusy/ping-style generator at the given
+// intensity (Table II native units).
+func NewWorkload(kind WorkloadKind, level float64, opt WorkloadOptions) WorkloadSource {
+	return workload.New(kind, level, opt)
+}
+
+// WorkloadLevels returns the five Table II intensity levels of a family.
+func WorkloadLevels(kind WorkloadKind) []float64 { return workload.Levels(kind) }
+
+// CombineWorkloads merges several sources into one mixed VM workload.
+func CombineWorkloads(sources ...WorkloadSource) WorkloadSource {
+	return workload.Combine(sources...)
+}
+
+// ReplayWorkload plays back a recorded per-second demand sequence.
+func ReplayWorkload(demands []Demand, loop bool) WorkloadSource {
+	return workload.Replay(demands, loop)
+}
+
+// WorkloadPhase is one segment of a piecewise-constant workload.
+type WorkloadPhase = workload.Phase
+
+// StepsWorkload builds a piecewise-constant source from phases.
+func StepsWorkload(phases []WorkloadPhase) WorkloadSource { return workload.Steps(phases) }
+
+// ---- Measurement (Table I, Section III-A) ----
+
+// Measurement is one synchronized multi-tool reading of a PM.
+type Measurement = monitor.Measurement
+
+// MeasurementScript orchestrates the emulated tools at a fixed interval.
+type MeasurementScript = monitor.Script
+
+// NoiseProfile holds per-tool measurement-noise levels.
+type NoiseProfile = monitor.NoiseProfile
+
+// DefaultScript mirrors the paper's 1 Hz x 120 s measurement campaign.
+func DefaultScript(seed int64) MeasurementScript { return monitor.DefaultScript(seed) }
+
+// AverageMeasurements collapses a per-sample series (as returned by
+// MeasurementScript.Run) into one mean Measurement per PM, which is what
+// the paper reports per experiment.
+func AverageMeasurements(series [][]Measurement) []Measurement { return monitor.Average(series) }
+
+// ---- Overhead estimation model (Section V) ----
+
+// Model is the fitted virtualization-overhead estimation model (Eq. 1-3).
+type Model = core.Model
+
+// ModelSample is one training or evaluation observation.
+type ModelSample = core.Sample
+
+// FitOptions configures model training.
+type FitOptions = core.FitOptions
+
+// Prediction is the model output for one PM.
+type Prediction = core.Prediction
+
+// Regression estimators for model fitting. MethodLMS is the paper's
+// least-median-of-squares choice; MethodOLS is the classical baseline.
+const (
+	MethodOLS = core.MethodOLS
+	MethodLMS = core.MethodLMS
+)
+
+// Train fits the model from single-VM and multi-VM samples (Eq. 2 and 3).
+func Train(single, multi []ModelSample, opt FitOptions) (*Model, error) {
+	return core.Train(single, multi, opt)
+}
+
+// FitModel runs the full micro-benchmark study on the simulator and fits
+// the model from its measurements, the paper's end-to-end training
+// pipeline. samplesPerRun <= 0 selects a fast default.
+func FitModel(seed int64, samplesPerRun int, opt FitOptions) (*Model, error) {
+	return exps.FitModel(seed, samplesPerRun, opt)
+}
+
+// SamplesFromSeries converts a measurement series into model samples.
+func SamplesFromSeries(series [][]Measurement) []ModelSample {
+	return core.SamplesFromSeries(series)
+}
+
+// ---- Heterogeneous-configuration extension (the paper's future work) ----
+
+// ConfigModel is the configuration-aware overhead model: the Eq. 1-3
+// feature vector extended with VCPU-configuration features, implementing
+// the extension the paper leaves as future work (Section VII).
+type ConfigModel = core.ConfigModel
+
+// ConfigSample is a model observation carrying VM-configuration data.
+type ConfigSample = core.ConfigSample
+
+// GuestConfig describes one guest (utilization + VCPUs) for
+// configuration-aware prediction.
+type GuestConfig = core.GuestConfig
+
+// TrainConfig fits the configuration-aware model.
+func TrainConfig(single, multi []ConfigSample, opt FitOptions) (*ConfigModel, error) {
+	return core.TrainConfig(single, multi, opt)
+}
+
+// HeteroScenario is one heterogeneous measurement campaign.
+type HeteroScenario = exps.HeteroScenario
+
+// HeteroComparison is the base-vs-config-model accuracy comparison.
+type HeteroComparison = exps.HeteroComparison
+
+// RunHetero executes a heterogeneous campaign.
+func RunHetero(sc HeteroScenario) ([]ConfigSample, error) { return exps.RunHetero(sc) }
+
+// HeteroExperiment trains the base and configuration-aware models on a
+// diverse-configuration corpus and compares them on held-out deployments.
+func HeteroExperiment(seed int64, samplesPerRun int, opt FitOptions) (HeteroComparison, error) {
+	return exps.HeteroExperiment(seed, samplesPerRun, opt)
+}
+
+// ---- Robustness and workload-isolation studies ----
+
+// RobustnessResult compares OLS- and LMS-fitted models under glitch-prone
+// measurement tools.
+type RobustnessResult = exps.RobustnessResult
+
+// RobustnessExperiment quantifies why the paper fits with least median of
+// squares: tool glitches wreck OLS but not LMS.
+func RobustnessExperiment(seed int64, samplesPerRun int, glitchProb float64) (RobustnessResult, error) {
+	return exps.RobustnessExperiment(seed, samplesPerRun, glitchProb)
+}
+
+// IsolationResult compares isolated-workload training (Table II ladders)
+// against coupled-tool training (httperf/iperf/Fibonacci).
+type IsolationResult = exps.IsolationResult
+
+// IsolationExperiment quantifies the paper's Section III-B argument for
+// single-resource-intensive benchmarks.
+func IsolationExperiment(seed int64, samplesPerRun int, opt FitOptions) (IsolationResult, error) {
+	return exps.IsolationExperiment(seed, samplesPerRun, opt)
+}
+
+// TraceErrors holds per-sample offline prediction errors for one PM.
+type TraceErrors = exps.TraceErrors
+
+// EvaluateSeries applies a model offline to a recorded measurement series.
+func EvaluateSeries(m *Model, series [][]Measurement) (map[string]*TraceErrors, error) {
+	return exps.EvaluateSeries(m, series)
+}
+
+// RecordRUBiSTrace records the Figure 6 deployment as a measurement
+// series for offline replay.
+func RecordRUBiSTrace(sets, clientCount, duration int, seed int64) ([][]Measurement, error) {
+	return exps.RecordRUBiSTrace(sets, clientCount, duration, seed)
+}
+
+// ---- Experiments (Figures 2-10, Tables I-III) ----
+
+// Figure is a reproduced paper figure with plottable series.
+type Figure = exps.Figure
+
+// Series is one plotted curve of a Figure.
+type Series = exps.Series
+
+// MicroFigure regenerates Figures 2 (n=1), 3 (n=2) or 4 (n=4).
+func MicroFigure(n int, seed int64, samples int) ([]Figure, error) {
+	return exps.MicroFigure(n, seed, samples)
+}
+
+// Figure5 regenerates the intra-PM bandwidth experiment.
+func Figure5(seed int64, samples int) ([]Figure, error) { return exps.Figure5(seed, samples) }
+
+// PredictionResult holds per-sample prediction errors of one trace-driven
+// run (Figures 7-9).
+type PredictionResult = exps.PredictionResult
+
+// PredictionExperiment runs the Section VI-A trace-driven evaluation with
+// `sets` RUBiS applications (1, 2, 3 for Figures 7, 8, 9).
+func PredictionExperiment(m *Model, sets int, clients []int, duration int, seed int64) ([]PredictionResult, error) {
+	return exps.PredictionExperiment(m, sets, clients, duration, seed)
+}
+
+// PredictionFigures renders prediction results as the four CDF panels of a
+// figure.
+func PredictionFigures(figID string, results []PredictionResult, gridMax float64, gridPoints int) []Figure {
+	return exps.PredictionFigures(figID, results, gridMax, gridPoints)
+}
+
+// PlacementConfig parameterizes the Figure 10 experiment.
+type PlacementConfig = exps.PlacementConfig
+
+// ScenarioResult holds one (scenario, policy) cell of Figure 10.
+type ScenarioResult = exps.ScenarioResult
+
+// DefaultPlacementConfig mirrors the paper's Section VI-B setup.
+func DefaultPlacementConfig(seed int64) PlacementConfig { return exps.DefaultPlacementConfig(seed) }
+
+// PlacementExperiment runs the VOA-vs-VOU provisioning experiment.
+func PlacementExperiment(m *Model, cfg PlacementConfig) ([]ScenarioResult, error) {
+	return exps.PlacementExperiment(m, cfg)
+}
+
+// Figure10 renders placement results as the paper's two panels.
+func Figure10(results []ScenarioResult) []Figure { return exps.Figure10(results) }
+
+// RenderTableI prints the measurement-tool capability matrix.
+func RenderTableI() string { return exps.RenderTableI() }
+
+// RenderTableII prints the benchmark intensity ladders.
+func RenderTableII() string { return exps.RenderTableII() }
+
+// RenderTableIII prints the overhead-definition matrix.
+func RenderTableIII() string { return exps.RenderTableIII() }
+
+// ---- RUBiS workload (Section VI) ----
+
+// RubisConfig wires one simulated RUBiS application.
+type RubisConfig = rubis.Config
+
+// RubisProfile is the per-request cost profile of the two tiers.
+type RubisProfile = rubis.Profile
+
+// RubisApp is a running RUBiS instance.
+type RubisApp = rubis.App
+
+// RubisStats summarizes a RUBiS run.
+type RubisStats = rubis.Stats
+
+// NewRubis creates a RUBiS application instance.
+func NewRubis(cfg RubisConfig) *RubisApp { return rubis.New(cfg) }
+
+// DefaultRubisProfile is the browsing mix of the prediction experiments.
+func DefaultRubisProfile() RubisProfile { return rubis.DefaultProfile() }
+
+// HeavyRubisProfile is the bidding mix of the placement experiment.
+func HeavyRubisProfile() RubisProfile { return rubis.HeavyProfile() }
+
+// ConstClients returns a fixed client population function.
+func ConstClients(n float64) func(float64) float64 { return rubis.ConstClients(n) }
+
+// RampClients linearly ramps the client population (the paper's 300->700
+// ten-minute ramp).
+func RampClients(lo, hi, duration float64) func(float64) float64 {
+	return rubis.RampClients(lo, hi, duration)
+}
+
+// ---- Placement (Section VI-B) ----
+
+// PlacementPolicy selects overhead-aware (VOA) or overhead-unaware (VOU)
+// admission.
+type PlacementPolicy = cloudscale.Policy
+
+// Placement policies.
+const (
+	VOU = cloudscale.VOU
+	VOA = cloudscale.VOA
+)
+
+// Placer performs CloudScale-style sequential VM placement.
+type Placer = cloudscale.Placer
+
+// DemandPredictor performs CloudScale-style online demand prediction.
+type DemandPredictor = cloudscale.Predictor
+
+// NewDemandPredictor returns a predictor with CloudScale-like defaults.
+func NewDemandPredictor() *DemandPredictor { return cloudscale.NewPredictor() }
+
+// HotspotController watches measurements and recommends Sandpiper-style
+// migrations off overloaded PMs, with overhead-aware (VOA) or naive (VOU)
+// load estimation.
+type HotspotController = cloudscale.HotspotController
+
+// HotspotConfig tunes the hotspot controller.
+type HotspotConfig = cloudscale.HotspotConfig
+
+// Migration is one recommended VM move.
+type Migration = cloudscale.Migration
+
+// NewHotspotController creates a hotspot controller.
+func NewHotspotController(cfg HotspotConfig) (*HotspotController, error) {
+	return cloudscale.NewHotspotController(cfg)
+}
+
+// DefaultHotspotConfig returns Sandpiper-like controller settings.
+func DefaultHotspotConfig(p Placer) HotspotConfig { return cloudscale.DefaultHotspotConfig(p) }
+
+// AdmissionController performs per-PM admission checks — the paper's
+// "avoid mistakenly adopting new VMs" use case.
+type AdmissionController = cloudscale.AdmissionController
+
+// AdmissionDecision is an admission verdict with the estimated
+// post-admission utilization and headroom.
+type AdmissionDecision = cloudscale.AdmissionDecision
+
+// NewAdmissionController returns an admission controller with a relative
+// safety reserve.
+func NewAdmissionController(p Placer, reserve float64) (*AdmissionController, error) {
+	return cloudscale.NewAdmissionController(p, reserve)
+}
+
+// AdmissionConfig tunes the arrival-stream admission experiment.
+type AdmissionConfig = exps.AdmissionConfig
+
+// AdmissionResult summarizes one policy's admission run.
+type AdmissionResult = exps.AdmissionResult
+
+// AdmissionExperiment streams VM requests at a PM under VOA and VOU
+// admission and measures host overload.
+func AdmissionExperiment(m *Model, cfg AdmissionConfig) ([]AdmissionResult, error) {
+	return exps.AdmissionExperiment(m, cfg)
+}
+
+// MitigationConfig tunes the hotspot-mitigation experiment.
+type MitigationConfig = exps.MitigationConfig
+
+// MitigationResult reports the hotspot-mitigation experiment.
+type MitigationResult = exps.MitigationResult
+
+// MitigationExperiment overloads a PM hosting a RUBiS web tier and
+// measures whether the controller's migrations restore throughput.
+func MitigationExperiment(m *Model, cfg MitigationConfig) (MitigationResult, error) {
+	return exps.MitigationExperiment(m, cfg)
+}
+
+// ---- Elastic scaling (CloudScale's core mechanism, reference [8]) ----
+
+// Forecaster predicts next-interval VM demand; DemandPredictor and
+// SignaturePredictor implement it.
+type Forecaster = cloudscale.Forecaster
+
+// SignaturePredictor is the FFT-signature demand predictor: it recognizes
+// repeating demand patterns and anticipates swings instead of chasing
+// them.
+type SignaturePredictor = cloudscale.SignaturePredictor
+
+// NewSignaturePredictor returns a signature predictor with CloudScale-like
+// defaults.
+func NewSignaturePredictor() *SignaturePredictor { return cloudscale.NewSignaturePredictor() }
+
+// Scaler runs the per-VM elastic-scaling loop: predict demand, set the
+// credit-scheduler CPU cap with padding, react to cap hits.
+type Scaler = cloudscale.Scaler
+
+// ScalerConfig tunes the scaling loop.
+type ScalerConfig = cloudscale.ScalerConfig
+
+// NewScaler validates the config and returns a scaler.
+func NewScaler(cfg ScalerConfig) (*Scaler, error) { return cloudscale.NewScaler(cfg) }
+
+// DefaultScalerConfig returns CloudScale-like scaler settings.
+func DefaultScalerConfig(f Forecaster) ScalerConfig { return cloudscale.DefaultScalerConfig(f) }
+
+// ScalingConfig tunes the elastic-scaling experiment.
+type ScalingConfig = exps.ScalingConfig
+
+// ScalingResult summarizes one scaling policy's run.
+type ScalingResult = exps.ScalingResult
+
+// DefaultScalingConfig is the bursty on/off workload of the scaling
+// experiment.
+func DefaultScalingConfig(seed int64) ScalingConfig { return exps.DefaultScalingConfig(seed) }
+
+// ScalingExperiment compares static provisioning against sliding-window
+// and FFT-signature elastic scaling on a periodic workload.
+func ScalingExperiment(cfg ScalingConfig) ([]ScalingResult, error) {
+	return exps.ScalingExperiment(cfg)
+}
+
+// RenderScaling prints a scaling-experiment comparison table.
+func RenderScaling(results []ScalingResult) string { return exps.RenderScaling(results) }
+
+// ---- Full report ----
+
+// ReportConfig scales the full-reproduction report.
+type ReportConfig = exps.ReportConfig
+
+// QuickReportConfig finishes in seconds.
+func QuickReportConfig(seed int64) ReportConfig { return exps.QuickReportConfig(seed) }
+
+// PaperReportConfig mirrors the paper's experiment sizes.
+func PaperReportConfig(seed int64) ReportConfig { return exps.PaperReportConfig(seed) }
+
+// FullReport runs the complete reproduction and renders a markdown report.
+func FullReport(cfg ReportConfig) (string, error) { return exps.FullReport(cfg) }
+
+// ---- Model persistence ----
+
+// SaveModel writes a fitted model as JSON.
+func SaveModel(w io.Writer, m *Model) error { return core.SaveModel(w, m) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// ---- Scenarios ----
+
+// Scenario is a declarative simulation setup loaded from JSON.
+type Scenario = scenario.Scenario
+
+// ParseScenario decodes and validates a scenario file.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ---- Streaming aggregation ----
+
+// StreamAggregator folds an unbounded measurement stream into O(1)-memory
+// per-PM summaries (Welford moments + P² percentiles).
+type StreamAggregator = monitor.StreamAggregator
+
+// NewStreamAggregator creates an empty aggregator.
+func NewStreamAggregator() *StreamAggregator { return monitor.NewStreamAggregator() }
+
+// ---- Statistics ----
+
+// CDF is an empirical cumulative distribution function.
+type CDF = stats.CDF
+
+// NewCDF builds an empirical CDF from a sample.
+func NewCDF(sample []float64) *CDF { return stats.NewCDF(sample) }
+
+// Percentile returns the p-th percentile (0..100) of xs.
+func Percentile(xs []float64, p float64) float64 { return stats.Percentile(xs, p) }

@@ -1,0 +1,236 @@
+// Public-API tests: everything a downstream user touches goes through the
+// virtover facade; these tests exercise the documented entry points end to
+// end, independent of the internal packages' own suites.
+package virtover_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"virtover"
+)
+
+var (
+	apiModelOnce sync.Once
+	apiModel     *virtover.Model
+	apiModelErr  error
+)
+
+func apiFittedModel(t *testing.T) *virtover.Model {
+	t.Helper()
+	apiModelOnce.Do(func() {
+		apiModel, apiModelErr = virtover.FitModel(101, 15, virtover.FitOptions{})
+	})
+	if apiModelErr != nil {
+		t.Fatal(apiModelErr)
+	}
+	return apiModel
+}
+
+func TestFacadeVectorHelpers(t *testing.T) {
+	v := virtover.V(1, 2, 3, 4)
+	if v.CPU != 1 || v.Mem != 2 || v.IO != 3 || v.BW != 4 {
+		t.Errorf("V() = %v", v)
+	}
+	if virtover.CPU.String() != "cpu" || virtover.BW.Unit() != "Kb/s" {
+		t.Error("resource constants wrong")
+	}
+}
+
+func TestFacadeClusterLifecycle(t *testing.T) {
+	cl := virtover.NewCluster()
+	pm := cl.AddPM("host")
+	vm := cl.AddVM(pm, "guest", 512)
+	vm.SetSource(virtover.NewWorkload(virtover.WorkloadCPU, 50, virtover.WorkloadOptions{Seed: 1}))
+	e := virtover.NewEngine(cl, virtover.DefaultCalibration(), 9)
+	e.Advance(5)
+	s := e.Snapshot(pm)
+	if got := s.VMs["guest"].CPU; math.Abs(got-50.4) > 2 {
+		t.Errorf("guest CPU = %v, want ~50", got)
+	}
+	if s.Dom0.CPU < 16 {
+		t.Errorf("Dom0 CPU = %v, want background 16.8+", s.Dom0.CPU)
+	}
+}
+
+func TestFacadeMeasureAndAverage(t *testing.T) {
+	cl := virtover.NewCluster()
+	pm := cl.AddPM("host")
+	vm := cl.AddVM(pm, "guest", 512)
+	vm.SetSource(virtover.NewWorkload(virtover.WorkloadBW, 0.64, virtover.WorkloadOptions{Seed: 2}))
+	e := virtover.NewEngine(cl, virtover.DefaultCalibration(), 3)
+	script := virtover.DefaultScript(4)
+	script.Samples = 30
+	series, err := script.Run(e, []*virtover.PM{pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := virtover.AverageMeasurements(series)
+	if len(avg) != 1 {
+		t.Fatalf("averages = %d", len(avg))
+	}
+	if got := avg[0].VMs["guest"].BW; math.Abs(got-640) > 15 {
+		t.Errorf("averaged guest BW = %v, want ~640", got)
+	}
+}
+
+func TestFacadeModelTrainPredict(t *testing.T) {
+	m := apiFittedModel(t)
+	p := m.Predict([]virtover.Vector{virtover.V(40, 128, 10, 200)})
+	if p.Dom0CPU < 17 || p.Dom0CPU > 26 {
+		t.Errorf("Dom0 prediction = %v, want high-teens to low-twenties", p.Dom0CPU)
+	}
+	if p.PM.CPU <= 40 {
+		t.Errorf("PM CPU = %v must exceed the guest's own 40%%", p.PM.CPU)
+	}
+	ov := m.Overhead([]virtover.Vector{virtover.V(40, 128, 10, 200)})
+	if ov.CPU < 15 {
+		t.Errorf("CPU overhead = %v, want Dom0+hyp magnitude", ov.CPU)
+	}
+}
+
+func TestFacadeWorkloadLevels(t *testing.T) {
+	if got := virtover.WorkloadLevels(virtover.WorkloadIO); len(got) != 5 || got[4] != 72 {
+		t.Errorf("IO levels = %v", got)
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if !strings.Contains(virtover.RenderTableI(), "xentop") {
+		t.Error("Table I broken")
+	}
+	if !strings.Contains(virtover.RenderTableII(), "BW-intensive") {
+		t.Error("Table II broken")
+	}
+	if !strings.Contains(virtover.RenderTableIII(), "hypervisor") {
+		t.Error("Table III broken")
+	}
+}
+
+func TestFacadeMicroFigures(t *testing.T) {
+	figs, err := virtover.MicroFigure(1, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 || figs[0].ID != "2(a)" {
+		t.Errorf("figures = %d, first ID %s", len(figs), figs[0].ID)
+	}
+	if !strings.Contains(figs[0].Render(), "Dom0") {
+		t.Error("figure rendering broken")
+	}
+	f5, err := virtover.Figure5(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5) != 2 {
+		t.Errorf("Figure 5 panels = %d", len(f5))
+	}
+}
+
+func TestFacadePredictionPipeline(t *testing.T) {
+	m := apiFittedModel(t)
+	results, err := virtover.PredictionExperiment(m, 1, []int{500}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].PM1CPU) != 20 {
+		t.Fatalf("results shape wrong: %+v", results)
+	}
+	figs := virtover.PredictionFigures("7", results, 8, 9)
+	if len(figs) != 4 {
+		t.Errorf("prediction panels = %d", len(figs))
+	}
+	if p90 := virtover.Percentile(results[0].PM1CPU, 90); p90 > 10 {
+		t.Errorf("p90 error = %v%%, want single digits", p90)
+	}
+}
+
+func TestFacadePlacement(t *testing.T) {
+	m := apiFittedModel(t)
+	placer := virtover.Placer{
+		Policy:   virtover.VOA,
+		Model:    m,
+		Capacity: virtover.V(225.4, 1250, 5000, 1e6),
+	}
+	est, err := placer.Estimate([]virtover.Vector{virtover.V(60, 256, 0, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CPU <= 60 {
+		t.Errorf("VOA estimate = %v, must include overhead", est.CPU)
+	}
+	pred := virtover.NewDemandPredictor()
+	pred.Observe("vm", virtover.V(30, 100, 0, 0))
+	if got := pred.Predict("vm"); got.CPU <= 0 {
+		t.Errorf("predictor output = %v", got)
+	}
+}
+
+func TestFacadeRubis(t *testing.T) {
+	app := virtover.NewRubis(virtover.RubisConfig{
+		Profile: virtover.DefaultRubisProfile(),
+		Clients: virtover.ConstClients(500),
+		WebVM:   "w", DBVM: "d",
+	})
+	if x := app.OfferedThroughput(0); math.Abs(x-82) > 1 {
+		t.Errorf("offered throughput = %v, want ~82", x)
+	}
+	ramp := virtover.RampClients(300, 700, 600)
+	if ramp(300) != 500 {
+		t.Errorf("ramp midpoint = %v", ramp(300))
+	}
+	if virtover.HeavyRubisProfile().WebCPUPerReq <= virtover.DefaultRubisProfile().WebCPUPerReq {
+		t.Error("heavy profile should cost more")
+	}
+}
+
+func TestFacadeCDF(t *testing.T) {
+	c := virtover.NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("At(2) = %v", got)
+	}
+}
+
+func TestFacadeHotspotController(t *testing.T) {
+	m := apiFittedModel(t)
+	ctl, err := virtover.NewHotspotController(virtover.DefaultHotspotConfig(virtover.Placer{
+		Policy:   virtover.VOA,
+		Model:    m,
+		Capacity: virtover.V(225.4, 2048, 5000, 1e6),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl == nil {
+		t.Fatal("nil controller")
+	}
+}
+
+func TestFacadeTraceReplay(t *testing.T) {
+	m := apiFittedModel(t)
+	series, err := virtover.RecordRUBiSTrace(1, 400, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, err := virtover.EvaluateSeries(m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("PMs = %d", len(errs))
+	}
+}
+
+func TestFacadeHeteroExtension(t *testing.T) {
+	ss, err := virtover.RunHetero(virtover.HeteroScenario{
+		VCPUs: []int{2}, CPUFrac: 0.4, BWMbps: 0.2, Samples: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 10 || ss[0].ExtraVCPUs != 1 {
+		t.Fatalf("hetero samples wrong: %d, extra %d", len(ss), ss[0].ExtraVCPUs)
+	}
+}
