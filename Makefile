@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The full pre-commit gate: static checks, build, and the race-enabled
+# test suite.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine hot-path benchmarks with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .

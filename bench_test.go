@@ -17,6 +17,7 @@ import (
 	"virtover"
 	"virtover/internal/core"
 	"virtover/internal/exps"
+	"virtover/internal/monitor"
 	"virtover/internal/stats"
 	"virtover/internal/units"
 	"virtover/internal/workload"
@@ -363,6 +364,7 @@ func BenchmarkEngineStep(b *testing.B) {
 		vm.SetSource(workload.New(workload.CPU, 60, workload.Options{JitterRel: 0.01, Seed: int64(i)}))
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Advance(1)
@@ -387,6 +389,42 @@ func BenchmarkEngineBigCluster(b *testing.B) {
 		}
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
+
+// A paper-sized measurement campaign per step: the big cluster with the
+// full 1 Hz sample pipeline (decimate -> meter -> collector) attached to
+// every PM, the setup behind every figure of the paper. allocs/op here is
+// the cost of one *measured* simulated second.
+func BenchmarkEngineCampaignStep(b *testing.B) {
+	cl := xen.NewCluster()
+	for p := 0; p < 7; p++ {
+		pm := cl.AddPM(string(rune('A' + p)))
+		for v := 0; v < 4; v++ {
+			name := string(rune('A'+p)) + string(rune('a'+v))
+			vm := cl.AddVM(pm, name, 512)
+			idx := p*4 + v
+			d := xen.Demand{
+				CPU:      float64(10 + (idx*17)%80),
+				IOBlocks: float64((idx * 7) % 60),
+				Flows:    []xen.Flow{{Kbps: float64((idx * 31) % 900)}},
+			}
+			vm.SetSource(workload.Const(d))
+		}
+	}
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	col := monitor.NewCollector()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+	detach, err := script.Attach(e, nil, col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer detach()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Advance(1)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"virtover/internal/monitor"
+	"virtover/internal/sampling"
 	"virtover/internal/units"
 )
 
@@ -60,6 +61,43 @@ func NewHotspotController(cfg HotspotConfig) (*HotspotController, error) {
 		return nil, fmt.Errorf("cloudscale: VOA hotspot controller needs a model")
 	}
 	return &HotspotController{cfg: cfg, hot: make(map[string]int)}, nil
+}
+
+// HotspotSink adapts the controller to the sample pipeline: attach it
+// (behind a monitor.Meter) to the engine and it assembles the measured
+// stream back into per-step rows. Sinks run synchronously inside the
+// engine's step, where mutating the cluster is forbidden, so the sink only
+// buffers; the control loop calls Drain between Advance calls to run the
+// controller over every completed step and collect the recommended
+// migrations.
+type HotspotSink struct {
+	ctl  *HotspotController
+	col  monitor.Collector
+	next int // first row of col.Series() not yet observed
+}
+
+// NewHotspotSink wraps an existing controller.
+func NewHotspotSink(ctl *HotspotController) *HotspotSink {
+	return &HotspotSink{ctl: ctl}
+}
+
+// Consume implements sampling.Sink over measured samples.
+func (h *HotspotSink) Consume(s sampling.Sample) { h.col.Consume(s) }
+
+// Drain runs the controller over every step completed since the previous
+// Drain and returns the accumulated migration recommendations. Call it
+// between engine Advance calls, apply the actions, and keep advancing.
+func (h *HotspotSink) Drain() ([]Migration, error) {
+	var out []Migration
+	rows := h.col.Series()
+	for ; h.next < len(rows); h.next++ {
+		acts, err := h.ctl.Observe(rows[h.next])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, acts...)
+	}
+	return out, nil
 }
 
 // estimate applies the placer's policy to a measured PM.

@@ -5,6 +5,7 @@ import (
 
 	"virtover/internal/cloudscale"
 	"virtover/internal/core"
+	"virtover/internal/sampling"
 	"virtover/internal/simrand"
 	"virtover/internal/units"
 	"virtover/internal/xen"
@@ -78,10 +79,21 @@ func runAdmissionOnce(model *core.Model, cfg AdmissionConfig, policy cloudscale.
 	pm := cl.AddPM("pm1")
 	e := xen.NewEngine(cl, calib, cfg.Seed+1)
 
+	// Saturation accounting rides the engine's ground-truth sample stream:
+	// a stat sink tracks the host-CPU mean, a filtered counter the
+	// saturated seconds.
+	hostCPU := sampling.NewStatSink(sampling.SelectKind(sampling.KindHost, units.CPU))
+	var over sampling.Counter
+	e.AttachSink(hostCPU)
+	e.AttachSink(sampling.Filter{
+		Keep: func(s sampling.Sample) bool {
+			return s.Kind == sampling.KindHost && s.Util.CPU > calib.TotalCapCPU-3
+		},
+		Next: &over,
+	})
+
 	res := AdmissionResult{Policy: policy}
 	var resident []units.Vector
-	var overloadSeconds, totalSeconds int
-	var cpuSum float64
 
 	for i := 0; i < cfg.Arrivals; i++ {
 		// Request: a moderately loaded guest with some bandwidth.
@@ -99,20 +111,12 @@ func runAdmissionOnce(model *core.Model, cfg AdmissionConfig, policy cloudscale.
 				Flows: []xen.Flow{{Kbps: req.BW}}}
 			vm.SetSource(xen.SourceFunc(func(float64) xen.Demand { return d }))
 		}
-		// Run the colony and account for saturated seconds.
-		for s := 0; s < cfg.DwellSeconds; s++ {
-			e.Advance(1)
-			snap := e.Snapshot(pm)
-			totalSeconds++
-			cpuSum += snap.Host.CPU
-			if snap.Host.CPU > calib.TotalCapCPU-3 {
-				overloadSeconds++
-			}
-		}
+		// Run the colony; the sinks account for saturated seconds.
+		e.Advance(cfg.DwellSeconds)
 	}
-	if totalSeconds > 0 {
-		res.OverloadFrac = float64(overloadSeconds) / float64(totalSeconds)
-		res.MeanPMCPU = cpuSum / float64(totalSeconds)
+	if sum := hostCPU.Summary(); sum.N > 0 {
+		res.OverloadFrac = float64(over.Total) / float64(sum.N)
+		res.MeanPMCPU = sum.Mean
 	}
 	return res, nil
 }

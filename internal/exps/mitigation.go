@@ -95,16 +95,26 @@ func MitigationExperiment(model *core.Model, cfg MitigationConfig) (MitigationRe
 	res := MitigationResult{OfferedRate: app.OfferedThroughput(0)}
 	window := duration / 4
 	var beforeServed, afterServed float64
-	instruments := monitor.Script{IntervalSteps: 1, Samples: 1, Noise: monitor.DefaultNoise(), Seed: cfg.Seed + 99}
 
-	prevStats := app.Stats()
-	for step := 0; step < duration; step++ {
-		series, err := instruments.Run(e, []*xen.PM{pm1, pm2})
+	// The controller watches the measured sample stream through a
+	// HotspotSink; the loop advances the engine and drains buffered
+	// recommendations between steps (sinks must not migrate mid-step).
+	var hotspots *cloudscale.HotspotSink
+	if controller != nil {
+		hotspots = cloudscale.NewHotspotSink(controller)
+		script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: cfg.Seed + 99}
+		detach, err := script.Attach(e, []*xen.PM{pm1, pm2}, hotspots)
 		if err != nil {
 			return MitigationResult{}, err
 		}
-		if controller != nil {
-			actions, err := controller.Observe(series[0])
+		defer detach()
+	}
+
+	prevStats := app.Stats()
+	for step := 0; step < duration; step++ {
+		e.Advance(1)
+		if hotspots != nil {
+			actions, err := hotspots.Drain()
 			if err != nil {
 				return MitigationResult{}, err
 			}

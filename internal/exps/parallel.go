@@ -6,8 +6,10 @@ import (
 )
 
 // runParallel executes jobs 0..n-1 on a bounded worker pool and returns
-// the first error (all jobs still run to completion). Each job owns its
-// own simulation engine and RNG streams, so campaigns are embarrassingly
+// the error of the lowest-index failing job (all jobs still run to
+// completion) — wall-clock completion order varies across runs, job index
+// does not, so the reported error is deterministic. Each job owns its own
+// simulation engine and RNG streams, so campaigns are embarrassingly
 // parallel; callers preserve determinism by writing results into
 // index-addressed slots and flattening in index order afterwards.
 func runParallel(n int, job func(i int) error) error {
@@ -28,9 +30,10 @@ func runParallel(n int, job func(i int) error) error {
 		return first
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err1 error
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		err1   error
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -40,8 +43,8 @@ func runParallel(n int, job func(i int) error) error {
 			for i := range next {
 				if err := job(i); err != nil {
 					mu.Lock()
-					if err1 == nil {
-						err1 = err
+					if errIdx < 0 || i < errIdx {
+						errIdx, err1 = i, err
 					}
 					mu.Unlock()
 				}

@@ -116,7 +116,15 @@ func runScalingOnce(cfg ScalingConfig, policy ScalingPolicy) (ScalingResult, err
 		return xen.Demand{CPU: demandAt(t)}
 	}))
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), cfg.Seed)
-	instruments := monitor.Script{IntervalSteps: 1, Samples: 1, Noise: monitor.DefaultNoise(), Seed: cfg.Seed + 5}
+	// Attach the measurement pipeline once; the control loop advances the
+	// engine a step at a time and polls the collector for the latest row.
+	col := monitor.NewCollector()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: cfg.Seed + 5}
+	detach, err := script.Attach(e, []*xen.PM{pm}, col)
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	defer detach()
 
 	var scaler *cloudscale.Scaler
 	switch policy {
@@ -148,10 +156,7 @@ func runScalingOnce(cfg ScalingConfig, policy ScalingPolicy) (ScalingResult, err
 	var capSum, demandSum float64
 	for step := 0; step < cfg.Duration; step++ {
 		tDemand := demandAt(e.Now()) // demand the guest will request this step
-		series, err := instruments.Run(e, []*xen.PM{pm})
-		if err != nil {
-			return ScalingResult{}, err
-		}
+		e.Advance(1)
 		cap := vm.CPUCap()
 		if cap <= 0 {
 			cap = 100
@@ -162,7 +167,8 @@ func runScalingOnce(cfg ScalingConfig, policy ScalingPolicy) (ScalingResult, err
 		capSum += cap
 		demandSum += tDemand
 		if scaler != nil {
-			next := scaler.Step("guest", series[0][0].VMs["guest"])
+			m := col.Latest()[0]
+			next := scaler.Step("guest", m.VMs["guest"])
 			vm.SetCPUCap(next)
 		}
 	}

@@ -2,76 +2,37 @@ package monitor
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
-	"virtover/internal/stats"
+	"virtover/internal/sampling"
 )
 
 // StreamAggregator folds an unbounded measurement stream into O(1)-memory
-// summaries per PM and metric: Welford moments plus P² percentile
-// estimators. Long monitoring campaigns (hours of 1 Hz samples) use it
-// instead of retaining the full series.
+// summaries per PM and metric, built on the sampling package's online
+// estimators (Welford moments plus P² percentiles). Long monitoring
+// campaigns (hours of 1 Hz samples) use it instead of retaining the full
+// series. It is a sampling.Sink: attach it (behind a Meter) to the engine
+// to aggregate live, or feed it recorded measurements via Observe.
 type StreamAggregator struct {
 	pms map[string]*pmAgg
 }
 
-// metricAgg summarizes one scalar metric.
-type metricAgg struct {
-	w   stats.Welford
-	p50 *stats.P2Quantile
-	p90 *stats.P2Quantile
-	p99 *stats.P2Quantile
-}
-
-func newMetricAgg() *metricAgg {
-	p50, _ := stats.NewP2Quantile(0.50)
-	p90, _ := stats.NewP2Quantile(0.90)
-	p99, _ := stats.NewP2Quantile(0.99)
-	return &metricAgg{p50: p50, p90: p90, p99: p99}
-}
-
-func (m *metricAgg) add(x float64) {
-	m.w.Add(x)
-	m.p50.Add(x)
-	m.p90.Add(x)
-	m.p99.Add(x)
-}
-
 // MetricSummary is the exported snapshot of one metric's stream.
-type MetricSummary struct {
-	N             int
-	Mean, Std     float64
-	Min, Max      float64
-	P50, P90, P99 float64
-}
-
-func (m *metricAgg) summary() MetricSummary {
-	return MetricSummary{
-		N:    m.w.N(),
-		Mean: m.w.Mean(),
-		Std:  sqrt(m.w.Variance()),
-		Min:  m.w.Min(),
-		Max:  m.w.Max(),
-		P50:  m.p50.Value(),
-		P90:  m.p90.Value(),
-		P99:  m.p99.Value(),
-	}
-}
-
-// sqrt clamps floating-point noise below zero before math.Sqrt.
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
-}
+type MetricSummary = sampling.Summary
 
 // pmAgg summarizes one PM's stream.
 type pmAgg struct {
-	pmCPU, pmIO, pmBW, pmMem *metricAgg
-	dom0CPU, hypCPU          *metricAgg
+	pmCPU, pmIO, pmBW, pmMem *sampling.Stat
+	dom0CPU, hypCPU          *sampling.Stat
+}
+
+func newPMAgg() *pmAgg {
+	return &pmAgg{
+		pmCPU: sampling.NewStat(), pmIO: sampling.NewStat(),
+		pmBW: sampling.NewStat(), pmMem: sampling.NewStat(),
+		dom0CPU: sampling.NewStat(), hypCPU: sampling.NewStat(),
+	}
 }
 
 // NewStreamAggregator creates an empty aggregator.
@@ -79,31 +40,42 @@ func NewStreamAggregator() *StreamAggregator {
 	return &StreamAggregator{pms: make(map[string]*pmAgg)}
 }
 
-// Observe folds one measurement into the stream.
-func (a *StreamAggregator) Observe(m Measurement) {
-	agg := a.pms[m.PM]
+func (a *StreamAggregator) agg(pm string) *pmAgg {
+	agg := a.pms[pm]
 	if agg == nil {
-		agg = &pmAgg{
-			pmCPU: newMetricAgg(), pmIO: newMetricAgg(), pmBW: newMetricAgg(), pmMem: newMetricAgg(),
-			dom0CPU: newMetricAgg(), hypCPU: newMetricAgg(),
-		}
-		a.pms[m.PM] = agg
+		agg = newPMAgg()
+		a.pms[pm] = agg
 	}
-	agg.pmCPU.add(m.Host.CPU)
-	agg.pmMem.add(m.Host.Mem)
-	agg.pmIO.add(m.Host.IO)
-	agg.pmBW.add(m.Host.BW)
-	agg.dom0CPU.add(m.Dom0.CPU)
-	agg.hypCPU.add(m.HypervisorCPU)
+	return agg
 }
 
-// ObserveSeries folds a whole series.
-func (a *StreamAggregator) ObserveSeries(series [][]Measurement) {
-	for _, row := range series {
-		for _, m := range row {
-			a.Observe(m)
-		}
+// Consume implements sampling.Sink over measured samples: Dom0,
+// hypervisor, and host rows feed the per-PM streams (guest rows are
+// ignored — the host row already carries the indirect sums).
+func (a *StreamAggregator) Consume(s sampling.Sample) {
+	switch s.Kind {
+	case sampling.KindDom0:
+		a.agg(s.PM).dom0CPU.Add(s.Util.CPU)
+	case sampling.KindHypervisor:
+		a.agg(s.PM).hypCPU.Add(s.Util.CPU)
+	case sampling.KindHost:
+		agg := a.agg(s.PM)
+		agg.pmCPU.Add(s.Util.CPU)
+		agg.pmMem.Add(s.Util.Mem)
+		agg.pmIO.Add(s.Util.IO)
+		agg.pmBW.Add(s.Util.BW)
 	}
+}
+
+// Observe folds one measurement into the stream by replaying it through
+// the sink interface.
+func (a *StreamAggregator) Observe(m Measurement) {
+	PushSeries([][]Measurement{{m}}, a)
+}
+
+// ObserveSeries folds a whole recorded series through the sink interface.
+func (a *StreamAggregator) ObserveSeries(series [][]Measurement) {
+	PushSeries(series, a)
 }
 
 // PMSummary is the per-PM snapshot.
@@ -125,12 +97,12 @@ func (a *StreamAggregator) Summary() []PMSummary {
 		agg := a.pms[n]
 		out = append(out, PMSummary{
 			PM:      n,
-			PMCPU:   agg.pmCPU.summary(),
-			PMMem:   agg.pmMem.summary(),
-			PMIO:    agg.pmIO.summary(),
-			PMBW:    agg.pmBW.summary(),
-			Dom0CPU: agg.dom0CPU.summary(),
-			HypCPU:  agg.hypCPU.summary(),
+			PMCPU:   agg.pmCPU.Summary(),
+			PMMem:   agg.pmMem.Summary(),
+			PMIO:    agg.pmIO.Summary(),
+			PMBW:    agg.pmBW.Summary(),
+			Dom0CPU: agg.dom0CPU.Summary(),
+			HypCPU:  agg.hypCPU.Summary(),
 		})
 	}
 	return out

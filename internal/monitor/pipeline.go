@@ -1,0 +1,246 @@
+package monitor
+
+import (
+	"sort"
+
+	"virtover/internal/sampling"
+	"virtover/internal/units"
+)
+
+// Meter is the measurement stage of the sample pipeline: it receives the
+// engine's ground-truth samples and forwards *measured* samples, applying
+// each emulated tool's capability envelope and noise exactly as the
+// paper's script does. Per-PM tool instances are created lazily, seeded
+// from Seed and the PM's dense ID, so a PM's noise streams are independent
+// of which other PMs are monitored.
+//
+// The Meter relies on the engine's emission order (guests, then Domain-0,
+// hypervisor, host, per PM) and buffers one PM group at a time: real tools
+// read whole screens, not single rows, so the noise draws happen per tool
+// in screen order when the group's host sample arrives — xentop's screen
+// (Dom0 first, guests in sorted-name order), then top inside each guest,
+// top in Dom0, mpstat, vmstat, ifconfig. The host row's CPU and memory are
+// computed indirectly from the measured domain readings — the paper's "PM
+// CPU is never measured directly" method.
+type Meter struct {
+	Noise NoiseProfile
+	Seed  int64
+	Next  sampling.Sink
+
+	ins map[int]*instruments
+
+	// Buffered samples of the in-flight (PM, step) group.
+	guests  []sampling.Sample
+	dom0    sampling.Sample
+	hyp     sampling.Sample
+	curPM   int
+	curTime float64
+	started bool
+	order   []int // sorted-name permutation scratch
+}
+
+// instruments bundles one tool set per monitored PM.
+type instruments struct {
+	xentop   *Xentop
+	top      *Top
+	mpstat   *Mpstat
+	vmstat   *Vmstat
+	ifconfig *Ifconfig
+}
+
+// NewMeter builds a metering stage forwarding measured samples to next.
+func NewMeter(noise NoiseProfile, seed int64, next sampling.Sink) *Meter {
+	return &Meter{Noise: noise, Seed: seed, Next: next, ins: make(map[int]*instruments)}
+}
+
+func (m *Meter) instrumentsFor(pmID int) *instruments {
+	in := m.ins[pmID]
+	if in == nil {
+		base := m.Seed + int64(pmID)*1000
+		in = &instruments{
+			xentop:   NewXentop(m.Noise, base+1),
+			top:      NewTop(m.Noise, base+2),
+			mpstat:   NewMpstat(m.Noise, base+3),
+			vmstat:   NewVmstat(m.Noise, base+4),
+			ifconfig: NewIfconfig(m.Noise, base+5),
+		}
+		m.ins[pmID] = in
+	}
+	return in
+}
+
+// Consume implements sampling.Sink. Guest, Dom0 and hypervisor samples are
+// buffered; the group's host sample triggers the synchronized multi-tool
+// reading and forwards the measured group downstream in pipeline order.
+func (m *Meter) Consume(s sampling.Sample) {
+	if !m.started || s.PMID != m.curPM || s.Time != m.curTime {
+		m.started = true
+		m.curPM, m.curTime = s.PMID, s.Time
+		m.guests = m.guests[:0]
+	}
+	switch s.Kind {
+	case sampling.KindGuest:
+		m.guests = append(m.guests, s)
+	case sampling.KindDom0:
+		m.dom0 = s
+	case sampling.KindHypervisor:
+		m.hyp = s
+	case sampling.KindHost:
+		m.measure(s)
+	}
+}
+
+// measure runs the tools over the buffered group and emits measured
+// samples (guests in arrival order, then Dom0, hypervisor, host).
+func (m *Meter) measure(host sampling.Sample) {
+	in := m.instrumentsFor(host.PMID)
+	n := len(m.guests)
+
+	// Noise draws happen per tool in screen order; guests appear on a
+	// screen in sorted-name order regardless of arena order.
+	m.order = m.order[:0]
+	for i := range m.guests {
+		m.order = append(m.order, i)
+	}
+	sort.Slice(m.order, func(a, b int) bool {
+		return m.guests[m.order[a]].Domain < m.guests[m.order[b]].Domain
+	})
+
+	// xentop screen: Dom0 row, then the guests.
+	dom0x := in.xentop.ReadDomain(sampling.LabelDom0, m.dom0.Util)
+	gx := make([]DomainReading, n)
+	for _, i := range m.order {
+		gx[i] = in.xentop.ReadDomain(m.guests[i].Domain, m.guests[i].Util)
+	}
+	// top inside each guest (its CPU reading is drawn but discarded — the
+	// script keeps xentop's, as in the paper), then top in Dom0.
+	gt := make([]TopReading, n)
+	for _, i := range m.order {
+		gt[i] = in.top.Read(m.guests[i].Util)
+	}
+	dom0Mem := in.top.ReadMem(m.dom0.Util.Mem)
+	hypCPU := in.mpstat.ReadCPU(m.hyp.Util.CPU)
+	hostIO := in.vmstat.ReadIO(host.Util.IO)
+	hostBW := in.ifconfig.ReadBW(host.Util.BW)
+
+	// Indirect host CPU/memory: sum the measured domains (sorted-name
+	// accumulation order keeps the sums bit-reproducible).
+	measured := make([]units.Vector, n)
+	var guestSum units.Vector
+	for _, i := range m.order {
+		measured[i] = units.V(gx[i].CPU, gt[i].Mem, gx[i].IO, gx[i].BW)
+		guestSum = guestSum.Add(measured[i])
+	}
+	dom0 := units.V(dom0x.CPU, dom0Mem, dom0x.IO, dom0x.BW)
+
+	for i, g := range m.guests {
+		g.Util = measured[i]
+		m.Next.Consume(g)
+	}
+	d := m.dom0
+	d.Util = dom0
+	m.Next.Consume(d)
+	h := m.hyp
+	h.Util = units.V(hypCPU, 0, 0, 0)
+	m.Next.Consume(h)
+	host.Util = units.V(
+		dom0.CPU+hypCPU+guestSum.CPU,
+		dom0.Mem+guestSum.Mem,
+		hostIO,
+		hostBW,
+	)
+	m.Next.Consume(host)
+}
+
+// Collector assembles measured samples back into per-step Measurement rows
+// — the bridge between the sample pipeline and the paper-style series API
+// ([][]Measurement). A row is completed by its PM's host sample; rows are
+// grouped into steps by sample time.
+type Collector struct {
+	series  [][]Measurement
+	row     []Measurement
+	cur     *Measurement
+	curTime float64
+	started bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Consume implements sampling.Sink.
+func (c *Collector) Consume(s sampling.Sample) {
+	if c.started && s.Time != c.curTime {
+		c.series = append(c.series, c.row)
+		c.row = nil
+	}
+	c.started = true
+	c.curTime = s.Time
+	if c.cur == nil {
+		c.cur = &Measurement{Time: s.Time, PM: s.PM, VMs: make(map[string]units.Vector)}
+	}
+	switch s.Kind {
+	case sampling.KindGuest:
+		c.cur.VMs[s.Domain] = s.Util
+	case sampling.KindDom0:
+		c.cur.Dom0 = s.Util
+	case sampling.KindHypervisor:
+		c.cur.HypervisorCPU = s.Util.CPU
+	case sampling.KindHost:
+		c.cur.Host = s.Util
+		c.row = append(c.row, *c.cur)
+		c.cur = nil
+	}
+}
+
+// Series returns the collected per-sample series (outer index: sample,
+// inner: PM in stream order), including the in-progress step if it has
+// completed rows. It does not disturb ongoing collection.
+func (c *Collector) Series() [][]Measurement {
+	if len(c.row) == 0 {
+		return c.series
+	}
+	out := make([][]Measurement, 0, len(c.series)+1)
+	out = append(out, c.series...)
+	out = append(out, c.row)
+	return out
+}
+
+// Latest returns the most recent complete row of measurements (one per
+// monitored PM), or nil if nothing has completed yet. Controllers poll
+// this between Advance calls.
+func (c *Collector) Latest() []Measurement {
+	if len(c.row) > 0 {
+		return c.row
+	}
+	if len(c.series) > 0 {
+		return c.series[len(c.series)-1]
+	}
+	return nil
+}
+
+// Reset discards all collected state.
+func (c *Collector) Reset() { *c = Collector{} }
+
+// PushSeries replays a recorded series through a sink in the engine's
+// emission order (per row: guests in sorted-name order, then Domain-0,
+// hypervisor, host). Replayed samples carry VMID -1 (arena IDs are not
+// recorded in a Measurement) and PMID set to the row position. It lets
+// offline consumers — the trace writer, stat sinks — reuse the exact same
+// pipeline stages that run live.
+func PushSeries(series [][]Measurement, sink sampling.Sink) {
+	for _, row := range series {
+		for pmIdx, m := range row {
+			for _, name := range m.GuestNames() {
+				sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+					VMID: -1, Domain: name, Kind: sampling.KindGuest, Util: m.VMs[name]})
+			}
+			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+				VMID: -1, Domain: sampling.LabelDom0, Kind: sampling.KindDom0, Util: m.Dom0})
+			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+				VMID: -1, Domain: sampling.LabelHypervisor, Kind: sampling.KindHypervisor,
+				Util: units.V(m.HypervisorCPU, 0, 0, 0)})
+			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+				VMID: -1, Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: m.Host})
+		}
+	}
+}

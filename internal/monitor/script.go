@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"virtover/internal/sampling"
 	"virtover/internal/units"
 	"virtover/internal/xen"
 )
@@ -83,84 +84,48 @@ func DefaultScript(seed int64) Script {
 	return Script{IntervalSteps: 1, Samples: 120, Noise: DefaultNoise(), Seed: seed}
 }
 
-// instruments bundles one tool set per monitored PM.
-type instruments struct {
-	xentop   *Xentop
-	top      *Top
-	mpstat   *Mpstat
-	vmstat   *Vmstat
-	ifconfig *Ifconfig
-}
-
-// Run drives the engine and measures the given PMs. It returns the raw
-// per-sample series (outer index: sample, inner: PM order as passed) and
-// advances the engine Samples*IntervalSteps steps.
-func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
+// Attach builds the script's measurement chain — Decimate(IntervalSteps) →
+// Filter(pms) → Meter — delivering *measured* samples to next, and
+// subscribes it to the engine. It returns a detach function. A nil or
+// empty pms measures every PM. This is the live entry point to the sample
+// pipeline; Run is a convenience wrapper that collects the stream back
+// into the paper-style series.
+func (sc Script) Attach(e *xen.Engine, pms []*xen.PM, next sampling.Sink) (func(), error) {
 	if sc.IntervalSteps <= 0 {
 		return nil, fmt.Errorf("monitor: IntervalSteps must be positive, got %d", sc.IntervalSteps)
 	}
+	var sink sampling.Sink = NewMeter(sc.Noise, sc.Seed, next)
+	if len(pms) > 0 {
+		keep := make(map[int]bool, len(pms))
+		for _, pm := range pms {
+			keep[pm.ID()] = true
+		}
+		sink = sampling.Filter{
+			Keep: func(s sampling.Sample) bool { return keep[s.PMID] },
+			Next: sink,
+		}
+	}
+	dec := sampling.Decimate(sc.IntervalSteps, sink)
+	e.AttachSink(dec)
+	return func() { e.DetachSink(dec) }, nil
+}
+
+// Run drives the engine and measures the given PMs through the sample
+// pipeline. It returns the raw per-sample series (outer index: sample,
+// inner: PM in cluster order) and advances the engine
+// Samples*IntervalSteps steps.
+func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
 	if sc.Samples <= 0 {
 		return nil, fmt.Errorf("monitor: Samples must be positive, got %d", sc.Samples)
 	}
-	ins := make([]instruments, len(pms))
-	for i := range pms {
-		base := sc.Seed + int64(i)*1000
-		ins[i] = instruments{
-			xentop:   NewXentop(sc.Noise, base+1),
-			top:      NewTop(sc.Noise, base+2),
-			mpstat:   NewMpstat(sc.Noise, base+3),
-			vmstat:   NewVmstat(sc.Noise, base+4),
-			ifconfig: NewIfconfig(sc.Noise, base+5),
-		}
+	col := NewCollector()
+	detach, err := sc.Attach(e, pms, col)
+	if err != nil {
+		return nil, err
 	}
-	series := make([][]Measurement, 0, sc.Samples)
-	for s := 0; s < sc.Samples; s++ {
-		e.Advance(sc.IntervalSteps)
-		row := make([]Measurement, len(pms))
-		for i, pm := range pms {
-			row[i] = measureOnce(e, pm, ins[i])
-		}
-		series = append(series, row)
-	}
-	return series, nil
-}
-
-// measureOnce performs one synchronized multi-tool reading.
-func measureOnce(e *xen.Engine, pm *xen.PM, in instruments) Measurement {
-	snap := e.Snapshot(pm)
-	m := Measurement{Time: snap.Time, PM: pm.Name, VMs: make(map[string]units.Vector, len(snap.VMs))}
-
-	// xentop: per-domain CPU/IO/BW.
-	var dom0 DomainReading
-	guests := make(map[string]DomainReading, len(snap.VMs))
-	for _, r := range in.xentop.Read(snap) {
-		if r.Name == "Domain-0" {
-			dom0 = r
-		} else {
-			guests[r.Name] = r
-		}
-	}
-	// top inside each VM: memory (and CPU, unused — xentop's CPU is kept,
-	// as in the paper's script). Sorted order keeps noise streams
-	// deterministic.
-	for _, name := range sortedVMNames(snap) {
-		tr, _ := in.top.ReadVM(snap, name)
-		g := guests[name]
-		m.VMs[name] = units.V(g.CPU, tr.Mem, g.IO, g.BW)
-	}
-	m.Dom0 = units.V(dom0.CPU, in.top.ReadDom0Mem(snap), dom0.IO, dom0.BW)
-	m.HypervisorCPU = in.mpstat.ReadHypervisorCPU(snap)
-
-	hostIO := in.vmstat.ReadHostIO(snap)
-	hostBW := in.ifconfig.ReadHostBW(snap)
-	guestSum := m.GuestSum()
-	m.Host = units.V(
-		m.Dom0.CPU+m.HypervisorCPU+guestSum.CPU, // indirect PM CPU
-		m.Dom0.Mem+guestSum.Mem,                 // estimated PM memory
-		hostIO,
-		hostBW,
-	)
-	return m
+	defer detach()
+	e.Advance(sc.Samples * sc.IntervalSteps)
+	return col.Series(), nil
 }
 
 // Average collapses a per-sample series (as returned by Run) into one mean

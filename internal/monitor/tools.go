@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"virtover/internal/simrand"
+	"virtover/internal/units"
 	"virtover/internal/xen"
 )
 
@@ -93,25 +94,27 @@ type DomainReading struct {
 	BW   float64 // Kb/s
 }
 
+// ReadDomain samples one domain row (CPU/IO/BW) from its ground-truth
+// utilization. This is the per-reading primitive the sample pipeline's
+// Meter uses; it draws three values from the tool's noise stream, so call
+// order determines the stream.
+func (x *Xentop) ReadDomain(name string, v units.Vector) DomainReading {
+	return DomainReading{
+		Name: name,
+		CPU:  pos(x.Noise.spike(x.rng, x.rng.Normal(v.CPU, x.Noise.XentopCPUAbs))),
+		IO:   pos(x.rng.Jitter(v.IO, x.Noise.XentopIORel)),
+		BW:   pos(x.rng.Jitter(v.BW, x.Noise.XentopBWRel)),
+	}
+}
+
 // Read samples all domains of a PM snapshot: Dom0 first, then guests in
 // sorted name order (a fixed order keeps the noise streams deterministic
 // for a given seed).
 func (x *Xentop) Read(s xen.Snapshot) []DomainReading {
 	out := make([]DomainReading, 0, len(s.VMs)+1)
-	out = append(out, DomainReading{
-		Name: "Domain-0",
-		CPU:  pos(x.Noise.spike(x.rng, x.rng.Normal(s.Dom0.CPU, x.Noise.XentopCPUAbs))),
-		IO:   pos(x.rng.Jitter(s.Dom0.IO, x.Noise.XentopIORel)),
-		BW:   pos(x.rng.Jitter(s.Dom0.BW, x.Noise.XentopBWRel)),
-	})
+	out = append(out, x.ReadDomain("Domain-0", s.Dom0))
 	for _, name := range sortedVMNames(s) {
-		v := s.VMs[name]
-		out = append(out, DomainReading{
-			Name: name,
-			CPU:  pos(x.Noise.spike(x.rng, x.rng.Normal(v.CPU, x.Noise.XentopCPUAbs))),
-			IO:   pos(x.rng.Jitter(v.IO, x.Noise.XentopIORel)),
-			BW:   pos(x.rng.Jitter(v.BW, x.Noise.XentopBWRel)),
-		})
+		out = append(out, x.ReadDomain(name, s.VMs[name]))
 	}
 	return out
 }
@@ -145,21 +148,34 @@ type TopReading struct {
 	Mem float64 // MB
 }
 
+// Read samples one guest from its ground-truth utilization (the
+// per-reading primitive used by the pipeline's Meter). It draws CPU then
+// memory from the noise stream.
+func (t *Top) Read(v units.Vector) TopReading {
+	return TopReading{
+		CPU: pos(t.rng.Normal(v.CPU, t.Noise.TopCPUAbs)),
+		Mem: pos(t.rng.Jitter(v.Mem, t.Noise.TopMemRel)),
+	}
+}
+
+// ReadMem samples a resident-memory reading only (top run in Dom0 reads
+// just the memory line; one noise draw).
+func (t *Top) ReadMem(mem float64) float64 {
+	return pos(t.rng.Jitter(mem, t.Noise.TopMemRel))
+}
+
 // ReadVM samples the named VM; ok is false if the snapshot has no such VM.
 func (t *Top) ReadVM(s xen.Snapshot, vm string) (TopReading, bool) {
 	v, ok := s.VMs[vm]
 	if !ok {
 		return TopReading{}, false
 	}
-	return TopReading{
-		CPU: pos(t.rng.Normal(v.CPU, t.Noise.TopCPUAbs)),
-		Mem: pos(t.rng.Jitter(v.Mem, t.Noise.TopMemRel)),
-	}, true
+	return t.Read(v), true
 }
 
 // ReadDom0Mem samples Dom0's memory (top run in Dom0).
 func (t *Top) ReadDom0Mem(s xen.Snapshot) float64 {
-	return pos(t.rng.Jitter(s.Dom0.Mem, t.Noise.TopMemRel))
+	return t.ReadMem(s.Dom0.Mem)
 }
 
 // Mpstat emulates `mpstat` run against the hypervisor: it reports the
@@ -174,9 +190,15 @@ func NewMpstat(noise NoiseProfile, seed int64) *Mpstat {
 	return &Mpstat{Noise: noise, rng: simrand.New(seed)}
 }
 
+// ReadCPU samples a hypervisor CPU value in percent (per-reading
+// primitive).
+func (m *Mpstat) ReadCPU(cpu float64) float64 {
+	return pos(m.Noise.spike(m.rng, m.rng.Normal(cpu, m.Noise.MpstatCPUAbs)))
+}
+
 // ReadHypervisorCPU samples the hypervisor CPU in percent.
 func (m *Mpstat) ReadHypervisorCPU(s xen.Snapshot) float64 {
-	return pos(m.Noise.spike(m.rng, m.rng.Normal(s.HypervisorCPU, m.Noise.MpstatCPUAbs)))
+	return m.ReadCPU(s.HypervisorCPU)
 }
 
 // Vmstat emulates `vmstat` in Dom0 reading host-level disk I/O (Table I:
@@ -191,9 +213,15 @@ func NewVmstat(noise NoiseProfile, seed int64) *Vmstat {
 	return &Vmstat{Noise: noise, rng: simrand.New(seed)}
 }
 
+// ReadIO samples a host disk-throughput value in blocks/s (per-reading
+// primitive).
+func (v *Vmstat) ReadIO(io float64) float64 {
+	return pos(v.rng.Jitter(io, v.Noise.VmstatIORel))
+}
+
 // ReadHostIO samples the PM's disk throughput in blocks/s.
 func (v *Vmstat) ReadHostIO(s xen.Snapshot) float64 {
-	return pos(v.rng.Jitter(s.Host.IO, v.Noise.VmstatIORel))
+	return v.ReadIO(s.Host.IO)
 }
 
 // Ifconfig emulates `ifconfig` byte-counter deltas in Dom0 reading the
@@ -208,9 +236,15 @@ func NewIfconfig(noise NoiseProfile, seed int64) *Ifconfig {
 	return &Ifconfig{Noise: noise, rng: simrand.New(seed)}
 }
 
+// ReadBW samples a host NIC-throughput value in Kb/s (per-reading
+// primitive).
+func (f *Ifconfig) ReadBW(bw float64) float64 {
+	return pos(f.rng.Jitter(bw, f.Noise.IfconfigBWRel))
+}
+
 // ReadHostBW samples the PM's NIC throughput in Kb/s.
 func (f *Ifconfig) ReadHostBW(s xen.Snapshot) float64 {
-	return pos(f.rng.Jitter(s.Host.BW, f.Noise.IfconfigBWRel))
+	return f.ReadBW(s.Host.BW)
 }
 
 func pos(x float64) float64 {

@@ -1,0 +1,218 @@
+// Package sampling is the unified sample-sink pipeline of the simulator:
+// the engine pushes one Sample per domain per step into attached Sinks, and
+// every downstream consumer — the measurement-tool emulation, trace
+// recording, streaming statistics, campaign analyses, controllers — is a
+// Sink (or a small chain of them). This mirrors the paper's method, where a
+// single synchronized 1 Hz script feeds every analysis, and replaces the
+// per-consumer snapshot loops the code base grew out of.
+//
+// A Sink chain is composed from small stages:
+//
+//	engine ──▶ Decimate ──▶ Meter (adds tool noise) ──▶ Fanout ─┬─▶ CSVSink
+//	                                                            ├─▶ StreamAggregator
+//	                                                            └─▶ StatSink / CDFSink
+//
+// Samples arrive in a deterministic order: PMs in cluster order, and within
+// a PM the guests in arena order followed by Domain-0, the hypervisor and
+// the host row. Consumers may rely on that order (the trace writer does —
+// no sorting required), and on Time being non-decreasing with all samples
+// of one step delivered before the next step begins.
+package sampling
+
+import "virtover/internal/units"
+
+// Kind identifies the domain a sample describes.
+type Kind uint8
+
+// The four domain kinds, in per-PM emission order (guests first, host last).
+const (
+	KindGuest Kind = iota
+	KindDom0
+	KindHypervisor
+	KindHost
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGuest:
+		return "guest"
+	case KindDom0:
+		return "dom0"
+	case KindHypervisor:
+		return "hypervisor"
+	case KindHost:
+		return "host"
+	default:
+		return "unknown"
+	}
+}
+
+// Canonical domain labels for non-guest rows, shared by the engine emitter
+// and the trace format.
+const (
+	LabelDom0       = "Domain-0"
+	LabelHypervisor = "hypervisor"
+	LabelHost       = "host"
+)
+
+// Sample is one per-step, per-domain utilization reading. Ground-truth
+// samples come straight from the engine; measured samples have passed
+// through the monitor's tool emulation. Sample is a value type: sinks may
+// retain it freely.
+type Sample struct {
+	// Time is the simulation time in seconds at the end of the step.
+	Time float64
+	// PMID is the hosting PM's dense arena ID; PM is its name.
+	PMID int
+	PM   string
+	// VMID is the guest's dense arena ID for KindGuest samples, -1
+	// otherwise.
+	VMID int
+	// Domain is the guest name for KindGuest, else one of the Label
+	// constants.
+	Domain string
+	Kind   Kind
+	// Util is the domain's utilization. Hypervisor samples carry CPU only.
+	Util units.Vector
+}
+
+// Sink consumes a sample stream. Consume must not block for long: the
+// engine calls it synchronously on the simulation hot path. Implementations
+// that can fail (e.g. writers) should record the first error internally and
+// expose it from a Flush or Err method.
+type Sink interface {
+	Consume(Sample)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Sample)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(s Sample) { f(s) }
+
+// Fanout delivers every sample to each sink in order, synchronously.
+type Fanout []Sink
+
+// Consume implements Sink.
+func (f Fanout) Consume(s Sample) {
+	for _, k := range f {
+		k.Consume(s)
+	}
+}
+
+// Filter forwards the samples Keep accepts to Next.
+type Filter struct {
+	Keep func(Sample) bool
+	Next Sink
+}
+
+// Consume implements Sink.
+func (f Filter) Consume(s Sample) {
+	if f.Keep(s) {
+		f.Next.Consume(s)
+	}
+}
+
+// Decimator forwards every Nth simulation step (all of that step's samples)
+// and drops the rest, implementing the measurement script's sampling
+// interval. The first forwarded step is the Nth one seen, matching a script
+// that samples after every N engine steps.
+type Decimator struct {
+	every   int
+	next    Sink
+	step    int
+	curTime float64
+	started bool
+	keep    bool
+}
+
+// Decimate builds a Decimator; every < 1 is treated as 1 (forward all).
+func Decimate(every int, next Sink) *Decimator {
+	if every < 1 {
+		every = 1
+	}
+	return &Decimator{every: every, next: next}
+}
+
+// Consume implements Sink.
+func (d *Decimator) Consume(s Sample) {
+	if !d.started || s.Time != d.curTime {
+		d.started = true
+		d.curTime = s.Time
+		d.step++
+		d.keep = d.step%d.every == 0
+	}
+	if d.keep {
+		d.next.Consume(s)
+	}
+}
+
+// AsyncFanout delivers samples to several sinks concurrently: each sink
+// runs on its own goroutine fed by a buffered channel, so a slow consumer
+// (a compressing writer, say) does not stall the simulation or its sibling
+// sinks. Every sink still observes the full stream in order. Close must be
+// called to drain and join the workers before reading results out of the
+// sinks.
+type AsyncFanout struct {
+	chans []chan Sample
+	done  chan struct{}
+	sinks []Sink
+}
+
+// NewAsyncFanout starts one worker per sink with the given channel buffer
+// (minimum 1).
+func NewAsyncFanout(buffer int, sinks ...Sink) *AsyncFanout {
+	if buffer < 1 {
+		buffer = 1
+	}
+	a := &AsyncFanout{
+		chans: make([]chan Sample, len(sinks)),
+		done:  make(chan struct{}),
+		sinks: sinks,
+	}
+	for i, sink := range sinks {
+		ch := make(chan Sample, buffer)
+		a.chans[i] = ch
+		go func(sink Sink, ch <-chan Sample) {
+			for s := range ch {
+				sink.Consume(s)
+			}
+			a.done <- struct{}{}
+		}(sink, ch)
+	}
+	return a
+}
+
+// Consume implements Sink. It blocks when a worker's buffer is full,
+// providing backpressure instead of unbounded memory growth.
+func (a *AsyncFanout) Consume(s Sample) {
+	for _, ch := range a.chans {
+		ch <- s
+	}
+}
+
+// Close drains the workers and waits for them to finish. After Close the
+// wrapped sinks hold their final state and the fanout must not be used.
+func (a *AsyncFanout) Close() {
+	for _, ch := range a.chans {
+		close(ch)
+	}
+	for range a.chans {
+		<-a.done
+	}
+}
+
+// Counter counts samples per kind; useful in tests and sanity checks.
+type Counter struct {
+	Total  int
+	ByKind [4]int
+}
+
+// Consume implements Sink.
+func (c *Counter) Consume(s Sample) {
+	c.Total++
+	if int(s.Kind) < len(c.ByKind) {
+		c.ByKind[s.Kind]++
+	}
+}

@@ -1,0 +1,100 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/trace"
+	"virtover/internal/xen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// goldenScenario runs a fixed two-PM mixed-workload campaign through the
+// live sample pipeline (engine → Decimate → Meter → CSVSink) and returns
+// the recorded CSV bytes.
+func goldenScenario() []byte {
+	cl := xen.NewCluster()
+	p1 := cl.AddPM("pm1")
+	p2 := cl.AddPM("pm2")
+	mk := func(pm *xen.PM, name string, cpu, mem, io, bw float64) {
+		vm := cl.AddVM(pm, name, 512)
+		vm.SetSource(xen.SourceFunc(func(t float64) xen.Demand {
+			return xen.Demand{
+				CPU:      cpu + 0.25*t,
+				MemMB:    mem,
+				IOBlocks: io,
+				Flows:    []xen.Flow{{DstVM: "", Kbps: bw}},
+			}
+		}))
+	}
+	mk(p1, "vm-a", 40, 120, 200, 4000)
+	mk(p1, "vm-b", 25, 60, 0, 0)
+	mk(p2, "vm-c", 55, 200, 50, 12000)
+
+	e := xen.NewEngine(cl, xen.DefaultCalibration(), 42)
+	var buf bytes.Buffer
+	sink := trace.NewCSVSink(&buf)
+	sc := monitor.Script{IntervalSteps: 2, Samples: 8, Noise: monitor.DefaultNoise(), Seed: 7}
+	detach, err := sc.Attach(e, nil, sink)
+	if err != nil {
+		panic(err)
+	}
+	e.Advance(sc.Samples * sc.IntervalSteps)
+	detach()
+	if err := sink.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceDeterminism proves the refactored pipeline preserves
+// simulation semantics: the same seed and scenario produce byte-identical
+// CSV, both within a process and against the recorded fixture.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	got := goldenScenario()
+	if again := goldenScenario(); !bytes.Equal(got, again) {
+		t.Fatal("two identical runs produced different trace bytes")
+	}
+
+	path := filepath.Join("testdata", "golden_trace.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run `go test ./internal/trace -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace differs from golden fixture (%d vs %d bytes); if the change is intentional, re-record with -update", len(got), len(want))
+	}
+}
+
+// TestGoldenTraceRoundTrip checks the fixture survives Read → Write — the
+// offline replay path shares the same CSVSink as the live recording.
+func TestGoldenTraceRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_trace.csv"))
+	if err != nil {
+		t.Skip("fixture not recorded yet")
+	}
+	series, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := trace.Write(&out, series); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, out.Bytes()) {
+		t.Fatal("Read→Write round trip altered the trace bytes")
+	}
+}

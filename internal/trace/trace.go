@@ -15,58 +15,81 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 
 	"virtover/internal/monitor"
+	"virtover/internal/sampling"
 	"virtover/internal/units"
 )
 
-// Domain labels for non-guest rows.
+// Domain labels for non-guest rows, shared with the sampling pipeline.
 const (
-	DomainDom0       = "Domain-0"
-	DomainHypervisor = "hypervisor"
-	DomainHost       = "host"
+	DomainDom0       = sampling.LabelDom0
+	DomainHypervisor = sampling.LabelHypervisor
+	DomainHost       = sampling.LabelHost
 )
 
-// Write encodes a measurement series (as produced by monitor.Script.Run)
-// to CSV.
-func Write(w io.Writer, series [][]monitor.Measurement) error {
-	cw := csv.NewWriter(w)
-	defer cw.Flush()
-	if err := cw.Write([]string{"time", "pm", "domain", "cpu", "mem", "io", "bw"}); err != nil {
-		return err
+// CSVSink streams samples into long-form CSV, one row per sample, in
+// arrival order. Attached behind the monitor's Meter it records a live
+// campaign with no buffering and no sorting: the engine's emission order
+// is already deterministic. The first write emits the header; call Flush
+// (or check Err) when the stream ends.
+type CSVSink struct {
+	w      *csv.Writer
+	wrote  bool
+	err    error
+	record [7]string
+}
+
+// NewCSVSink builds a CSV-writing sink over w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+func formatFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Consume implements sampling.Sink. The first error sticks; later samples
+// are dropped.
+func (c *CSVSink) Consume(s sampling.Sample) {
+	if c.err != nil {
+		return
 	}
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
-	row := func(t float64, pm, domain string, v units.Vector) error {
-		return cw.Write([]string{f(t), pm, domain, f(v.CPU), f(v.Mem), f(v.IO), f(v.BW)})
-	}
-	for _, sample := range series {
-		for _, m := range sample {
-			// Deterministic VM order for reproducible files.
-			names := make([]string, 0, len(m.VMs))
-			for n := range m.VMs {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			for _, n := range names {
-				if err := row(m.Time, m.PM, n, m.VMs[n]); err != nil {
-					return err
-				}
-			}
-			if err := row(m.Time, m.PM, DomainDom0, m.Dom0); err != nil {
-				return err
-			}
-			if err := row(m.Time, m.PM, DomainHypervisor, units.V(m.HypervisorCPU, 0, 0, 0)); err != nil {
-				return err
-			}
-			if err := row(m.Time, m.PM, DomainHost, m.Host); err != nil {
-				return err
-			}
+	if !c.wrote {
+		c.wrote = true
+		if c.err = c.w.Write([]string{"time", "pm", "domain", "cpu", "mem", "io", "bw"}); c.err != nil {
+			return
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	r := &c.record
+	r[0] = formatFloat(s.Time)
+	r[1] = s.PM
+	r[2] = s.Domain
+	r[3] = formatFloat(s.Util.CPU)
+	r[4] = formatFloat(s.Util.Mem)
+	r[5] = formatFloat(s.Util.IO)
+	r[6] = formatFloat(s.Util.BW)
+	c.err = c.w.Write(r[:])
+}
+
+// Flush drains buffered rows and returns the first error seen.
+func (c *CSVSink) Flush() error {
+	c.w.Flush()
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Error()
+}
+
+// Err returns the first error seen without flushing.
+func (c *CSVSink) Err() error { return c.err }
+
+// Write encodes a measurement series (as produced by monitor.Script.Run)
+// to CSV by replaying it through a CSVSink — the same code path a live
+// recording uses.
+func Write(w io.Writer, series [][]monitor.Measurement) error {
+	sink := NewCSVSink(w)
+	monitor.PushSeries(series, sink)
+	return sink.Flush()
 }
 
 // Read decodes a CSV produced by Write back into a measurement series.

@@ -1,0 +1,37 @@
+package xen
+
+import (
+	"testing"
+)
+
+// The dense-arena engine must not allocate on the steady-state step path:
+// demands, flow routing, scheduling scratch and migration loads all live in
+// preallocated ID-indexed buffers that only grow on topology change. This
+// regression test pins that property; if a change reintroduces per-step
+// allocations, fix the scratch reuse instead of raising the budget.
+func TestEngineStepAllocationFree(t *testing.T) {
+	cl := NewCluster()
+	pm1 := cl.AddPM("pm1")
+	pm2 := cl.AddPM("pm2")
+	for i := 0; i < 4; i++ {
+		vm := cl.AddVM(pm1, string(rune('a'+i)), 512)
+		// Exercise every demand dimension, including cross-PM flows. The
+		// Flows slice is preallocated so the source itself is steady-state
+		// allocation-free too.
+		flows := []Flow{{Kbps: 200 + 50*float64(i), DstVM: "x"}}
+		d := Demand{CPU: 30 + 10*float64(i), MemMB: 64, IOBlocks: 20, Flows: flows}
+		vm.SetSource(SourceFunc(func(float64) Demand { return d }))
+	}
+	for i := 0; i < 2; i++ {
+		vm := cl.AddVM(pm2, string(rune('x'+i)), 512)
+		d := Demand{CPU: 85, IOBlocks: 40} // contended: waterfill path
+		vm.SetSource(SourceFunc(func(float64) Demand { return d }))
+	}
+	e := NewEngine(cl, DefaultCalibration(), 1)
+	e.Advance(10) // warm the scratch buffers
+
+	allocs := testing.AllocsPerRun(100, func() { e.Advance(1) })
+	if allocs > 0 {
+		t.Fatalf("engine step allocates %.1f times per step, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package xen
 
 import (
+	"virtover/internal/sampling"
 	"virtover/internal/simrand"
 	"virtover/internal/units"
 )
@@ -8,6 +9,14 @@ import (
 // Engine advances a Cluster through time in fixed steps, computing the
 // ground-truth utilization of every VM, Dom0, hypervisor and PM from the
 // attached workload demands and the Calibration's cost model.
+//
+// The step hot path is allocation-free at steady state: all per-step
+// working storage lives in a scratch arena indexed by the dense VM and PM
+// IDs assigned at cluster construction, grown only when the topology does.
+// After each step the engine pushes one sampling.Sample per domain into any
+// attached sinks, in deterministic order (PMs in cluster order; within a PM
+// the guests in arena order, then Domain-0, the hypervisor, and the host
+// row).
 type Engine struct {
 	Cluster *Cluster
 	Calib   Calibration
@@ -16,6 +25,45 @@ type Engine struct {
 	now        float64
 	rng        *simrand.Source
 	migrations []*liveMigration
+	sinks      []sampling.Sink
+	sc         scratch
+}
+
+// scratch holds the engine's per-step working storage, reused across steps.
+// demands and flows are indexed by VM arena ID; migLoads by PM ID; the
+// remaining buffers are per-PM working slices sized to the arena (an upper
+// bound on guests per PM) and resliced to [:n] inside stepPM.
+type scratch struct {
+	demands []Demand
+	flows   []vmFlows
+
+	vmIO       []float64
+	vmBW       []float64
+	vmCPU      []float64
+	vmWeights  []float64
+	guestAlloc []float64
+	fillIdx    []int
+	fillW      []float64
+
+	migLoads []migrationLoad
+}
+
+// ensure grows the scratch arenas to cover nVM VM IDs and nPM PMs.
+func (s *scratch) ensure(nVM, nPM int) {
+	if nVM > len(s.demands) {
+		s.demands = make([]Demand, nVM)
+		s.flows = make([]vmFlows, nVM)
+		s.vmIO = make([]float64, nVM)
+		s.vmBW = make([]float64, nVM)
+		s.vmCPU = make([]float64, nVM)
+		s.vmWeights = make([]float64, nVM)
+		s.guestAlloc = make([]float64, nVM)
+		s.fillIdx = make([]int, nVM)
+		s.fillW = make([]float64, nVM)
+	}
+	if nPM > len(s.migLoads) {
+		s.migLoads = make([]migrationLoad, nPM)
+	}
 }
 
 // NewEngine creates an engine over cluster with 1-second steps (the paper's
@@ -26,6 +74,28 @@ func NewEngine(cluster *Cluster, calib Calibration, seed int64) *Engine {
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// AttachSink subscribes s to the engine's per-step sample stream. Sinks are
+// invoked synchronously at the end of every step and must not mutate the
+// cluster topology from inside Consume; controllers buffer their actions
+// and apply them between Advance calls.
+func (e *Engine) AttachSink(s sampling.Sink) {
+	if s == nil {
+		return
+	}
+	e.sinks = append(e.sinks, s)
+}
+
+// DetachSink unsubscribes a previously attached sink (compared by
+// identity). Unknown sinks are ignored.
+func (e *Engine) DetachSink(s sampling.Sink) {
+	for i, k := range e.sinks {
+		if k == s {
+			e.sinks = append(e.sinks[:i], e.sinks[i+1:]...)
+			return
+		}
+	}
+}
 
 // Advance runs n steps.
 func (e *Engine) Advance(n int) {
@@ -45,70 +115,97 @@ type vmFlows struct {
 
 func (e *Engine) step() {
 	t := e.now
+	cl := e.Cluster
+	e.sc.ensure(cl.NumVMIDs(), len(cl.PMs))
+	sc := &e.sc
 
-	// Phase 1: collect demands per VM.
-	demands := make(map[*VM]Demand, len(e.Cluster.vmIndex))
-	for _, pm := range e.Cluster.PMs {
+	// Phase 1: collect demands per VM; reset routed flows.
+	for i := range sc.flows {
+		sc.flows[i] = vmFlows{}
+	}
+	for _, pm := range cl.PMs {
 		for _, vm := range pm.VMs {
-			demands[vm] = vm.source.Demand(t)
+			sc.demands[vm.id] = vm.source.Demand(t)
 		}
 	}
 
-	// Phase 2: route network flows.
-	flows := make(map[*VM]*vmFlows, len(demands))
-	getFlows := func(vm *VM) *vmFlows {
-		f := flows[vm]
-		if f == nil {
-			f = &vmFlows{}
-			flows[vm] = f
-		}
-		return f
-	}
-	for vm, d := range demands {
-		for _, fl := range d.Flows {
-			if fl.Kbps <= 0 {
-				continue
-			}
-			src := getFlows(vm)
-			dst, ok := e.Cluster.LookupVM(fl.DstVM)
-			switch {
-			case fl.DstVM == "" || !ok:
-				// External destination: crosses this PM's NIC only.
-				src.interOutKbps += fl.Kbps
-			case dst.pm == vm.pm:
-				// Co-located: bridge short-circuit, no NIC bytes (Fig. 5a).
-				src.intraOutKbps += fl.Kbps
-				df := getFlows(dst)
-				df.inKbps += fl.Kbps
-				df.intraInKbps += fl.Kbps
-			default:
-				// Cross-PM: both NICs carry the bytes.
-				src.interOutKbps += fl.Kbps
-				df := getFlows(dst)
-				df.inKbps += fl.Kbps
-				df.interInKbps += fl.Kbps
+	// Phase 2: route network flows, in dense cluster order (deterministic,
+	// unlike the map iteration this replaces).
+	for _, pm := range cl.PMs {
+		for _, vm := range pm.VMs {
+			for _, fl := range sc.demands[vm.id].Flows {
+				if fl.Kbps <= 0 {
+					continue
+				}
+				src := &sc.flows[vm.id]
+				dst, ok := cl.LookupVM(fl.DstVM)
+				switch {
+				case fl.DstVM == "" || !ok:
+					// External destination: crosses this PM's NIC only.
+					src.interOutKbps += fl.Kbps
+				case dst.pm == vm.pm:
+					// Co-located: bridge short-circuit, no NIC bytes (Fig. 5a).
+					src.intraOutKbps += fl.Kbps
+					df := &sc.flows[dst.id]
+					df.inKbps += fl.Kbps
+					df.intraInKbps += fl.Kbps
+				default:
+					// Cross-PM: both NICs carry the bytes.
+					src.interOutKbps += fl.Kbps
+					df := &sc.flows[dst.id]
+					df.inKbps += fl.Kbps
+					df.interInKbps += fl.Kbps
+				}
 			}
 		}
 	}
 
 	// Phase 3: per-PM resolution.
-	for _, pm := range e.Cluster.PMs {
-		e.stepPM(pm, demands, flows)
+	for _, pm := range cl.PMs {
+		e.stepPM(pm)
 	}
 
 	// Phase 4: live migrations. Copy traffic and Dom0 cost land on this
 	// step's readings; a completed copy switches the guest for the next
 	// step (pre-copy semantics: the guest runs on the source throughout).
-	if loads := e.stepMigrations(); loads != nil {
-		for _, pm := range e.Cluster.PMs {
-			applyMigrationLoad(pm, loads, e.Calib.PMBWCapKbps)
+	if e.stepMigrations() {
+		for _, pm := range cl.PMs {
+			applyMigrationLoad(pm, sc.migLoads, e.Calib.PMBWCapKbps)
 		}
 	}
 	e.now += e.Step
+	if len(e.sinks) > 0 {
+		e.emit()
+	}
 }
 
-func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) {
+// emit pushes the step's ground-truth readings into the attached sinks.
+func (e *Engine) emit() {
+	t := e.now
+	for _, pm := range e.Cluster.PMs {
+		for _, vm := range pm.VMs {
+			e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name,
+				VMID: vm.id, Domain: vm.Name, Kind: sampling.KindGuest, Util: vm.util})
+		}
+		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+			Domain: sampling.LabelDom0, Kind: sampling.KindDom0, Util: pm.dom0Util})
+		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+			Domain: sampling.LabelHypervisor, Kind: sampling.KindHypervisor,
+			Util: units.V(pm.hypCPU, 0, 0, 0)})
+		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+			Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: pm.pmUtil})
+	}
+}
+
+func (e *Engine) push(s sampling.Sample) {
+	for _, k := range e.sinks {
+		k.Consume(s)
+	}
+}
+
+func (e *Engine) stepPM(pm *PM) {
 	c := &e.Calib
+	sc := &e.sc
 	n := len(pm.VMs)
 	if n == 0 {
 		pm.dom0Util = units.V(e.noisy(c.Dom0BaseCPU), c.Dom0MemMB, 0, 0)
@@ -121,11 +218,12 @@ func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) 
 	// --- Disk path ---
 	// Guest block throughput is capped by the virtual disk; physical blocks
 	// are amplified by striping.
-	vmIO := make([]float64, n)
+	vmIO := sc.vmIO[:n]
 	var totalGuestBlocks float64
 	for i, vm := range pm.VMs {
-		io := demands[vm].IOBlocks
-		if demands[vm].MemMB > 0 {
+		d := &sc.demands[vm.id]
+		io := d.IOBlocks
+		if d.MemMB > 0 {
 			// lookbusy-mem pages lightly regardless of ladder level
 			// (Section III-C: constant 18.8 blocks/s PM I/O in memory runs).
 			io += c.MemIOBlocksBase
@@ -147,12 +245,9 @@ func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) 
 	var interKbps float64 // guest traffic priced at the NIC-path Dom0 rate
 	var intraKbps float64 // guest traffic priced at the bridge-path rate
 	var activeSenders int // VMs pushing traffic through the NIC
-	vmBW := make([]float64, n)
+	vmBW := sc.vmBW[:n]
 	for i, vm := range pm.VMs {
-		f := flows[vm]
-		if f == nil {
-			continue
-		}
+		f := &sc.flows[vm.id]
 		vmBW[i] = f.interOutKbps + f.intraOutKbps + f.inKbps
 		pmNICKbps += f.interOutKbps + f.interInKbps
 		interKbps += f.interOutKbps + f.interInKbps
@@ -178,11 +273,11 @@ func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) 
 	// --- Guest CPU demand ---
 	// The workload target plus the front-end driver costs of I/O and
 	// networking, plus the idle base.
-	vmCPUDemand := make([]float64, n)
-	vmWeights := make([]float64, n)
+	vmCPUDemand := sc.vmCPU[:n]
+	vmWeights := sc.vmWeights[:n]
 	var ctlCost, schedCost, vcpuCostDom0, vcpuCostHyp float64
 	for i, vm := range pm.VMs {
-		d := demands[vm]
+		d := &sc.demands[vm.id]
 		vmCap := c.VMCPUCap * float64(vm.VCPUs)
 		in := d.CPU
 		if in < 0 {
@@ -240,14 +335,13 @@ func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) 
 	// the hypervisor to their saturation allocations (the 23.4% / 12.0%
 	// plateaus of Section IV-B) and guests share the remaining pool
 	// max-min-fairly.
-	var guestAlloc []float64
+	guestAlloc := sc.guestAlloc[:n]
 	var dom0CPU, hypCPU float64
 	totalDemand := dom0Demand + hypDemand
 	for _, d := range vmCPUDemand {
 		totalDemand += d
 	}
 	if totalDemand <= c.TotalCapCPU {
-		guestAlloc = make([]float64, n)
 		copy(guestAlloc, vmCPUDemand)
 		dom0CPU = dom0Demand
 		hypCPU = hypDemand
@@ -260,13 +354,14 @@ func (e *Engine) stepPM(pm *PM, demands map[*VM]Demand, flows map[*VM]*vmFlows) 
 		if hypCPU > c.HypSatCPU {
 			hypCPU = c.HypSatCPU
 		}
-		guestAlloc = WaterFillWeighted(vmCPUDemand, vmWeights, c.TotalCapCPU-dom0CPU-hypCPU)
+		waterFillWeightedInto(guestAlloc, vmCPUDemand, vmWeights,
+			c.TotalCapCPU-dom0CPU-hypCPU, sc.fillIdx[:n], sc.fillW[:n])
 	}
 
 	// --- Memory ---
 	var totalMem float64
 	for i, vm := range pm.VMs {
-		mem := c.VMBaseMemMB + demands[vm].MemMB
+		mem := c.VMBaseMemMB + sc.demands[vm.id].MemMB
 		if mem > vm.MemCapMB {
 			mem = vm.MemCapMB
 		}

@@ -74,14 +74,19 @@ type migrationLoad struct {
 	dom0CPU float64
 }
 
-// stepMigrations advances in-flight copies by one step and returns the
-// per-PM extra load. Completed migrations move their VM.
-func (e *Engine) stepMigrations() map[*PM]migrationLoad {
+// stepMigrations advances in-flight copies by one step, accumulating the
+// per-PM extra load into the engine's scratch arena (indexed by PM ID).
+// Completed migrations move their VM. It reports whether any load was
+// recorded.
+func (e *Engine) stepMigrations() bool {
 	if len(e.migrations) == 0 {
-		return nil
+		return false
 	}
 	c := &e.Calib
-	loads := make(map[*PM]migrationLoad)
+	loads := e.sc.migLoads
+	for i := range loads {
+		loads[i] = migrationLoad{}
+	}
 	keep := e.migrations[:0]
 	for _, m := range e.migrations {
 		rate := c.MigrationRateKbps
@@ -93,11 +98,10 @@ func (e *Engine) stepMigrations() map[*PM]migrationLoad {
 			sent = m.remainingKb
 		}
 		kbps := sent / e.Step
-		for _, pm := range []*PM{m.vm.pm, m.dst} {
-			l := loads[pm]
+		for _, pm := range [2]*PM{m.vm.pm, m.dst} {
+			l := &loads[pm.id]
 			l.nicKbps += kbps
 			l.dom0CPU += c.Dom0CPUPerKbps * kbps
-			loads[pm] = l
 		}
 		m.remainingKb -= sent
 		if m.remainingKb <= 0 {
@@ -108,13 +112,13 @@ func (e *Engine) stepMigrations() map[*PM]migrationLoad {
 		}
 	}
 	e.migrations = keep
-	return loads
+	return true
 }
 
-// migrationUtil folds migration load into a PM's reported utilization.
-func applyMigrationLoad(pm *PM, loads map[*PM]migrationLoad, capBW float64) {
-	l, ok := loads[pm]
-	if !ok {
+// applyMigrationLoad folds migration load into a PM's reported utilization.
+func applyMigrationLoad(pm *PM, loads []migrationLoad, capBW float64) {
+	l := loads[pm.id]
+	if l.nicKbps == 0 && l.dom0CPU == 0 {
 		return
 	}
 	pm.dom0Util = pm.dom0Util.Add(units.V(l.dom0CPU, 0, 0, 0))

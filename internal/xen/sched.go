@@ -23,7 +23,16 @@ func WaterFillWeighted(demands, weights []float64, pool float64) []float64 {
 	if n == 0 || pool <= 0 {
 		return alloc
 	}
-	w := make([]float64, n)
+	waterFillWeightedInto(alloc, demands, weights, pool, make([]int, n), make([]float64, n))
+	return alloc
+}
+
+// waterFillWeightedInto is the allocation-free core of WaterFillWeighted:
+// it writes the allocation into alloc, using idx and w (both length n) as
+// scratch. The engine hot path calls this with buffers from its step
+// arena. alloc must be len(demands) and pool > 0.
+func waterFillWeightedInto(alloc, demands, weights []float64, pool float64, idx []int, w []float64) {
+	n := len(demands)
 	for i, wi := range weights {
 		if wi <= 0 {
 			wi = 1
@@ -32,13 +41,18 @@ func WaterFillWeighted(demands, weights []float64, pool float64) []float64 {
 	}
 	// Sort by demand/weight so the relatively smallest demands settle
 	// first; remaining capacity is re-shared by weight among the rest.
-	idx := make([]int, n)
+	// Insertion sort: stable, allocation-free, and n (guests per PM) is
+	// small.
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return demands[idx[a]]/w[idx[a]] < demands[idx[b]]/w[idx[b]]
-	})
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && demands[idx[j]]/w[idx[j]] < demands[idx[j-1]]/w[idx[j-1]] {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			j--
+		}
+	}
 	remaining := pool
 	var weightLeft float64
 	for _, i := range idx {
@@ -58,7 +72,6 @@ func WaterFillWeighted(demands, weights []float64, pool float64) []float64 {
 		remaining -= alloc[i]
 		weightLeft -= w[i]
 	}
-	return alloc
 }
 
 // WaterFill allocates a shared pool across demands with max-min fairness,

@@ -25,6 +25,10 @@ type VM struct {
 	// adjusts this knob online.
 	capCPU float64
 
+	// id is the VM's dense arena index, assigned at AddVMConfig time and
+	// stable for the VM's lifetime (migration keeps it; removal retires it).
+	// The engine's per-step scratch buffers are addressed by it.
+	id     int
 	pm     *PM
 	source Source
 
@@ -32,6 +36,10 @@ type VM struct {
 	// monitor noise).
 	util units.Vector
 }
+
+// ID returns the VM's dense arena index within its cluster. IDs are
+// assigned in creation order, never reused, and survive migration.
+func (v *VM) ID() int { return v.id }
 
 // CPUCapPercent returns the guest's CPU ceiling in %VCPU (100 per VCPU).
 func (v *VM) CPUCapPercent() float64 { return 100 * float64(v.VCPUs) }
@@ -70,11 +78,18 @@ type PM struct {
 	MemCapMB float64
 	VMs      []*VM
 
+	// id is the PM's dense index in Cluster.PMs, assigned by AddPM.
+	id int
+
 	// Per-step state (ground truth).
 	dom0Util units.Vector
 	hypCPU   float64
 	pmUtil   units.Vector
 }
+
+// ID returns the PM's dense index within its cluster (its position in
+// Cluster.PMs).
+func (p *PM) ID() int { return p.id }
 
 // Dom0Util returns the driver domain's utilization from the last step.
 // Dom0's IO and BW components are always zero: it schedules guest requests
@@ -89,16 +104,36 @@ func (p *PM) HypervisorCPU() float64 { return p.hypCPU }
 // paper's indirect PM CPU computation (Section III-C).
 func (p *PM) PMUtil() units.Vector { return p.pmUtil }
 
-// Cluster is a set of PMs sharing a physical network.
+// Cluster is a set of PMs sharing a physical network. PMs and VMs carry
+// dense integer IDs assigned at construction; the engine's scratch arenas
+// and the sampling pipeline address domains by those IDs instead of
+// pointer-keyed maps.
 type Cluster struct {
 	PMs []*PM
 
+	// vms is the VM arena indexed by VM ID. Removed VMs leave a nil hole;
+	// IDs are never reused, so references by ID stay unambiguous.
+	vms     []*VM
 	vmIndex map[string]*VM
 }
 
 // NewCluster creates an empty cluster.
 func NewCluster() *Cluster {
 	return &Cluster{vmIndex: make(map[string]*VM)}
+}
+
+// NumVMIDs returns the size of the VM ID space (one past the highest ID
+// ever assigned, including retired IDs). Engines size their scratch arenas
+// with it.
+func (c *Cluster) NumVMIDs() int { return len(c.vms) }
+
+// VMByID returns the VM with the given arena ID, or nil if the ID is out of
+// range or retired.
+func (c *Cluster) VMByID(id int) *VM {
+	if id < 0 || id >= len(c.vms) {
+		return nil
+	}
+	return c.vms[id]
 }
 
 // AddPM creates a PM with the testbed's memory capacity (2 GB) and adds it
@@ -109,7 +144,7 @@ func (c *Cluster) AddPM(name string) *PM {
 			panic(fmt.Sprintf("xen: duplicate PM name %q", name))
 		}
 	}
-	pm := &PM{Name: name, MemCapMB: 2048}
+	pm := &PM{Name: name, MemCapMB: 2048, id: len(c.PMs)}
 	c.PMs = append(c.PMs, pm)
 	return pm
 }
@@ -137,7 +172,9 @@ func (c *Cluster) AddVMConfig(pm *PM, name string, memCapMB float64, vcpus int, 
 	if weight <= 0 {
 		weight = DefaultWeight
 	}
-	vm := &VM{Name: name, MemCapMB: memCapMB, VCPUs: vcpus, Weight: weight, pm: pm, source: IdleSource}
+	vm := &VM{Name: name, MemCapMB: memCapMB, VCPUs: vcpus, Weight: weight,
+		id: len(c.vms), pm: pm, source: IdleSource}
+	c.vms = append(c.vms, vm)
 	pm.VMs = append(pm.VMs, vm)
 	c.vmIndex[name] = vm
 	return vm
@@ -157,6 +194,7 @@ func (c *Cluster) RemoveVM(name string) {
 		return
 	}
 	delete(c.vmIndex, name)
+	c.vms[vm.id] = nil // retire the ID; never reused
 	pm := vm.pm
 	for i, v := range pm.VMs {
 		if v == vm {

@@ -39,6 +39,7 @@ import (
 	"virtover/internal/exps"
 	"virtover/internal/monitor"
 	"virtover/internal/rubis"
+	"virtover/internal/sampling"
 	"virtover/internal/scenario"
 	"virtover/internal/stats"
 	"virtover/internal/units"
@@ -520,6 +521,67 @@ type Scenario = scenario.Scenario
 
 // ParseScenario decodes and validates a scenario file.
 func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ---- Sample pipeline ----
+//
+// The engine emits one ground-truth Sample per domain per step into
+// attached Sinks (Engine.AttachSink). MeasurementScript.Attach inserts the
+// decimate -> filter -> meter stages so downstream sinks see *measured*
+// samples at the script's interval. See DESIGN.md for a custom-sink
+// walkthrough.
+
+// Sample is one per-domain utilization reading flowing through the
+// pipeline.
+type Sample = sampling.Sample
+
+// Sink consumes samples; implement it to observe a simulation online.
+type Sink = sampling.Sink
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc = sampling.SinkFunc
+
+// SampleKind distinguishes guest, Domain-0, hypervisor and host samples.
+type SampleKind = sampling.Kind
+
+// Sample kinds in engine emission order.
+const (
+	KindGuest      = sampling.KindGuest
+	KindDom0       = sampling.KindDom0
+	KindHypervisor = sampling.KindHypervisor
+	KindHost       = sampling.KindHost
+)
+
+// SampleFilter forwards only samples matching Keep.
+type SampleFilter = sampling.Filter
+
+// Decimate forwards every n-th simulation step to next.
+func Decimate(n int, next Sink) Sink { return sampling.Decimate(n, next) }
+
+// MetricSummary is an online summary (mean/std/min/max/p50/p90/p99) of one
+// sample stream.
+type MetricSummary = sampling.Summary
+
+// StatSink folds selected samples into an O(1)-memory MetricSummary.
+type StatSink = sampling.StatSink
+
+// NewStatSink creates a StatSink over the given selector.
+func NewStatSink(sel func(Sample) (float64, bool)) *StatSink { return sampling.NewStatSink(sel) }
+
+// SelectKind selects one resource of samples of one kind.
+func SelectKind(k SampleKind, r Resource) func(Sample) (float64, bool) {
+	return sampling.SelectKind(k, r)
+}
+
+// SampleCollector assembles measured samples back into Measurement rows.
+type SampleCollector = monitor.Collector
+
+// NewSampleCollector creates an empty collector; attach it behind
+// MeasurementScript.Attach and read Series or Latest between Advance
+// calls.
+func NewSampleCollector() *SampleCollector { return monitor.NewCollector() }
+
+// PushSamples replays a recorded measurement series through a sink.
+func PushSamples(series [][]Measurement, sink Sink) { monitor.PushSeries(series, sink) }
 
 // ---- Streaming aggregation ----
 
