@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race determinism bench
 
-# The full pre-commit gate: static checks, build, and the race-enabled
-# test suite.
-check: vet build race
+# The full pre-commit gate: static checks, build, the race-enabled test
+# suite, and the multi-GOMAXPROCS fitting-kernel determinism check.
+check: vet build race determinism
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Engine hot-path benchmarks with allocation reporting.
+# The parallel LMS kernel promises bit-identical fits at every worker
+# count; race-check that contract at several GOMAXPROCS values.
+determinism:
+	$(GO) test -run TestLMSDeterminism -race -cpu 1,2,4 ./internal/stats/
+
+# Hot-path benchmarks (engine step + fitting/selection kernels) with
+# allocation reporting; the parsed results land in BENCH_stats.json so the
+# next PR has a perf trajectory to compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json

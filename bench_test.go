@@ -11,6 +11,8 @@
 package virtover_test
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -455,7 +457,10 @@ func BenchmarkOLSFit(b *testing.B) {
 	}
 }
 
-func BenchmarkLMSFit(b *testing.B) {
+// benchLMSData slices a fixed-size LMS fitting problem out of the shared
+// training corpus.
+func benchLMSData(b *testing.B) ([][]float64, []float64) {
+	b.Helper()
 	single, _ := benchCorpus(b)
 	xs := make([][]float64, 0, 400)
 	ys := make([]float64, 0, 400)
@@ -466,12 +471,65 @@ func BenchmarkLMSFit(b *testing.B) {
 		xs = append(xs, []float64{s.VMSum.CPU, s.VMSum.Mem, s.VMSum.IO, s.VMSum.BW})
 		ys = append(ys, s.Dom0CPU)
 	}
+	return xs, ys
+}
+
+func BenchmarkLMSFit(b *testing.B) {
+	xs, ys := benchLMSData(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stats.LMS(xs, ys, true, stats.LMSOptions{Subsamples: 100, Seed: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Scaling of the sharded LMS kernel; the fitted coefficients are
+// bit-identical at every worker count, so this measures pure scheduling.
+// Speedup over w1 needs real cores — on a single-CPU machine the extra
+// worker counts only add goroutine overhead and the shared early-abandon
+// incumbent is all that keeps the gap small.
+func BenchmarkLMSFitParallel(b *testing.B) {
+	xs, ys := benchLMSData(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			opt := stats.LMSOptions{Subsamples: 400, Seed: 3, Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.LMS(xs, ys, true, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Order-statistic selection vs the copy+sort it replaced across the stats
+// layer (medians in the LMS trial loop, percentiles, bootstrap CIs).
+func BenchmarkSelectKth(b *testing.B) {
+	const n = 10000
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64((i*2654435761)%n) + float64(i%7)/10
+	}
+	buf := make([]float64, n)
+	b.Run("quickselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(buf, src)
+			stats.SelectKth(buf, n/2)
+		}
+	})
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(buf, src)
+			sort.Float64s(buf)
+			_ = buf[n/2]
+		}
+	})
 }
 
 func BenchmarkModelPredict(b *testing.B) {

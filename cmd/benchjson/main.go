@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// perf-trajectory file. It reads benchmark output on stdin, echoes it
+// unchanged to stdout (so make bench stays readable), and writes one JSON
+// object mapping each benchmark name to its reported metrics — ns/op,
+// B/op, allocs/op and any custom b.ReportMetric units.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_stats.json
+//
+// With -count > 1 the last reported line per benchmark wins. The file
+// gives successive PRs a recorded baseline to diff against instead of
+// re-running historical commits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_stats.json", "output JSON path")
+	flag.Parse()
+
+	results := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if m, name := parseBenchLine(line); m != nil {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	log.Printf("wrote %d benchmarks to %s (%s ...)", len(results), *out, names[0])
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkLMSFitParallel/w4-8   500   2501234 ns/op   32984 B/op   15 allocs/op
+//
+// returning the metric map and the benchmark name with the trailing
+// -GOMAXPROCS suffix stripped, or (nil, "") for non-benchmark lines.
+func parseBenchLine(line string) (map[string]float64, string) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, ""
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return nil, "" // second column must be the iteration count
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	m := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, ""
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return nil, ""
+	}
+	return m, name
+}

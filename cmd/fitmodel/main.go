@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fitmodel [-method ols|lms] [-samples N] [-seed S]
+//	fitmodel [-method ols|lms] [-samples N] [-seed S] [-workers W]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"virtover"
 	"virtover/internal/core"
@@ -25,12 +26,13 @@ func main() {
 		method  = flag.String("method", "ols", "regression estimator: ols or lms (the paper uses least median of squares)")
 		samples = flag.Int("samples", 120, "samples per micro-benchmark campaign (paper: 120)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for the LMS fitting kernel (the fit is bit-identical at any value)")
 		ci      = flag.Bool("ci", false, "also print 90% bootstrap confidence intervals for the single-VM coefficients")
 		out     = flag.String("out", "", "save the fitted model as JSON for reuse by cmd/predict -model")
 	)
 	flag.Parse()
 
-	opt := virtover.FitOptions{}
+	opt := virtover.FitOptions{Workers: *workers}
 	switch *method {
 	case "ols":
 		opt.Method = virtover.MethodOLS

@@ -158,6 +158,11 @@ type FitOptions struct {
 	// Eq. 3, where unregularized coefficients can cancel wildly and
 	// extrapolate badly.
 	Ridge float64
+	// Workers caps the goroutines the LMS fitting kernel may use per
+	// target fit (MethodLMS only); it is copied into LMS.Workers when
+	// that field is unset. The fitted coefficients are bit-for-bit
+	// identical at every worker count, so this is purely a latency knob.
+	Workers int
 }
 
 // Model is the fitted overhead estimation model. A is the single-VM
@@ -203,6 +208,9 @@ func fitCoefficients(xs [][]float64, ys []float64, opt FitOptions) ([]float64, e
 		lopt := opt.LMS
 		if lopt.Subsamples == 0 {
 			lopt.Subsamples = 500
+		}
+		if lopt.Workers == 0 {
+			lopt.Workers = opt.Workers
 		}
 		lopt.Refine = true
 		fit, err = stats.LMS(xs, ys, true, lopt)

@@ -1,6 +1,8 @@
 package exps
 
 import (
+	"runtime"
+
 	"virtover/internal/core"
 	"virtover/internal/monitor"
 	"virtover/internal/stats"
@@ -80,9 +82,11 @@ func RobustnessExperiment(seed int64, samplesPerRun int, glitchProb float64) (Ro
 	if err != nil {
 		return RobustnessResult{}, err
 	}
+	// All cores are safe here: the LMS kernel fits bit-identically at any
+	// worker count, so parallelism changes latency only.
 	lms, err := core.TrainSingle(train, core.FitOptions{
 		Method: core.MethodLMS,
-		LMS:    stats.LMSOptions{Subsamples: 400, Seed: seed + 5},
+		LMS:    stats.LMSOptions{Subsamples: 400, Seed: seed + 5, Workers: runtime.GOMAXPROCS(0)},
 	})
 	if err != nil {
 		return RobustnessResult{}, err

@@ -73,8 +73,10 @@ func BootstrapOLS(xs [][]float64, ys []float64, intercept bool, B int, conf floa
 		for i, c := range coefs {
 			col[i] = c[j]
 		}
-		out.Lo[j] = Percentile(col, 100*alpha)
-		out.Hi[j] = Percentile(col, 100*(1-alpha))
+		// col is scratch rebuilt per coefficient; the in-place selection
+		// skips Percentile's copy+sort on every replicate column.
+		out.Lo[j] = PercentileInPlace(col, 100*alpha)
+		out.Hi[j] = PercentileInPlace(col, 100*(1-alpha))
 	}
 	return out, nil
 }

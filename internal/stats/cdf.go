@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -49,10 +50,9 @@ func (c *CDF) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	idx := int(q*float64(n)) - 1
-	if float64(idx+1) < q*float64(n) {
-		idx++
-	}
+	// The smallest v with At(v) >= q is the ceil(q*n)-th order statistic
+	// (1-indexed), i.e. index ceil(q*n)-1.
+	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -84,6 +84,45 @@ func TestCDFRender(t *testing.T) {
 	}
 }
 
+// TestCDFQuantileEdges pins the integer ceil(q*n)-1 index form on the
+// boundary cases the old float round-trip was fragile around: q exactly at
+// a step k/n, a single-sample CDF, and q = 1.
+func TestCDFQuantileEdges(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	for k := 1; k <= 5; k++ {
+		q := float64(k) / 5
+		want := float64(10 * k)
+		if got := c.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) at exact step = %v, want %v", q, got, want)
+		}
+		// Nudging just past the step must advance to the next sample.
+		if k < 5 {
+			if got := c.Quantile(q + 1e-9); got != float64(10*(k+1)) {
+				t.Errorf("Quantile(%v+eps) = %v, want %v", q, got, float64(10*(k+1)))
+			}
+		}
+	}
+	one := NewCDF([]float64{7})
+	for _, q := range []float64{0.0001, 0.5, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("n=1: Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want the maximum 50", got)
+	}
+	if got := c.Quantile(1e-12); got != 10 {
+		t.Errorf("Quantile(tiny) = %v, want the minimum 10", got)
+	}
+	// Quantile must return the smallest v with At(v) >= q.
+	for _, q := range []float64{0.2, 0.4, 0.41, 0.999, 1} {
+		v := c.Quantile(q)
+		if c.At(v) < q {
+			t.Errorf("At(Quantile(%v)) = %v < q", q, c.At(v))
+		}
+	}
+}
+
 // Property: At is monotone and Quantile inverts At within sample resolution.
 func TestQuickCDFMonotoneAndInverse(t *testing.T) {
 	cfg := &quick.Config{

@@ -1,9 +1,6 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
@@ -36,7 +33,9 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Median returns the median of xs (average of the two central elements for
-// even lengths), or 0 for an empty slice. xs is not modified.
+// even lengths), or 0 for an empty slice. xs is not modified; callers that
+// own their slice can use MedianInPlace and skip the copy. Selection makes
+// this O(n) rather than the O(n log n) a sort would pay.
 func Median(xs []float64) float64 {
 	n := len(xs)
 	if n == 0 {
@@ -44,16 +43,13 @@ func Median(xs []float64) float64 {
 	}
 	c := make([]float64, n)
 	copy(c, xs)
-	sort.Float64s(c)
-	if n%2 == 1 {
-		return c[n/2]
-	}
-	return (c[n/2-1] + c[n/2]) / 2
+	return MedianInPlace(c)
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between order statistics. xs is not modified. It returns 0
-// for an empty slice and clamps p to [0,100].
+// interpolation between order statistics. xs is not modified; callers that
+// own their slice can use PercentileInPlace and skip the copy. It returns
+// 0 for an empty slice and clamps p to [0,100].
 func Percentile(xs []float64, p float64) float64 {
 	n := len(xs)
 	if n == 0 {
@@ -61,21 +57,7 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	c := make([]float64, n)
 	copy(c, xs)
-	sort.Float64s(c)
-	if p <= 0 {
-		return c[0]
-	}
-	if p >= 100 {
-		return c[n-1]
-	}
-	pos := p / 100 * float64(n-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return c[lo]
-	}
-	frac := pos - float64(lo)
-	return c[lo]*(1-frac) + c[hi]*frac
+	return PercentileInPlace(c, p)
 }
 
 // MinMax returns the minimum and maximum of xs. It returns (0,0) for an

@@ -2,6 +2,10 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"virtover/internal/simrand"
 )
@@ -19,6 +23,14 @@ type LMSOptions struct {
 	Refine bool
 	// Seed drives the deterministic subset sampling.
 	Seed int64
+	// Workers shards candidate scoring across up to Workers goroutines;
+	// values <= 1 score serially. The fitted model is bit-for-bit
+	// identical at every worker count: the elemental subsets come from a
+	// single PROGRESS stream materialized before any scoring starts, each
+	// surviving candidate's objective is exact, and the winner is the
+	// lexicographic minimum of (objective, trial index) — the same
+	// contract the experiment harness's runParallel gives campaigns.
+	Workers int
 }
 
 // LMS fits y ≈ X·beta by least median of squares (Rousseeuw 1984), the
@@ -30,7 +42,11 @@ type LMSOptions struct {
 // The exact LMS estimator is combinatorial; like the original PROGRESS
 // program we approximate it by drawing random elemental subsets of size p
 // (the number of coefficients), solving each exactly, and keeping the
-// candidate minimizing the median of squared residuals.
+// candidate minimizing the median of squared residuals. Scoring a
+// candidate early-abandons as soon as more than n/2 squared residuals
+// exceed the incumbent objective, since its median can then no longer
+// win; abandoned candidates never affect the result, so the fit is
+// identical to exhaustive scoring.
 func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, error) {
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("stats: LMS got %d feature rows and %d targets", len(xs), len(ys))
@@ -47,47 +63,49 @@ func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, er
 	if trials <= 0 {
 		trials = 500
 	}
+
+	// Materialize the whole subset stream up front from the single seeded
+	// source (an O(trials·p) pre-pass, negligible next to scoring). Every
+	// worker count then scores the exact same candidates, which is what
+	// makes the parallel fit bit-identical to the serial one.
 	rng := simrand.New(opt.Seed)
+	subsets := make([]int, trials*p)
+	for t := 0; t < trials; t++ {
+		samplePDistinct(rng, n, subsets[t*p:(t+1)*p])
+	}
 
-	bestObj := -1.0
-	var bestBeta []float64
-	res2 := make([]float64, n)
-
-	sub := NewMatrix(p, p)
-	rhs := make([]float64, p)
-
-	for trial := 0; trial < trials; trial++ {
-		// Draw p distinct row indices.
-		idx := samplePDistinct(rng, n, p)
-		for i, r := range idx {
-			copy(sub.Data[i*p:(i+1)*p], x.Data[r*p:(r+1)*p])
-			rhs[i] = ys[r]
+	workers := opt.Workers
+	if workers > trials {
+		workers = trials
+	}
+	var best lmsCandidate
+	if workers <= 1 {
+		best = newLMSKernel(x, ys).search(subsets, 0, trials, nil)
+	} else {
+		shared := newLMSIncumbent()
+		cands := make([]lmsCandidate, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := shardRange(trials, workers, w)
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				cands[w] = newLMSKernel(x, ys).search(subsets, lo, hi, shared)
+			}(w, lo, hi)
 		}
-		beta, err := SolveLinear(sub, rhs)
-		if err != nil {
-			continue // degenerate subset; skip
-		}
-		// Median of squared residuals over all observations.
-		for i := 0; i < n; i++ {
-			var pred float64
-			row := x.Data[i*p : (i+1)*p]
-			for j, v := range row {
-				pred += v * beta[j]
+		wg.Wait()
+		best = cands[0]
+		for _, c := range cands[1:] {
+			if c.beats(best) {
+				best = c
 			}
-			r := ys[i] - pred
-			res2[i] = r * r
-		}
-		obj := Median(res2)
-		if bestObj < 0 || obj < bestObj {
-			bestObj = obj
-			bestBeta = append(bestBeta[:0], beta...)
 		}
 	}
-	if bestBeta == nil {
+	if best.trial < 0 {
 		return nil, fmt.Errorf("stats: LMS found no non-degenerate subset in %d trials", trials)
 	}
 
-	f := &Fit{Coef: bestBeta, Intercept: intercept}
+	f := &Fit{Coef: best.beta, Intercept: intercept}
 	residualDiagnostics(f, xs, ys)
 
 	if opt.Refine {
@@ -99,25 +117,172 @@ func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, er
 	return f, nil
 }
 
+// lmsCandidate is a worker's best (objective, trial, coefficients) triple.
+// trial < 0 means the worker found no non-degenerate subset.
+type lmsCandidate struct {
+	obj   float64
+	trial int
+	beta  []float64
+}
+
+// beats reports whether c wins over other under the lexicographic
+// (objective, trial index) order that defines the fit at every worker
+// count.
+func (c lmsCandidate) beats(other lmsCandidate) bool {
+	if c.trial < 0 {
+		return false
+	}
+	if other.trial < 0 {
+		return true
+	}
+	return c.obj < other.obj || (c.obj == other.obj && c.trial < other.trial)
+}
+
+// lmsKernel holds one scorer's scratch. All fields are preallocated so the
+// trial loop in search runs allocation-free; the shared design matrix and
+// targets are read-only.
+type lmsKernel struct {
+	x        *Matrix
+	ys       []float64
+	sub      *Matrix   // p x p elemental system (destroyed by each solve)
+	rhs      []float64 // p
+	beta     []float64 // p, solution of the current elemental system
+	res2     []float64 // n, squared residuals of the current candidate
+	bestBeta []float64 // p cap, coefficients of the incumbent
+}
+
+func newLMSKernel(x *Matrix, ys []float64) *lmsKernel {
+	p := x.Cols
+	return &lmsKernel{
+		x:        x,
+		ys:       ys,
+		sub:      NewMatrix(p, p),
+		rhs:      make([]float64, p),
+		beta:     make([]float64, p),
+		res2:     make([]float64, x.Rows),
+		bestBeta: make([]float64, 0, p),
+	}
+}
+
+// lmsIncumbent is a lock-free cross-worker bound on the best exact
+// objective published so far, stored as the bit pattern of a non-negative
+// float64 (which order-preserves under uint64 comparison). Workers use it
+// only to tighten the early-abandon threshold: abandoning requires the
+// candidate's median to sit strictly above some other trial's exact
+// objective, which already disqualifies it from winning under the
+// (objective, trial) order — so publish timing can never change the fit.
+type lmsIncumbent struct{ bits atomic.Uint64 }
+
+func newLMSIncumbent() *lmsIncumbent {
+	s := &lmsIncumbent{}
+	s.bits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+func (s *lmsIncumbent) load() float64 { return math.Float64frombits(s.bits.Load()) }
+
+func (s *lmsIncumbent) publish(obj float64) {
+	b := math.Float64bits(obj)
+	for {
+		cur := s.bits.Load()
+		if b >= cur || s.bits.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// search scores trials [lo,hi) against the materialized subset stream and
+// returns the best candidate under the (objective, trial) order. shared,
+// when non-nil, tightens the abandon threshold with other workers'
+// published objectives. It allocates nothing.
+func (k *lmsKernel) search(subsets []int, lo, hi int, shared *lmsIncumbent) lmsCandidate {
+	n, p := k.x.Rows, k.x.Cols
+	bestObj := math.Inf(1)
+	bestTrial := -1
+	// More than n/2 squared residuals above the incumbent put the median
+	// strictly above it (for both the odd and the averaged even case), so
+	// the candidate cannot win or tie.
+	abandonAt := n/2 + 1
+	for t := lo; t < hi; t++ {
+		idx := subsets[t*p : (t+1)*p]
+		for i, r := range idx {
+			copy(k.sub.Data[i*p:(i+1)*p], k.x.Data[r*p:(r+1)*p])
+			k.rhs[i] = k.ys[r]
+		}
+		if solveLinearInPlace(k.sub, k.rhs, k.beta) >= 0 {
+			continue // degenerate subset; skip
+		}
+		threshold := bestObj
+		if shared != nil {
+			if g := shared.load(); g < threshold {
+				threshold = g
+			}
+		}
+		exceed := 0
+		abandoned := false
+		for i := 0; i < n; i++ {
+			var pred float64
+			row := k.x.Data[i*p : (i+1)*p]
+			for j, v := range row {
+				pred += v * k.beta[j]
+			}
+			r := k.ys[i] - pred
+			r2 := r * r
+			k.res2[i] = r2
+			if r2 > threshold {
+				exceed++
+				if exceed >= abandonAt {
+					abandoned = true
+					break
+				}
+			}
+		}
+		if abandoned {
+			continue
+		}
+		obj := MedianInPlace(k.res2)
+		if obj < bestObj {
+			bestObj = obj
+			bestTrial = t
+			k.bestBeta = append(k.bestBeta[:0], k.beta...)
+			if shared != nil {
+				shared.publish(obj)
+			}
+		}
+	}
+	return lmsCandidate{obj: bestObj, trial: bestTrial, beta: k.bestBeta}
+}
+
+// shardRange splits n trials into `workers` near-equal contiguous blocks
+// and returns block w's [lo,hi) bounds.
+func shardRange(n, workers, w int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
 // lmsRefine does one reweighted-least-squares step: keep the ceil(n/2)+1
 // observations with the smallest absolute residuals under the LMS candidate
-// and OLS-fit on them.
+// and OLS-fit on them. The half-sample is found by O(n) selection on
+// (residual, index) pairs rather than a sort; the index tie-break keeps the
+// kept set deterministic when residuals collide.
 func lmsRefine(xs [][]float64, ys []float64, intercept bool, cand *Fit) (*Fit, error) {
 	n := len(ys)
-	type resIdx struct {
-		r2 float64
-		i  int
-	}
-	rs := make([]resIdx, n)
+	r2 := make([]float64, n)
+	idx := make([]int, n)
 	for i, x := range xs {
 		pred, err := cand.Predict(x)
 		if err != nil {
 			return nil, err
 		}
 		d := ys[i] - pred
-		rs[i] = resIdx{d * d, i}
+		r2[i] = d * d
+		idx[i] = i
 	}
-	// Selection by partial sort.
 	keep := n/2 + 1
 	p := len(cand.Coef)
 	if keep < p {
@@ -126,21 +291,16 @@ func lmsRefine(xs [][]float64, ys []float64, intercept bool, cand *Fit) (*Fit, e
 	if keep > n {
 		keep = n
 	}
-	// Simple insertion-style selection is fine at these sizes.
-	for i := 0; i < keep; i++ {
-		minJ := i
-		for j := i + 1; j < n; j++ {
-			if rs[j].r2 < rs[minJ].r2 {
-				minJ = j
-			}
-		}
-		rs[i], rs[minJ] = rs[minJ], rs[i]
-	}
+	selectKSmallestPairs(r2, idx, keep)
+	// OLS via Householder QR is row-order sensitive in the last few bits;
+	// feed the kept half in ascending-residual order, as the historical
+	// full sort did, so refined fits stay bit-identical across releases.
+	sort.Sort(pairsByKey{r2[:keep], idx[:keep]})
 	subX := make([][]float64, keep)
 	subY := make([]float64, keep)
 	for i := 0; i < keep; i++ {
-		subX[i] = xs[rs[i].i]
-		subY[i] = ys[rs[i].i]
+		subX[i] = xs[idx[i]]
+		subY[i] = ys[idx[i]]
 	}
 	f, err := OLS(subX, subY, intercept)
 	if err != nil {
@@ -152,15 +312,26 @@ func lmsRefine(xs [][]float64, ys []float64, intercept bool, cand *Fit) (*Fit, e
 	return f, nil
 }
 
-func samplePDistinct(rng *simrand.Source, n, p int) []int {
-	idx := make([]int, 0, p)
-	seen := make(map[int]bool, p)
-	for len(idx) < p {
+// samplePDistinct fills out with len(out) distinct indices in [0,n) by
+// rejection sampling. The draw sequence is bit-compatible with the
+// original map-based PROGRESS sampler — membership in the accepted prefix
+// is exactly membership in the old map — so existing seeded fits do not
+// shift; the prefix scan beats a map comfortably at the p <= 5 subset
+// sizes the model uses and allocates nothing.
+func samplePDistinct(rng *simrand.Source, n int, out []int) {
+	k := 0
+	for k < len(out) {
 		c := rng.Intn(n)
-		if !seen[c] {
-			seen[c] = true
-			idx = append(idx, c)
+		dup := false
+		for i := 0; i < k; i++ {
+			if out[i] == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[k] = c
+			k++
 		}
 	}
-	return idx
 }

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lmsFixture builds a contaminated regression problem large enough to
+// exercise the sharded kernel.
+func lmsFixture(n int) ([][]float64, []float64) {
+	xs, ys := genLinearData(n, []float64{2.5, -1.25, 0.75}, 4, 0.3, 101)
+	for i := 0; i < n/4; i++ {
+		ys[i*4] += 40 + float64(i)
+	}
+	return xs, ys
+}
+
+// TestLMSDeterminism is the parallel-kernel contract: the full fit —
+// coefficients and every diagnostic — is bit-for-bit identical at every
+// worker count, with and without the refinement step. make check runs it
+// under -race at -cpu 1,2,4.
+func TestLMSDeterminism(t *testing.T) {
+	xs, ys := lmsFixture(120)
+	for _, refine := range []bool{false, true} {
+		var ref *Fit
+		for _, workers := range []int{0, 1, 2, 8, 64} {
+			f, err := LMS(xs, ys, true, LMSOptions{
+				Subsamples: 200, Seed: 42, Refine: refine, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d refine=%v: %v", workers, refine, err)
+			}
+			if ref == nil {
+				ref = f
+				continue
+			}
+			for j := range ref.Coef {
+				if f.Coef[j] != ref.Coef[j] {
+					t.Errorf("workers=%d refine=%v: coef[%d] = %x, want %x (serial)",
+						workers, refine, j, f.Coef[j], ref.Coef[j])
+				}
+			}
+			if f.RSS != ref.RSS || f.TSS != ref.TSS || f.R2 != ref.R2 ||
+				f.MedianSqR != ref.MedianSqR || f.N != ref.N {
+				t.Errorf("workers=%d refine=%v: diagnostics diverge: %+v vs %+v",
+					workers, refine, f, ref)
+			}
+		}
+	}
+}
+
+// TestLMSWorkersExceedTrials covers the clamp when the pool is larger than
+// the trial count.
+func TestLMSWorkersExceedTrials(t *testing.T) {
+	xs, ys := lmsFixture(40)
+	a, err := LMS(xs, ys, true, LMSOptions{Subsamples: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LMS(xs, ys, true, LMSOptions{Subsamples: 4, Seed: 3, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Coef {
+		if a.Coef[j] != b.Coef[j] {
+			t.Fatalf("workers>trials changed the fit: %v vs %v", a.Coef, b.Coef)
+		}
+	}
+}
+
+// TestLMSGoldenCompat pins the serial fit to hex-exact values captured
+// from the pre-kernel implementation (copy+sort medians, map-based subset
+// sampling, full residual passes). Any drift here means the rewrite
+// changed the estimator, not just its speed.
+func TestLMSGoldenCompat(t *testing.T) {
+	xs, ys := lmsFixture(120)
+	cases := []struct {
+		name      string
+		intercept bool
+		opt       LMSOptions
+		coef      []float64
+	}{
+		{"plain", true, LMSOptions{Subsamples: 200, Seed: 42},
+			[]float64{0x1.08d029729b56p+02, 0x1.4063debdee62cp+01, -0x1.40df1ca76bae8p+00, 0x1.7e1342d00d99fp-01}},
+		{"refine", true, LMSOptions{Subsamples: 200, Seed: 42, Refine: true},
+			[]float64{0x1.09e77c2a566b6p+02, 0x1.4024cb76a1875p+01, -0x1.40a937ad82536p+00, 0x1.7ebf868a550b6p-01}},
+		{"nointercept", false, LMSOptions{Subsamples: 350, Seed: 7, Refine: true},
+			[]float64{0x1.41fac854599cdp+01, -0x1.38daf21c90df1p+00, 0x1.8fb2748bc6b1dp-01}},
+	}
+	for _, cse := range cases {
+		f, err := LMS(xs, ys, cse.intercept, cse.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cse.name, err)
+		}
+		if len(f.Coef) != len(cse.coef) {
+			t.Fatalf("%s: got %d coefficients, want %d", cse.name, len(f.Coef), len(cse.coef))
+		}
+		for j, want := range cse.coef {
+			if f.Coef[j] != want {
+				t.Errorf("%s: coef[%d] = %x, want pre-rewrite golden %x", cse.name, j, f.Coef[j], want)
+			}
+		}
+	}
+}
+
+// TestLMSSearchAllocFree pins the serial trial loop at zero steady-state
+// allocations: subsets, the elemental solve, the early-abandon residual
+// pass and the quickselect median all run on preallocated kernel scratch.
+func TestLMSSearchAllocFree(t *testing.T) {
+	xs, ys := lmsFixture(200)
+	x, err := designMatrix(xs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, p := x.Rows, x.Cols
+	const trials = 50
+	rng := rand.New(rand.NewSource(11))
+	subsets := make([]int, trials*p)
+	for tr := 0; tr < trials; tr++ {
+		perm := rng.Perm(n)
+		copy(subsets[tr*p:(tr+1)*p], perm[:p])
+	}
+	k := newLMSKernel(x, ys)
+	if got := testing.AllocsPerRun(20, func() {
+		if c := k.search(subsets, 0, trials, nil); c.trial < 0 {
+			t.Fatal("search found no candidate")
+		}
+	}); got != 0 {
+		t.Errorf("lmsKernel.search allocates %v times per run, want 0", got)
+	}
+}
+
+// TestShardRange checks the trial sharding covers [0,n) exactly once.
+func TestShardRange(t *testing.T) {
+	for _, n := range []int{1, 7, 100, 101} {
+		for _, workers := range []int{1, 2, 3, 7, n} {
+			covered := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := shardRange(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d: shard %d starts at %d, want %d", n, workers, w, lo, prevHi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: shards end at %d", n, workers, prevHi)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: trial %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}

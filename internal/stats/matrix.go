@@ -149,7 +149,23 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 	w := a.Clone()
 	rhs := make([]float64, n)
 	copy(rhs, b)
+	x := make([]float64, n)
+	if col := solveLinearInPlace(w, rhs, x); col >= 0 {
+		return nil, fmt.Errorf("stats: SolveLinear: singular matrix at column %d", col)
+	}
+	return x, nil
+}
 
+// solveLinearInPlace is the allocation-free core of SolveLinear: it
+// destroys a and b, writing the solution into x, and returns the column at
+// which elimination found the matrix singular, or -1 on success. The
+// caller guarantees a is square with len(b) == len(x) == a.Rows. Hot loops
+// (the LMS trial kernel) call it on reused scratch; it allocates nothing
+// on any path.
+func solveLinearInPlace(a *Matrix, b []float64, x []float64) int {
+	n := a.Rows
+	w := a
+	rhs := b
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		pivot := col
@@ -160,7 +176,7 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 			}
 		}
 		if best < 1e-12 {
-			return nil, fmt.Errorf("stats: SolveLinear: singular matrix at column %d", col)
+			return col
 		}
 		if pivot != col {
 			for j := 0; j < n; j++ {
@@ -182,7 +198,6 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := rhs[i]
 		for j := i + 1; j < n; j++ {
@@ -190,7 +205,7 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 		}
 		x[i] = s / w.Data[i*n+i]
 	}
-	return x, nil
+	return -1
 }
 
 // qrSolve solves the least-squares problem min ||A x - b||_2 using

@@ -92,7 +92,7 @@ func residualDiagnostics(f *Fit, xs [][]float64, ys []float64) {
 	if f.TSS > 0 {
 		f.R2 = 1 - f.RSS/f.TSS
 	}
-	f.MedianSqR = Median(res2)
+	f.MedianSqR = MedianInPlace(res2) // res2 is local scratch; skip Median's copy
 }
 
 // OLS fits y ≈ X·beta by ordinary least squares using Householder QR

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements deterministic in-place selection (order statistics
+// without a full sort). A k-th order statistic needs only O(n) work, while
+// every copy-and-sort call pays O(n log n) plus an allocation; the LMS
+// trial loop, lmsRefine, the descriptive statistics and the bootstrap all
+// route through these kernels. Pivots are chosen by median-of-three
+// (ninther for large windows), so the recursion depth is data-independent
+// of any RNG and the functions are safe for concurrent use on disjoint
+// slices.
+
+// selectCutoff is the window size below which quickselect finishes with an
+// insertion sort; small windows sort faster than they partition.
+const selectCutoff = 12
+
+// SelectKth partially sorts xs in place so that xs[k] holds the k-th
+// smallest element (0-indexed). On return every element of xs[:k] is <=
+// xs[k] and every element of xs[k+1:] is >= xs[k]. It allocates nothing
+// and panics when k is out of range.
+func SelectKth(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic(fmt.Sprintf("stats: SelectKth(%d) out of range [0,%d)", k, len(xs)))
+	}
+	lo, hi := 0, len(xs)-1
+	for hi-lo >= selectCutoff {
+		pv := pivotValue(xs, lo, hi)
+		// Three-way partition (Dutch national flag) keeps runs of equal
+		// values — common in squared-residual arrays — from degrading the
+		// scan to quadratic.
+		lt, i, gt := lo, lo, hi
+		for i <= gt {
+			switch {
+			case xs[i] < pv:
+				xs[i], xs[lt] = xs[lt], xs[i]
+				lt++
+				i++
+			case xs[i] > pv:
+				xs[i], xs[gt] = xs[gt], xs[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt - 1
+		case k > gt:
+			lo = gt + 1
+		default:
+			return xs[k] // k landed inside the run of pivot-equal values
+		}
+	}
+	insertionRange(xs, lo, hi)
+	return xs[k]
+}
+
+// pivotValue picks a deterministic pivot for xs[lo..hi]: median-of-three
+// for moderate windows, Tukey's ninther for large ones.
+func pivotValue(xs []float64, lo, hi int) float64 {
+	mid := lo + (hi-lo)/2
+	if hi-lo > 128 {
+		s := (hi - lo) / 8
+		a := median3(xs[lo], xs[lo+s], xs[lo+2*s])
+		b := median3(xs[mid-s], xs[mid], xs[mid+s])
+		c := median3(xs[hi-2*s], xs[hi-s], xs[hi])
+		return median3(a, b, c)
+	}
+	return median3(xs[lo], xs[mid], xs[hi])
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func insertionRange(xs []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= lo && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// MedianInPlace returns the median of xs (average of the two central order
+// statistics for even lengths, matching Median) while permuting xs. It
+// allocates nothing and returns 0 for an empty slice.
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return SelectKth(xs, n/2)
+	}
+	hi := SelectKth(xs, n/2)
+	// After SelectKth, xs[:n/2] holds the lower half, so its maximum is
+	// the (n/2-1)-th order statistic.
+	lo := xs[0]
+	for _, v := range xs[1 : n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// PercentileInPlace returns the p-th percentile (0..100) of xs with the
+// same linear interpolation between order statistics as Percentile, while
+// permuting xs. It allocates nothing, returns 0 for an empty slice and
+// clamps p to [0,100].
+func PercentileInPlace(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		min := xs[0]
+		for _, v := range xs[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	if p >= 100 {
+		max := xs[0]
+		for _, v := range xs[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return SelectKth(xs, lo)
+	}
+	chi := SelectKth(xs, hi)
+	clo := xs[0]
+	for _, v := range xs[1:hi] {
+		if v > clo {
+			clo = v
+		}
+	}
+	frac := pos - float64(lo)
+	return clo*(1-frac) + chi*frac
+}
+
+// selectKSmallestPairs partially sorts the parallel slices (keys, idx) in
+// place so that the k pairs that are smallest under the lexicographic
+// order (key, idx) occupy positions [0,k) in arbitrary order. The index
+// tie-break makes the selected set deterministic even when key values
+// collide (duplicated observations produce identical residuals), which
+// keeps lmsRefine's half-sample — and therefore the refined fit —
+// reproducible. Pairs are distinct under this order, so a two-way
+// partition suffices.
+func selectKSmallestPairs(keys []float64, idx []int, k int) {
+	if k <= 0 || k >= len(keys) {
+		return
+	}
+	target := k - 1 // order statistic that ends the kept prefix
+	lo, hi := 0, len(keys)-1
+	for hi-lo >= selectCutoff {
+		// Median-of-three on (key, idx), moved to lo as the pivot.
+		mid := lo + (hi-lo)/2
+		if pairLess(keys, idx, mid, lo) {
+			pairSwap(keys, idx, mid, lo)
+		}
+		if pairLess(keys, idx, hi, mid) {
+			pairSwap(keys, idx, hi, mid)
+			if pairLess(keys, idx, mid, lo) {
+				pairSwap(keys, idx, mid, lo)
+			}
+		}
+		pairSwap(keys, idx, lo, mid)
+		pk, pi := keys[lo], idx[lo]
+		// Hoare partition around the (pk, pi) pair.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || !(keys[i] < pk || (keys[i] == pk && idx[i] < pi)) {
+					break
+				}
+			}
+			for {
+				j--
+				if !(keys[j] > pk || (keys[j] == pk && idx[j] > pi)) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			pairSwap(keys, idx, i, j)
+		}
+		pairSwap(keys, idx, lo, j)
+		switch {
+		case target < j:
+			hi = j - 1
+		case target > j:
+			lo = j + 1
+		default:
+			return
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		kv, iv := keys[i], idx[i]
+		j := i - 1
+		for j >= lo && (keys[j] > kv || (keys[j] == kv && idx[j] > iv)) {
+			keys[j+1], idx[j+1] = keys[j], idx[j]
+			j--
+		}
+		keys[j+1], idx[j+1] = kv, iv
+	}
+}
+
+// pairsByKey sorts parallel (key, idx) slices ascending under the same
+// lexicographic order selectKSmallestPairs partitions by.
+type pairsByKey struct {
+	keys []float64
+	idx  []int
+}
+
+func (p pairsByKey) Len() int           { return len(p.keys) }
+func (p pairsByKey) Less(i, j int) bool { return pairLess(p.keys, p.idx, i, j) }
+func (p pairsByKey) Swap(i, j int)      { pairSwap(p.keys, p.idx, i, j) }
+
+func pairLess(keys []float64, idx []int, i, j int) bool {
+	return keys[i] < keys[j] || (keys[i] == keys[j] && idx[i] < idx[j])
+}
+
+func pairSwap(keys []float64, idx []int, i, j int) {
+	keys[i], keys[j] = keys[j], keys[i]
+	idx[i], idx[j] = idx[j], idx[i]
+}

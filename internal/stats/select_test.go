@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// selectFixtures yields adversarial shapes for the selection kernels:
+// random, sorted, reversed, all-equal, two-valued, and organ-pipe data.
+func selectFixtures(n int, seed int64) map[string][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	random := make([]float64, n)
+	twoVal := make([]float64, n)
+	organ := make([]float64, n)
+	sorted := make([]float64, n)
+	reversed := make([]float64, n)
+	equal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		random[i] = r.NormFloat64() * 100
+		twoVal[i] = float64(r.Intn(2))
+		sorted[i] = float64(i)
+		reversed[i] = float64(n - i)
+		equal[i] = 3.25
+		if i < n/2 {
+			organ[i] = float64(i)
+		} else {
+			organ[i] = float64(n - i)
+		}
+	}
+	return map[string][]float64{
+		"random": random, "two-valued": twoVal, "organ-pipe": organ,
+		"sorted": sorted, "reversed": reversed, "all-equal": equal,
+	}
+}
+
+func TestSelectKthMatchesSort(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 11, 12, 13, 50, 257, 1000} {
+		for name, xs := range selectFixtures(n, int64(n)) {
+			ref := append([]float64(nil), xs...)
+			sort.Float64s(ref)
+			for _, k := range []int{0, n / 4, n / 2, n - 1} {
+				c := append([]float64(nil), xs...)
+				if got := SelectKth(c, k); got != ref[k] {
+					t.Errorf("n=%d %s: SelectKth(%d) = %v, want %v", n, name, k, got, ref[k])
+				}
+				// Partition invariant.
+				for i := 0; i < k; i++ {
+					if c[i] > c[k] {
+						t.Fatalf("n=%d %s k=%d: left element %v > pivot %v", n, name, k, c[i], c[k])
+					}
+				}
+				for i := k + 1; i < n; i++ {
+					if c[i] < c[k] {
+						t.Fatalf("n=%d %s k=%d: right element %v < pivot %v", n, name, k, c[i], c[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectKthPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SelectKth(k=%d) on len 3 should panic", k)
+				}
+			}()
+			SelectKth([]float64{1, 2, 3}, k)
+		}()
+	}
+}
+
+// The in-place variants must agree bit-for-bit with the copy+sort
+// descriptive statistics they replaced.
+func TestInPlaceOrderStatsMatchSortBased(t *testing.T) {
+	sortMedian := func(xs []float64) float64 {
+		n := len(xs)
+		c := append([]float64(nil), xs...)
+		sort.Float64s(c)
+		if n%2 == 1 {
+			return c[n/2]
+		}
+		return (c[n/2-1] + c[n/2]) / 2
+	}
+	sortPercentile := func(xs []float64, p float64) float64 {
+		c := append([]float64(nil), xs...)
+		sort.Float64s(c)
+		n := len(c)
+		if p <= 0 {
+			return c[0]
+		}
+		if p >= 100 {
+			return c[n-1]
+		}
+		pos := p / 100 * float64(n-1)
+		lo, hi := int(pos), n-1
+		if hi > lo+1 {
+			hi = lo + 1
+		}
+		if lo == hi || pos == float64(lo) {
+			return c[lo]
+		}
+		frac := pos - float64(lo)
+		return c[lo]*(1-frac) + c[hi]*frac
+	}
+	for _, n := range []int{1, 2, 5, 6, 99, 100, 501} {
+		for name, xs := range selectFixtures(n, 77+int64(n)) {
+			if got, want := Median(xs), sortMedian(xs); got != want {
+				t.Errorf("n=%d %s: Median = %v, want %v", n, name, got, want)
+			}
+			c := append([]float64(nil), xs...)
+			if got, want := MedianInPlace(c), sortMedian(xs); got != want {
+				t.Errorf("n=%d %s: MedianInPlace = %v, want %v", n, name, got, want)
+			}
+			for _, p := range []float64{-5, 0, 10, 25, 50, 90, 99.9, 100, 140} {
+				want := sortPercentile(xs, p)
+				if got := Percentile(xs, p); got != want {
+					t.Errorf("n=%d %s: Percentile(%v) = %v, want %v", n, name, p, got, want)
+				}
+				c := append([]float64(nil), xs...)
+				if got := PercentileInPlace(c, p); got != want {
+					t.Errorf("n=%d %s: PercentileInPlace(%v) = %v, want %v", n, name, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMedianPercentileInPlaceEmpty(t *testing.T) {
+	if MedianInPlace(nil) != 0 || PercentileInPlace(nil, 50) != 0 {
+		t.Error("empty in-place order statistics should return 0")
+	}
+}
+
+func TestSelectKSmallestPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 13, 100, 333} {
+		for trial := 0; trial < 20; trial++ {
+			keys := make([]float64, n)
+			idx := make([]int, n)
+			for i := range keys {
+				keys[i] = float64(r.Intn(7)) // heavy ties exercise the index tie-break
+				idx[i] = i
+			}
+			ref := append([]float64(nil), keys...)
+			type pair struct {
+				k float64
+				i int
+			}
+			pairs := make([]pair, n)
+			for i := range pairs {
+				pairs[i] = pair{ref[i], i}
+			}
+			sort.Slice(pairs, func(a, b int) bool {
+				return pairs[a].k < pairs[b].k || (pairs[a].k == pairs[b].k && pairs[a].i < pairs[b].i)
+			})
+			k := 1 + r.Intn(n)
+			selectKSmallestPairs(keys, idx, k)
+			want := map[int]bool{}
+			for _, p := range pairs[:k] {
+				want[p.i] = true
+			}
+			for i := 0; i < k; i++ {
+				if !want[idx[i]] {
+					t.Fatalf("n=%d k=%d: kept index %d not among the k smallest pairs", n, k, idx[i])
+				}
+				if keys[i] != ref[idx[i]] {
+					t.Fatalf("n=%d k=%d: key/idx slices desynchronized", n, k)
+				}
+			}
+		}
+	}
+}
+
+// The selection kernels must be allocation-free: they run inside the LMS
+// trial loop and per-sample summaries.
+func TestSelectionAllocFree(t *testing.T) {
+	xs := make([]float64, 1001)
+	r := rand.New(rand.NewSource(9))
+	fill := func() {
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+	}
+	fill()
+	if n := testing.AllocsPerRun(50, func() { SelectKth(xs, len(xs)/2) }); n != 0 {
+		t.Errorf("SelectKth allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { fill(); MedianInPlace(xs) }); n != 0 {
+		t.Errorf("MedianInPlace allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { fill(); PercentileInPlace(xs, 90) }); n != 0 {
+		t.Errorf("PercentileInPlace allocates %v times per run, want 0", n)
+	}
+}

@@ -177,8 +177,14 @@ type Model = core.Model
 // ModelSample is one training or evaluation observation.
 type ModelSample = core.Sample
 
-// FitOptions configures model training.
+// FitOptions configures model training. Its Workers field (and
+// LMSOptions.Workers) parallelizes the LMS fitting kernel; the fitted
+// coefficients are bit-for-bit identical at every worker count.
 type FitOptions = core.FitOptions
+
+// LMSOptions configures the least-median-of-squares search used when
+// FitOptions.Method is MethodLMS.
+type LMSOptions = stats.LMSOptions
 
 // Prediction is the model output for one PM.
 type Prediction = core.Prediction
