@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race determinism bench
+.PHONY: check vet build test race determinism pipeline bench
 
 # The full pre-commit gate: static checks, build, the race-enabled test
-# suite, and the multi-GOMAXPROCS fitting-kernel determinism check.
-check: vet build race determinism
+# suite, the multi-GOMAXPROCS fitting-kernel determinism check, and the
+# sample-pipeline equivalence gate.
+check: vet build race determinism pipeline
 
 vet:
 	$(GO) vet ./...
@@ -23,8 +24,14 @@ race:
 determinism:
 	$(GO) test -run TestLMSDeterminism -race -cpu 1,2,4 ./internal/stats/
 
-# Hot-path benchmarks (engine step + fitting/selection kernels) with
-# allocation reporting; the parsed results land in BENCH_stats.json so the
-# next PR has a perf trajectory to compare against.
+# Batched-pipeline safety net: the golden-trace fixture (byte-identical CSV
+# through the batched meter + fast writer) and the batch-vs-scalar
+# equivalence property test, both under the race detector.
+pipeline:
+	$(GO) test -race -run 'TestGoldenTrace|TestBatchScalarEquivalence|TestCSVSinkMatchesEncodingCSV' ./internal/trace/ ./internal/monitor/
+
+# Hot-path benchmarks (engine step + sample pipeline + fitting/selection
+# kernels) with allocation reporting; the parsed results land in
+# BENCH_stats.json so the next PR has a perf trajectory to compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json

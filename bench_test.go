@@ -12,6 +12,7 @@ package virtover_test
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"testing"
@@ -20,7 +21,9 @@ import (
 	"virtover/internal/core"
 	"virtover/internal/exps"
 	"virtover/internal/monitor"
+	"virtover/internal/sampling"
 	"virtover/internal/stats"
+	"virtover/internal/trace"
 	"virtover/internal/units"
 	"virtover/internal/workload"
 	"virtover/internal/xen"
@@ -398,11 +401,9 @@ func BenchmarkEngineBigCluster(b *testing.B) {
 	}
 }
 
-// A paper-sized measurement campaign per step: the big cluster with the
-// full 1 Hz sample pipeline (decimate -> meter -> collector) attached to
-// every PM, the setup behind every figure of the paper. allocs/op here is
-// the cost of one *measured* simulated second.
-func BenchmarkEngineCampaignStep(b *testing.B) {
+// benchCampaignCluster builds the paper-sized 7 PM x 4 guest cluster used
+// by the campaign-step benchmarks.
+func benchCampaignCluster() *xen.Engine {
 	cl := xen.NewCluster()
 	for p := 0; p < 7; p++ {
 		pm := cl.AddPM(string(rune('A' + p)))
@@ -418,7 +419,39 @@ func BenchmarkEngineCampaignStep(b *testing.B) {
 			vm.SetSource(workload.Const(d))
 		}
 	}
-	e := xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	return xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+}
+
+// A paper-sized measurement campaign per step: the big cluster with the
+// full 1 Hz sample pipeline (decimate -> meter -> streaming aggregation)
+// attached to every PM, the setup behind every figure of the paper.
+// allocs/op here is the cost of one *measured* simulated second in steady
+// state — the batched pipeline holds it at zero. Trace writing is measured
+// separately in BenchmarkCSVSink (float formatting dominates it), and the
+// series-retaining variant in BenchmarkCampaignStepMetered.
+func BenchmarkEngineCampaignStep(b *testing.B) {
+	e := benchCampaignCluster()
+	agg := monitor.NewStreamAggregator()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+	detach, err := script.Attach(e, nil, agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer detach()
+	e.Advance(10) // reach steady state: instruments, scratch, P2 estimators
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
+
+// The same campaign step terminating in a Collector, which retains every
+// measurement (maps and rows per PM per step) — the memory-for-history
+// trade the Collector documents. Kept separate so the steady-state number
+// above stays a pure pipeline cost.
+func BenchmarkCampaignStepMetered(b *testing.B) {
+	e := benchCampaignCluster()
 	col := monitor.NewCollector()
 	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
 	detach, err := script.Attach(e, nil, col)
@@ -430,6 +463,53 @@ func BenchmarkEngineCampaignStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Advance(1)
+	}
+}
+
+// The Meter alone: one 4-guest PM group measured per iteration, fed
+// through the batch path the engine uses.
+func BenchmarkMeter(b *testing.B) {
+	var count sampling.Counter
+	m := monitor.NewMeter(monitor.DefaultNoise(), 7, &count)
+	batch := make([]sampling.Sample, 0, 7)
+	for v := 0; v < 4; v++ {
+		batch = append(batch, sampling.Sample{Time: 1, PMID: 0, PM: "A", VMID: v,
+			Domain: string(rune('a' + v)), Kind: sampling.KindGuest,
+			Util: units.V(float64(10+v*17), 120, 8, 300)})
+	}
+	batch = append(batch,
+		sampling.Sample{Time: 1, PMID: 0, PM: "A", VMID: -1, Domain: "Domain-0", Kind: sampling.KindDom0, Util: units.V(9, 300, 30, 900)},
+		sampling.Sample{Time: 1, PMID: 0, PM: "A", VMID: -1, Domain: "hypervisor", Kind: sampling.KindHypervisor, Util: units.V(4, 0, 0, 0)},
+		sampling.Sample{Time: 1, PMID: 0, PM: "A", VMID: -1, Domain: "host", Kind: sampling.KindHost, Util: units.V(80, 800, 60, 2100)},
+	)
+	m.ConsumeBatch(batch) // warm the per-PM instruments and scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch[0].Time = float64(i + 2) // new step each iteration
+		for j := 1; j < len(batch); j++ {
+			batch[j].Time = batch[0].Time
+		}
+		m.ConsumeBatch(batch)
+	}
+}
+
+// CSV trace writing: one 7-sample step batch per iteration through the
+// append-based row encoder.
+func BenchmarkCSVSink(b *testing.B) {
+	sink := trace.NewCSVSink(io.Discard)
+	batch := make([]sampling.Sample, 7)
+	for i := range batch {
+		batch[i] = sampling.Sample{Time: 1.5, PM: "pmA", Domain: "vm" + string(rune('a'+i)),
+			Kind: sampling.KindGuest, Util: units.V(42.3735, 512.25, 17.5, 903.125)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.ConsumeBatch(batch)
+	}
+	if err := sink.Flush(); err != nil {
+		b.Fatal(err)
 	}
 }
 

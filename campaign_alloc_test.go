@@ -1,0 +1,39 @@
+package virtover_test
+
+import (
+	"io"
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/sampling"
+	"virtover/internal/trace"
+)
+
+// TestMeteredCampaignStepAllocs is the batching tentpole's regression gate:
+// a fully metered campaign step on the paper-sized cluster — engine emit,
+// decimate, meter (all tools, noise), stream aggregation and CSV trace
+// writing — must stay at or below 5 allocations per simulated second in
+// steady state. The batched pipeline achieves 0; the cap leaves headroom
+// for runtime-internal noise without letting per-sample allocation creep
+// back in.
+func TestMeteredCampaignStepAllocs(t *testing.T) {
+	e := benchCampaignCluster()
+	agg := monitor.NewStreamAggregator()
+	csv := trace.NewCSVSink(io.Discard)
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+	detach, err := script.Attach(e, nil, sampling.Fanout{agg, csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	// Warm up: lazily created per-PM instruments, grown scratch buffers and
+	// the P2 quantile estimators (which buffer their first 5 observations)
+	// all settle within a few steps.
+	e.Advance(10)
+	if allocs := testing.AllocsPerRun(100, func() { e.Advance(1) }); allocs > 5 {
+		t.Fatalf("metered campaign step allocates %.1f times, want <= 5", allocs)
+	}
+	if err := csv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -84,6 +84,10 @@ func NewHotspotSink(ctl *HotspotController) *HotspotSink {
 // Consume implements sampling.Sink over measured samples.
 func (h *HotspotSink) Consume(s sampling.Sample) { h.col.Consume(s) }
 
+// ConsumeBatch implements sampling.BatchSink, taking each measured step in
+// one dispatch from the batched pipeline.
+func (h *HotspotSink) ConsumeBatch(batch []sampling.Sample) { h.col.ConsumeBatch(batch) }
+
 // Drain runs the controller over every step completed since the previous
 // Drain and returns the accumulated migration recommendations. Call it
 // between engine Advance calls, apply the actions, and keep advancing.

@@ -67,6 +67,36 @@ func (a *StreamAggregator) Consume(s sampling.Sample) {
 	}
 }
 
+// ConsumeBatch implements sampling.BatchSink: one dispatch per step, with
+// the per-PM estimator bundle looked up once per run of same-PM samples
+// (batches arrive grouped by PM, so that is one map probe per PM per
+// step).
+func (a *StreamAggregator) ConsumeBatch(batch []sampling.Sample) {
+	var agg *pmAgg
+	var pm string
+	for i := range batch {
+		s := &batch[i]
+		if s.Kind == sampling.KindGuest {
+			continue
+		}
+		if agg == nil || s.PM != pm {
+			pm = s.PM
+			agg = a.agg(pm)
+		}
+		switch s.Kind {
+		case sampling.KindDom0:
+			agg.dom0CPU.Add(s.Util.CPU)
+		case sampling.KindHypervisor:
+			agg.hypCPU.Add(s.Util.CPU)
+		case sampling.KindHost:
+			agg.pmCPU.Add(s.Util.CPU)
+			agg.pmMem.Add(s.Util.Mem)
+			agg.pmIO.Add(s.Util.IO)
+			agg.pmBW.Add(s.Util.BW)
+		}
+	}
+}
+
 // Observe folds one measurement into the stream by replaying it through
 // the sink interface.
 func (a *StreamAggregator) Observe(m Measurement) {

@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"virtover/internal/sampling"
+	"virtover/internal/xen"
+)
+
+// scalarOnly hides a sink's native batch path: it implements only Consume,
+// so the engine's AsBatch wraps it in PerSample and the whole downstream
+// chain runs through the legacy per-sample code.
+type scalarOnly struct{ s sampling.Sink }
+
+func (w scalarOnly) Consume(s sampling.Sample) { w.s.Consume(s) }
+
+// recSink records every sample it sees, scalar-only on purpose so both
+// pipeline variants terminate identically.
+type recSink struct{ samples []sampling.Sample }
+
+func (r *recSink) Consume(s sampling.Sample) { r.samples = append(r.samples, s) }
+
+// equivEngine builds a seeded 3-PM cluster with uneven guest counts and
+// time-varying workloads, plus process noise, so the streams exercise
+// every branch of the pipeline (multi-guest groups, single-guest, empty).
+func equivEngine(seed int64) (*xen.Engine, []*xen.PM) {
+	cl := xen.NewCluster()
+	pms := []*xen.PM{cl.AddPM("pmA"), cl.AddPM("pmB"), cl.AddPM("pmC")}
+	load := func(base, amp, phase float64) xen.Source {
+		return xen.SourceFunc(func(t float64) xen.Demand {
+			return xen.Demand{
+				CPU:      base + amp*math.Sin(t/7+phase),
+				MemMB:    100 + 10*math.Cos(t/11+phase),
+				IOBlocks: 20 + 5*math.Sin(t/5+phase),
+				Flows:    []xen.Flow{{Kbps: 300 + 100*math.Cos(t/13+phase)}},
+			}
+		})
+	}
+	for i := 0; i < 3; i++ { // pmA: three guests
+		cl.AddVM(pms[0], fmt.Sprintf("a%d", i), 512).SetSource(load(30, 10, float64(i)))
+	}
+	cl.AddVM(pms[1], "b0", 512).SetSource(load(55, 20, 4)) // pmB: one guest
+	// pmC stays empty: its groups are just Dom-0 / hypervisor / host.
+	calib := xen.DefaultCalibration()
+	calib.ProcessNoiseRel = 0.01
+	return xen.NewEngine(cl, calib, seed), pms
+}
+
+// TestBatchScalarEquivalence is the tentpole's safety net: for every chain
+// composition, the batched fast path and the legacy per-sample path must
+// produce bit-identical sample streams from identical seeded campaigns.
+func TestBatchScalarEquivalence(t *testing.T) {
+	const seed = 97
+	const steps = 40
+
+	chains := []struct {
+		name  string
+		build func(terminal sampling.Sink) sampling.Sink
+	}{
+		{"meter", func(next sampling.Sink) sampling.Sink {
+			return NewMeter(DefaultNoise(), seed, next)
+		}},
+		{"decimate2-meter", func(next sampling.Sink) sampling.Sink {
+			return sampling.Decimate(2, NewMeter(DefaultNoise(), seed, next))
+		}},
+		{"decimate3-filterPM-meter", func(next sampling.Sink) sampling.Sink {
+			return sampling.Decimate(3, sampling.Filter{
+				Keep: func(s sampling.Sample) bool { return s.PMID != 1 },
+				Next: NewMeter(DefaultNoise(), seed, next),
+			})
+		}},
+		{"filter-host-only", func(next sampling.Sink) sampling.Sink {
+			return sampling.Filter{
+				Keep: func(s sampling.Sample) bool { return s.Kind == sampling.KindHost },
+				Next: next,
+			}
+		}},
+		{"meter-fanout", func(next sampling.Sink) sampling.Sink {
+			return NewMeter(DefaultNoise(), seed, sampling.Fanout{next, &sampling.Counter{}})
+		}},
+	}
+
+	for _, tc := range chains {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(forceScalar bool) []sampling.Sample {
+				e, _ := equivEngine(seed)
+				rec := &recSink{}
+				chain := tc.build(rec)
+				if forceScalar {
+					e.AttachSink(scalarOnly{chain})
+				} else {
+					e.AttachSink(chain)
+				}
+				e.Advance(steps)
+				return rec.samples
+			}
+			batched, scalar := run(false), run(true)
+			if len(batched) != len(scalar) {
+				t.Fatalf("batched path emitted %d samples, scalar %d", len(batched), len(scalar))
+			}
+			if len(batched) == 0 {
+				t.Fatal("campaign produced no samples")
+			}
+			for i := range batched {
+				if batched[i] != scalar[i] {
+					t.Fatalf("sample %d differs:\n  batched: %+v\n  scalar:  %+v",
+						i, batched[i], scalar[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScriptRunTwiceSameDecimation pins the Decimator.Reset contract at the
+// Script level: two consecutive Run calls on one engine must both sample on
+// their own interval grid, yielding equally sized series — the second run
+// must not inherit step parity from the first.
+func TestScriptRunTwiceSameDecimation(t *testing.T) {
+	e, pms := equivEngine(5)
+	sc := Script{IntervalSteps: 3, Samples: 7, Noise: DefaultNoise(), Seed: 13}
+	for i := 0; i < 2; i++ {
+		series, err := sc.Run(e, pms[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != sc.Samples {
+			t.Fatalf("run %d produced %d samples, want %d", i+1, len(series), sc.Samples)
+		}
+		// The interval grid restarts relative to the run's first step: the
+		// gap between consecutive samples is always IntervalSteps seconds.
+		for j := 1; j < len(series); j++ {
+			if dt := series[j][0].Time - series[j-1][0].Time; dt != float64(sc.IntervalSteps) {
+				t.Fatalf("run %d: sample gap %v at %d, want %d", i+1, dt, j, sc.IntervalSteps)
+			}
+		}
+	}
+}

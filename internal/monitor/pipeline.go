@@ -1,8 +1,6 @@
 package monitor
 
 import (
-	"sort"
-
 	"virtover/internal/sampling"
 	"virtover/internal/units"
 )
@@ -15,28 +13,48 @@ import (
 // of which other PMs are monitored.
 //
 // The Meter relies on the engine's emission order (guests, then Domain-0,
-// hypervisor, host, per PM) and buffers one PM group at a time: real tools
-// read whole screens, not single rows, so the noise draws happen per tool
-// in screen order when the group's host sample arrives — xentop's screen
-// (Dom0 first, guests in sorted-name order), then top inside each guest,
-// top in Dom0, mpstat, vmstat, ifconfig. The host row's CPU and memory are
-// computed indirectly from the measured domain readings — the paper's "PM
-// CPU is never measured directly" method.
+// hypervisor, host, per PM) and processes one PM group at a time: real
+// tools read whole screens, not single rows, so the noise draws happen per
+// tool in screen order when the group's host sample arrives — xentop's
+// screen (Dom0 first, guests in sorted-name order), then top inside each
+// guest, top in Dom0, mpstat, vmstat, ifconfig. The host row's CPU and
+// memory are computed indirectly from the measured domain readings — the
+// paper's "PM CPU is never measured directly" method.
+//
+// The batch path is allocation-free in steady state: complete PM groups
+// are sliced directly out of the incoming batch (no buffering), the tool
+// instruments live in a dense pmID-indexed slice, the per-group scratch
+// (screen permutation, tool readings) is reused, and the measured group is
+// emitted through one reusable output batch — a single downstream dispatch
+// per group. The scalar Consume path buffers a group and then runs the
+// identical measurement code, so both paths produce bit-identical streams.
 type Meter struct {
 	Noise NoiseProfile
 	Seed  int64
-	Next  sampling.Sink
+	// Next receives the measured stream. It must not be reassigned after
+	// the first sample: the batch view is cached then.
+	Next sampling.Sink
 
-	ins map[int]*instruments
+	ins []*instruments // dense, indexed by PM arena ID
 
-	// Buffered samples of the in-flight (PM, step) group.
+	// Buffered samples of the in-flight (PM, step) group (scalar path and
+	// batch-boundary spill only).
 	guests  []sampling.Sample
 	dom0    sampling.Sample
 	hyp     sampling.Sample
 	curPM   int
 	curTime float64
 	started bool
-	order   []int // sorted-name permutation scratch
+	open    bool // a partial group is buffered
+
+	// Per-group scratch, reused across groups (grown, never shrunk).
+	order    []int // sorted-name permutation
+	gx       []DomainReading
+	gt       []TopReading
+	measured []units.Vector
+	out      []sampling.Sample // reusable measured-output batch
+
+	nb sampling.BatchSink // batch view of Next, resolved on first use
 }
 
 // instruments bundles one tool set per monitored PM.
@@ -50,10 +68,13 @@ type instruments struct {
 
 // NewMeter builds a metering stage forwarding measured samples to next.
 func NewMeter(noise NoiseProfile, seed int64, next sampling.Sink) *Meter {
-	return &Meter{Noise: noise, Seed: seed, Next: next, ins: make(map[int]*instruments)}
+	return &Meter{Noise: noise, Seed: seed, Next: next}
 }
 
 func (m *Meter) instrumentsFor(pmID int) *instruments {
+	for pmID >= len(m.ins) {
+		m.ins = append(m.ins, nil)
+	}
 	in := m.ins[pmID]
 	if in == nil {
 		base := m.Seed + int64(pmID)*1000
@@ -69,6 +90,16 @@ func (m *Meter) instrumentsFor(pmID int) *instruments {
 	return in
 }
 
+// nextBatch returns the batch view of Next, resolved once on first use (an
+// equality check against Next would panic for uncomparable sinks like
+// Fanout, so the cache is write-once).
+func (m *Meter) nextBatch() sampling.BatchSink {
+	if m.nb == nil {
+		m.nb = sampling.AsBatch(m.Next)
+	}
+	return m.nb
+}
+
 // Consume implements sampling.Sink. Guest, Dom0 and hypervisor samples are
 // buffered; the group's host sample triggers the synchronized multi-tool
 // reading and forwards the measured group downstream in pipeline order.
@@ -77,85 +108,163 @@ func (m *Meter) Consume(s sampling.Sample) {
 		m.started = true
 		m.curPM, m.curTime = s.PMID, s.Time
 		m.guests = m.guests[:0]
+		m.open = false
 	}
 	switch s.Kind {
 	case sampling.KindGuest:
 		m.guests = append(m.guests, s)
+		m.open = true
 	case sampling.KindDom0:
 		m.dom0 = s
+		m.open = true
 	case sampling.KindHypervisor:
 		m.hyp = s
+		m.open = true
 	case sampling.KindHost:
-		m.measure(s)
+		m.measureGroup(m.guests, m.dom0, m.hyp, s)
+		m.guests = m.guests[:0]
+		m.open = false
 	}
 }
 
-// measure runs the tools over the buffered group and emits measured
-// samples (guests in arrival order, then Dom0, hypervisor, host).
-func (m *Meter) measure(host sampling.Sample) {
+// ConsumeBatch implements sampling.BatchSink. Complete canonical groups
+// (guests..., Dom0, hypervisor, host — the engine's emission order) are
+// sliced directly out of the batch with no copying; anything else (a group
+// split across batches, or a filtered partial group) falls back to the
+// scalar state machine, which produces the identical measured stream.
+func (m *Meter) ConsumeBatch(batch []sampling.Sample) {
+	i := 0
+	for i < len(batch) {
+		if !m.open {
+			if guests, adv, ok := scanGroup(batch[i:]); ok {
+				g := batch[i:]
+				m.measureGroup(guests, g[len(guests)], g[len(guests)+1], g[len(guests)+2])
+				// Keep the scalar state machine in sync so a following
+				// partial group is handled correctly.
+				m.started = true
+				m.curPM, m.curTime = g[adv-1].PMID, g[adv-1].Time
+				m.guests = m.guests[:0]
+				i += adv
+				continue
+			}
+		}
+		m.Consume(batch[i])
+		i++
+	}
+}
+
+// scanGroup checks whether b starts with one complete PM group in
+// canonical emission order: zero or more guests, then Dom0, hypervisor and
+// host rows, all sharing PMID and Time. It returns the guest sub-slice and
+// the number of samples consumed.
+func scanGroup(b []sampling.Sample) (guests []sampling.Sample, adv int, ok bool) {
+	pm, t := b[0].PMID, b[0].Time
+	n := 0
+	for n < len(b) && b[n].Kind == sampling.KindGuest && b[n].PMID == pm && b[n].Time == t {
+		n++
+	}
+	if n+3 > len(b) {
+		return nil, 0, false
+	}
+	if b[n].Kind != sampling.KindDom0 || b[n+1].Kind != sampling.KindHypervisor ||
+		b[n+2].Kind != sampling.KindHost {
+		return nil, 0, false
+	}
+	for k := n; k < n+3; k++ {
+		if b[k].PMID != pm || b[k].Time != t {
+			return nil, 0, false
+		}
+	}
+	return b[:n], n + 3, true
+}
+
+// growSort refills m.order with 0..n-1 and stable-insertion-sorts it by
+// guest name — screen order. No closures, no allocation.
+func (m *Meter) growSort(guests []sampling.Sample) []int {
+	n := len(guests)
+	if cap(m.order) < n {
+		m.order = make([]int, n)
+	}
+	order := m.order[:n]
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && guests[order[j]].Domain < guests[order[j-1]].Domain; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// measureGroup runs the tools over one PM group and forwards the measured
+// samples (guests in arrival order, then Dom0, hypervisor, host) as a
+// single downstream batch.
+func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.Sample) {
 	in := m.instrumentsFor(host.PMID)
-	n := len(m.guests)
+	n := len(guests)
 
 	// Noise draws happen per tool in screen order; guests appear on a
 	// screen in sorted-name order regardless of arena order.
-	m.order = m.order[:0]
-	for i := range m.guests {
-		m.order = append(m.order, i)
+	order := m.growSort(guests)
+	if cap(m.gx) < n {
+		m.gx = make([]DomainReading, n)
+		m.gt = make([]TopReading, n)
+		m.measured = make([]units.Vector, n)
 	}
-	sort.Slice(m.order, func(a, b int) bool {
-		return m.guests[m.order[a]].Domain < m.guests[m.order[b]].Domain
-	})
+	gx, gt, measured := m.gx[:n], m.gt[:n], m.measured[:n]
 
 	// xentop screen: Dom0 row, then the guests.
-	dom0x := in.xentop.ReadDomain(sampling.LabelDom0, m.dom0.Util)
-	gx := make([]DomainReading, n)
-	for _, i := range m.order {
-		gx[i] = in.xentop.ReadDomain(m.guests[i].Domain, m.guests[i].Util)
+	dom0x := in.xentop.ReadDomain(sampling.LabelDom0, dom0.Util)
+	for _, i := range order {
+		gx[i] = in.xentop.ReadDomain(guests[i].Domain, guests[i].Util)
 	}
 	// top inside each guest (its CPU reading is drawn but discarded — the
 	// script keeps xentop's, as in the paper), then top in Dom0.
-	gt := make([]TopReading, n)
-	for _, i := range m.order {
-		gt[i] = in.top.Read(m.guests[i].Util)
+	for _, i := range order {
+		gt[i] = in.top.Read(guests[i].Util)
 	}
-	dom0Mem := in.top.ReadMem(m.dom0.Util.Mem)
-	hypCPU := in.mpstat.ReadCPU(m.hyp.Util.CPU)
+	dom0Mem := in.top.ReadMem(dom0.Util.Mem)
+	hypCPU := in.mpstat.ReadCPU(hyp.Util.CPU)
 	hostIO := in.vmstat.ReadIO(host.Util.IO)
 	hostBW := in.ifconfig.ReadBW(host.Util.BW)
 
 	// Indirect host CPU/memory: sum the measured domains (sorted-name
 	// accumulation order keeps the sums bit-reproducible).
-	measured := make([]units.Vector, n)
 	var guestSum units.Vector
-	for _, i := range m.order {
+	for _, i := range order {
 		measured[i] = units.V(gx[i].CPU, gt[i].Mem, gx[i].IO, gx[i].BW)
 		guestSum = guestSum.Add(measured[i])
 	}
-	dom0 := units.V(dom0x.CPU, dom0Mem, dom0x.IO, dom0x.BW)
+	dom0V := units.V(dom0x.CPU, dom0Mem, dom0x.IO, dom0x.BW)
 
-	for i, g := range m.guests {
+	out := m.out[:0]
+	for i := range guests {
+		g := guests[i]
 		g.Util = measured[i]
-		m.Next.Consume(g)
+		out = append(out, g)
 	}
-	d := m.dom0
-	d.Util = dom0
-	m.Next.Consume(d)
-	h := m.hyp
-	h.Util = units.V(hypCPU, 0, 0, 0)
-	m.Next.Consume(h)
+	dom0.Util = dom0V
+	out = append(out, dom0)
+	hyp.Util = units.V(hypCPU, 0, 0, 0)
+	out = append(out, hyp)
 	host.Util = units.V(
-		dom0.CPU+hypCPU+guestSum.CPU,
-		dom0.Mem+guestSum.Mem,
+		dom0V.CPU+hypCPU+guestSum.CPU,
+		dom0V.Mem+guestSum.Mem,
 		hostIO,
 		hostBW,
 	)
-	m.Next.Consume(host)
+	out = append(out, host)
+	m.out = out
+	m.nextBatch().ConsumeBatch(out)
 }
 
 // Collector assembles measured samples back into per-step Measurement rows
 // — the bridge between the sample pipeline and the paper-style series API
 // ([][]Measurement). A row is completed by its PM's host sample; rows are
-// grouped into steps by sample time.
+// grouped into steps by sample time. It retains everything it sees, so its
+// allocations grow with the series — long campaigns that only need
+// summaries should use StreamAggregator instead.
 type Collector struct {
 	series  [][]Measurement
 	row     []Measurement
@@ -192,6 +301,13 @@ func (c *Collector) Consume(s sampling.Sample) {
 	}
 }
 
+// ConsumeBatch implements sampling.BatchSink.
+func (c *Collector) ConsumeBatch(batch []sampling.Sample) {
+	for i := range batch {
+		c.Consume(batch[i])
+	}
+}
+
 // Series returns the collected per-sample series (outer index: sample,
 // inner: PM in stream order), including the in-progress step if it has
 // completed rows. It does not disturb ongoing collection.
@@ -224,23 +340,28 @@ func (c *Collector) Reset() { *c = Collector{} }
 // PushSeries replays a recorded series through a sink in the engine's
 // emission order (per row: guests in sorted-name order, then Domain-0,
 // hypervisor, host). Replayed samples carry VMID -1 (arena IDs are not
-// recorded in a Measurement) and PMID set to the row position. It lets
-// offline consumers — the trace writer, stat sinks — reuse the exact same
-// pipeline stages that run live.
+// recorded in a Measurement) and PMID set to the row position. Each row is
+// delivered as one batch (reused across rows), so offline consumers — the
+// trace writer, stat sinks — reuse the exact same batched pipeline stages
+// that run live.
 func PushSeries(series [][]Measurement, sink sampling.Sink) {
+	bs := sampling.AsBatch(sink)
+	var batch []sampling.Sample
 	for _, row := range series {
+		batch = batch[:0]
 		for pmIdx, m := range row {
 			for _, name := range m.GuestNames() {
-				sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+				batch = append(batch, sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
 					VMID: -1, Domain: name, Kind: sampling.KindGuest, Util: m.VMs[name]})
 			}
-			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+			batch = append(batch, sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
 				VMID: -1, Domain: sampling.LabelDom0, Kind: sampling.KindDom0, Util: m.Dom0})
-			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+			batch = append(batch, sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
 				VMID: -1, Domain: sampling.LabelHypervisor, Kind: sampling.KindHypervisor,
 				Util: units.V(m.HypervisorCPU, 0, 0, 0)})
-			sink.Consume(sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
+			batch = append(batch, sampling.Sample{Time: m.Time, PMID: pmIdx, PM: m.PM,
 				VMID: -1, Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: m.Host})
 		}
+		bs.ConsumeBatch(batch)
 	}
 }

@@ -106,6 +106,10 @@ func (sc Script) Attach(e *xen.Engine, pms []*xen.PM, next sampling.Sink) (func(
 		}
 	}
 	dec := sampling.Decimate(sc.IntervalSteps, sink)
+	// A freshly built decimator starts clean, but Reset here keeps the
+	// contract explicit: every Attach (and hence every Run) begins at step
+	// parity zero, never inheriting phase from a previous campaign.
+	dec.Reset()
 	e.AttachSink(dec)
 	return func() { e.DetachSink(dec) }, nil
 }

@@ -1,0 +1,250 @@
+package sampling
+
+import (
+	"errors"
+	"testing"
+
+	"virtover/internal/units"
+)
+
+// record is a scalar-only recording sink.
+type record struct{ samples []Sample }
+
+func (r *record) Consume(s Sample) { r.samples = append(r.samples, s) }
+
+// recordBatch records samples and the batch boundaries it observed.
+type recordBatch struct {
+	samples []Sample
+	batches []int // lengths of ConsumeBatch calls
+}
+
+func (r *recordBatch) Consume(s Sample)        { r.samples = append(r.samples, s) }
+func (r *recordBatch) ConsumeBatch(b []Sample) { r.samples = append(r.samples, b...); r.batches = append(r.batches, len(b)) }
+
+// stepBatch builds one step's batch: g guests plus dom0/hyp/host on one PM.
+func stepBatch(t float64, pmID int, g int) []Sample {
+	b := make([]Sample, 0, g+3)
+	for i := 0; i < g; i++ {
+		b = append(b, Sample{Time: t, PMID: pmID, PM: "pm", VMID: i,
+			Domain: string(rune('a' + i)), Kind: KindGuest, Util: units.V(float64(i), 0, 0, 0)})
+	}
+	b = append(b, Sample{Time: t, PMID: pmID, PM: "pm", VMID: -1, Domain: LabelDom0, Kind: KindDom0})
+	b = append(b, Sample{Time: t, PMID: pmID, PM: "pm", VMID: -1, Domain: LabelHypervisor, Kind: KindHypervisor})
+	b = append(b, Sample{Time: t, PMID: pmID, PM: "pm", VMID: -1, Domain: LabelHost, Kind: KindHost})
+	return b
+}
+
+func sameSamples(t *testing.T, got, want []Sample) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPerSampleUnrollsBatches(t *testing.T) {
+	var r record
+	b := stepBatch(1, 0, 2)
+	PerSample{&r}.ConsumeBatch(b)
+	sameSamples(t, r.samples, b)
+}
+
+func TestAsBatchPrefersNativePath(t *testing.T) {
+	var rb recordBatch
+	if _, ok := AsBatch(&rb).(*recordBatch); !ok {
+		t.Fatal("AsBatch wrapped a native BatchSink")
+	}
+	var r record
+	if _, ok := AsBatch(&r).(PerSample); !ok {
+		t.Fatal("AsBatch did not adapt a scalar sink")
+	}
+}
+
+func TestFilterBatchForwardsKeptRuns(t *testing.T) {
+	var rb recordBatch
+	f := Filter{Keep: func(s Sample) bool { return s.Kind != KindGuest }, Next: &rb}
+	b := stepBatch(1, 0, 3)
+	f.ConsumeBatch(b)
+	// Guests dropped; the dom0/hyp/host run forwarded as one sub-batch.
+	if len(rb.batches) != 1 || rb.batches[0] != 3 {
+		t.Fatalf("batch boundaries = %v, want [3]", rb.batches)
+	}
+	sameSamples(t, rb.samples, b[3:])
+
+	// A filter keeping everything forwards the whole batch in one dispatch.
+	rb = recordBatch{}
+	all := Filter{Keep: func(Sample) bool { return true }, Next: &rb}
+	all.ConsumeBatch(b)
+	if len(rb.batches) != 1 || rb.batches[0] != len(b) {
+		t.Fatalf("batch boundaries = %v, want [%d]", rb.batches, len(b))
+	}
+}
+
+func TestFilterBatchScalarNext(t *testing.T) {
+	var r record
+	f := Filter{Keep: func(s Sample) bool { return s.Kind == KindHost }, Next: &r}
+	b := stepBatch(2, 0, 2)
+	f.ConsumeBatch(b)
+	sameSamples(t, r.samples, b[len(b)-1:])
+}
+
+func TestDecimatorBatchMatchesScalar(t *testing.T) {
+	for _, every := range []int{1, 2, 3, 5} {
+		var viaBatch, viaScalar recordBatch
+		db := Decimate(every, &viaBatch)
+		ds := Decimate(every, &viaScalar)
+		for step := 1; step <= 12; step++ {
+			b := stepBatch(float64(step), 0, 2)
+			db.ConsumeBatch(b)
+			for _, s := range b {
+				ds.Consume(s)
+			}
+		}
+		sameSamples(t, viaBatch.samples, viaScalar.samples)
+		// The batch path makes one keep decision and one dispatch per kept
+		// step.
+		if want := 12 / every; len(viaBatch.batches) != want {
+			t.Fatalf("every=%d: %d forwarded batches, want %d", every, len(viaBatch.batches), want)
+		}
+	}
+}
+
+// A decimator reused across runs must not inherit step parity: Reset
+// restores the fresh behavior.
+func TestDecimatorResetClearsParity(t *testing.T) {
+	var c Counter
+	d := Decimate(3, &c)
+	// First run stops mid-cycle: 4 steps, only step 3 forwarded.
+	for step := 1; step <= 4; step++ {
+		d.ConsumeBatch(stepBatch(float64(step), 0, 0))
+	}
+	if c.Total != 3 {
+		t.Fatalf("first run forwarded %d samples, want 3", c.Total)
+	}
+	d.Reset()
+	c = Counter{}
+	// Second run re-feeds the same times; without Reset the stale curTime
+	// and parity would shift which steps are kept.
+	for step := 1; step <= 6; step++ {
+		d.ConsumeBatch(stepBatch(float64(step), 0, 0))
+	}
+	if c.Total != 6 { // steps 3 and 6, three samples each
+		t.Fatalf("after Reset forwarded %d samples, want 6", c.Total)
+	}
+}
+
+func TestFanoutBatchMixedSinks(t *testing.T) {
+	var rb recordBatch
+	var r record
+	var c Counter
+	b := stepBatch(1, 0, 2)
+	Fanout{&rb, &r, &c}.ConsumeBatch(b)
+	sameSamples(t, rb.samples, b)
+	sameSamples(t, r.samples, b)
+	if len(rb.batches) != 1 {
+		t.Fatalf("native member saw %d dispatches, want 1", len(rb.batches))
+	}
+	if c.Total != len(b) {
+		t.Fatalf("counter total = %d, want %d", c.Total, len(b))
+	}
+}
+
+func TestCounterBatch(t *testing.T) {
+	var c Counter
+	c.ConsumeBatch(stepBatch(1, 0, 3))
+	if c.Total != 6 || c.ByKind[KindGuest] != 3 || c.ByKind[KindHost] != 1 {
+		t.Fatalf("counter = %+v", c)
+	}
+}
+
+func TestAsyncFanoutBatchDeliversCopies(t *testing.T) {
+	var a, b lockedCounter
+	af := NewAsyncFanout(2, &a, &b)
+	batch := stepBatch(1, 0, 2)
+	for step := 1; step <= 40; step++ {
+		for i := range batch {
+			batch[i].Time = float64(step) // caller reuses its slice
+		}
+		af.ConsumeBatch(batch)
+	}
+	af.Close()
+	for _, l := range []*lockedCounter{&a, &b} {
+		if len(l.times) != 40*5 {
+			t.Fatalf("async sink got %d samples, want %d", len(l.times), 40*5)
+		}
+		for i := 1; i < len(l.times); i++ {
+			if l.times[i] < l.times[i-1] {
+				t.Fatal("async sink observed out-of-order samples")
+			}
+		}
+	}
+}
+
+func TestAsyncFanoutCloseIdempotent(t *testing.T) {
+	var c lockedCounter
+	af := NewAsyncFanout(1, &c)
+	af.ConsumeBatch(stepBatch(1, 0, 1))
+	af.Close()
+	af.Close() // second Close must not panic on closed channels
+	if len(c.times) != 4 {
+		t.Fatalf("sink got %d samples, want 4", len(c.times))
+	}
+}
+
+// errSink records a sticky error and exposes it through the pipeline's
+// Err() convention, like trace.CSVSink.
+type errSink struct {
+	failAfter int
+	seen      int
+	err       error
+}
+
+func (e *errSink) Consume(Sample) {
+	e.seen++
+	if e.err == nil && e.seen > e.failAfter {
+		e.err = errors.New("sink write failed")
+	}
+}
+
+func (e *errSink) Err() error { return e.err }
+
+func TestAsyncFanoutErrSurfacesSinkError(t *testing.T) {
+	healthy := &lockedCounter{}
+	failing := &errSink{failAfter: 2}
+	af := NewAsyncFanout(2, healthy, failing)
+	for step := 1; step <= 3; step++ {
+		af.ConsumeBatch(stepBatch(float64(step), 0, 0))
+	}
+	af.Close()
+	if err := af.Err(); err == nil || err.Error() != "sink write failed" {
+		t.Fatalf("Err() = %v, want the sink's write error", err)
+	}
+
+	// No failures: Err reports nil even with error-capable sinks attached.
+	ok := NewAsyncFanout(1, &errSink{failAfter: 1000})
+	ok.ConsumeBatch(stepBatch(1, 0, 0))
+	ok.Close()
+	if err := ok.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestStatAndCDFSinkBatch(t *testing.T) {
+	stat := NewStatSink(SelectKind(KindGuest, units.CPU))
+	cdf := NewCDFSink(SelectKind(KindGuest, units.CPU))
+	for step := 1; step <= 5; step++ {
+		b := stepBatch(float64(step), 0, 3) // guest CPUs 0,1,2 each step
+		stat.ConsumeBatch(b)
+		cdf.ConsumeBatch(b)
+	}
+	if sum := stat.Summary(); sum.N != 15 || sum.Min != 0 || sum.Max != 2 {
+		t.Fatalf("stat summary = %+v", sum)
+	}
+	if len(cdf.Values()) != 15 {
+		t.Fatalf("cdf retained %d values, want 15", len(cdf.Values()))
+	}
+}

@@ -17,9 +17,30 @@
 // the host row. Consumers may rely on that order (the trace writer does —
 // no sorting required), and on Time being non-decreasing with all samples
 // of one step delivered before the next step begins.
+//
+// # Batched delivery
+//
+// The hot path is batched: the engine assembles one reusable []Sample per
+// step (arena order, backing array preallocated at attach time) and hands
+// it to sinks through the BatchSink interface — one dispatch per step
+// instead of one per sample. Scalar sinks keep working unchanged via the
+// PerSample adapter; the built-in stages implement both interfaces and
+// propagate batches natively. The batch contract:
+//
+//   - a batch holds samples of a single step, in emission order;
+//   - a step may be delivered as several batches (a Filter forwards the
+//     kept runs), but the samples of one (PM, step) group are only split
+//     when a filter drops part of the group;
+//   - the batch slice is reused by its producer: sinks must not retain it
+//     (copy the samples out if they outlive Consume/ConsumeBatch).
 package sampling
 
-import "virtover/internal/units"
+import (
+	"sync"
+	"sync/atomic"
+
+	"virtover/internal/units"
+)
 
 // Kind identifies the domain a sample describes.
 type Kind uint8
@@ -59,7 +80,7 @@ const (
 // Sample is one per-step, per-domain utilization reading. Ground-truth
 // samples come straight from the engine; measured samples have passed
 // through the monitor's tool emulation. Sample is a value type: sinks may
-// retain it freely.
+// retain it freely (but not the batch slice it arrived in).
 type Sample struct {
 	// Time is the simulation time in seconds at the end of the step.
 	Time float64
@@ -85,6 +106,36 @@ type Sink interface {
 	Consume(Sample)
 }
 
+// BatchSink consumes samples one step-batch at a time. The slice obeys the
+// batch contract in the package comment: emission order, one step per
+// batch, and the backing array belongs to the producer — implementations
+// must not retain it past the call.
+type BatchSink interface {
+	ConsumeBatch([]Sample)
+}
+
+// PerSample adapts a scalar Sink to the BatchSink interface by unrolling
+// each batch into individual Consume calls — the compatibility path that
+// keeps every pre-batching sink working unchanged.
+type PerSample struct{ Sink Sink }
+
+// ConsumeBatch implements BatchSink.
+func (p PerSample) ConsumeBatch(batch []Sample) {
+	for i := range batch {
+		p.Sink.Consume(batch[i])
+	}
+}
+
+// AsBatch returns the sink's native batch path when it has one, and a
+// PerSample adapter otherwise. Producers should call it once per attached
+// sink (not per batch): the adapter wrapping allocates.
+func AsBatch(s Sink) BatchSink {
+	if b, ok := s.(BatchSink); ok {
+		return b
+	}
+	return PerSample{s}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Sample)
 
@@ -101,6 +152,20 @@ func (f Fanout) Consume(s Sample) {
 	}
 }
 
+// ConsumeBatch implements BatchSink: each member gets the whole batch in
+// one dispatch (scalar members are unrolled in place).
+func (f Fanout) ConsumeBatch(batch []Sample) {
+	for _, k := range f {
+		if b, ok := k.(BatchSink); ok {
+			b.ConsumeBatch(batch)
+			continue
+		}
+		for i := range batch {
+			k.Consume(batch[i])
+		}
+	}
+}
+
 // Filter forwards the samples Keep accepts to Next.
 type Filter struct {
 	Keep func(Sample) bool
@@ -114,6 +179,38 @@ func (f Filter) Consume(s Sample) {
 	}
 }
 
+// ConsumeBatch implements BatchSink. Kept samples are forwarded as maximal
+// contiguous sub-slices of the incoming batch — no copying, and a filter
+// that keeps whole PM groups (the monitored-PM filter does) hands each
+// group downstream in a single dispatch.
+func (f Filter) ConsumeBatch(batch []Sample) {
+	next, batched := f.Next.(BatchSink)
+	if !batched {
+		for i := range batch {
+			if f.Keep(batch[i]) {
+				f.Next.Consume(batch[i])
+			}
+		}
+		return
+	}
+	start := -1
+	for i := range batch {
+		if f.Keep(batch[i]) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			next.ConsumeBatch(batch[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		next.ConsumeBatch(batch[start:])
+	}
+}
+
 // Decimator forwards every Nth simulation step (all of that step's samples)
 // and drops the rest, implementing the measurement script's sampling
 // interval. The first forwarded step is the Nth one seen, matching a script
@@ -121,6 +218,7 @@ func (f Filter) Consume(s Sample) {
 type Decimator struct {
 	every   int
 	next    Sink
+	nb      BatchSink
 	step    int
 	curTime float64
 	started bool
@@ -132,51 +230,102 @@ func Decimate(every int, next Sink) *Decimator {
 	if every < 1 {
 		every = 1
 	}
-	return &Decimator{every: every, next: next}
+	return &Decimator{every: every, next: next, nb: AsBatch(next)}
 }
 
 // Consume implements Sink.
 func (d *Decimator) Consume(s Sample) {
-	if !d.started || s.Time != d.curTime {
-		d.started = true
-		d.curTime = s.Time
-		d.step++
-		d.keep = d.step%d.every == 0
-	}
+	d.observeStep(s.Time)
 	if d.keep {
 		d.next.Consume(s)
 	}
 }
 
+// ConsumeBatch implements BatchSink: one step decision per batch (all
+// samples of a batch share the step time), then at most one forward.
+func (d *Decimator) ConsumeBatch(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	d.observeStep(batch[0].Time)
+	if d.keep {
+		d.nb.ConsumeBatch(batch)
+	}
+}
+
+// observeStep advances the step counter when t starts a new step and
+// refreshes the keep decision.
+func (d *Decimator) observeStep(t float64) {
+	if !d.started || t != d.curTime {
+		d.started = true
+		d.curTime = t
+		d.step++
+		d.keep = d.step%d.every == 0
+	}
+}
+
+// Reset clears the step parity so the decimator can be reused for a fresh
+// run: the next step seen counts as step 1 again. monitor.Script calls it
+// when (re)attaching, so back-to-back runs never inherit phase from a
+// previous campaign.
+func (d *Decimator) Reset() {
+	d.step, d.curTime, d.started, d.keep = 0, 0, false, false
+}
+
+// asyncBatch is one pooled message of the AsyncFanout: a copied batch plus
+// the number of workers still reading it. The last reader recycles it.
+type asyncBatch struct {
+	buf  []Sample
+	refs atomic.Int32
+}
+
 // AsyncFanout delivers samples to several sinks concurrently: each sink
 // runs on its own goroutine fed by a buffered channel, so a slow consumer
 // (a compressing writer, say) does not stall the simulation or its sibling
-// sinks. Every sink still observes the full stream in order. Close must be
-// called to drain and join the workers before reading results out of the
-// sinks.
+// sinks. Every sink still observes the full stream in order. Batches are
+// copied once into a pooled buffer shared (read-only) by all workers, so
+// steady-state delivery allocates nothing. Close must be called to drain
+// and join the workers before reading results out of the sinks.
 type AsyncFanout struct {
-	chans []chan Sample
+	chans []chan *asyncBatch
 	done  chan struct{}
 	sinks []Sink
+	free  chan *asyncBatch
+	once  sync.Once
+	one   [1]Sample // scratch for scalar Consume
 }
 
 // NewAsyncFanout starts one worker per sink with the given channel buffer
-// (minimum 1).
+// (minimum 1), counted in batches.
 func NewAsyncFanout(buffer int, sinks ...Sink) *AsyncFanout {
 	if buffer < 1 {
 		buffer = 1
 	}
 	a := &AsyncFanout{
-		chans: make([]chan Sample, len(sinks)),
+		chans: make([]chan *asyncBatch, len(sinks)),
 		done:  make(chan struct{}),
 		sinks: sinks,
+		free:  make(chan *asyncBatch, buffer*len(sinks)+1),
 	}
 	for i, sink := range sinks {
-		ch := make(chan Sample, buffer)
+		ch := make(chan *asyncBatch, buffer)
 		a.chans[i] = ch
-		go func(sink Sink, ch <-chan Sample) {
-			for s := range ch {
-				sink.Consume(s)
+		go func(sink Sink, ch <-chan *asyncBatch) {
+			bs, batched := sink.(BatchSink)
+			for ab := range ch {
+				if batched {
+					bs.ConsumeBatch(ab.buf)
+				} else {
+					for i := range ab.buf {
+						sink.Consume(ab.buf[i])
+					}
+				}
+				if ab.refs.Add(-1) == 0 {
+					select {
+					case a.free <- ab:
+					default: // pool full; let the GC have it
+					}
+				}
 			}
 			a.done <- struct{}{}
 		}(sink, ch)
@@ -184,23 +333,63 @@ func NewAsyncFanout(buffer int, sinks ...Sink) *AsyncFanout {
 	return a
 }
 
-// Consume implements Sink. It blocks when a worker's buffer is full,
-// providing backpressure instead of unbounded memory growth.
-func (a *AsyncFanout) Consume(s Sample) {
+// send copies samples into a pooled batch and enqueues it for every worker.
+func (a *AsyncFanout) send(samples []Sample) {
+	if len(a.chans) == 0 || len(samples) == 0 {
+		return
+	}
+	var ab *asyncBatch
+	select {
+	case ab = <-a.free:
+	default:
+		ab = &asyncBatch{}
+	}
+	ab.buf = append(ab.buf[:0], samples...)
+	ab.refs.Store(int32(len(a.chans)))
 	for _, ch := range a.chans {
-		ch <- s
+		ch <- ab
 	}
 }
 
+// Consume implements Sink. It blocks when a worker's buffer is full,
+// providing backpressure instead of unbounded memory growth.
+func (a *AsyncFanout) Consume(s Sample) {
+	a.one[0] = s
+	a.send(a.one[:])
+}
+
+// ConsumeBatch implements BatchSink: the batch is copied once (into a
+// pooled buffer) and every worker consumes the same copy, so the caller
+// may reuse its slice immediately.
+func (a *AsyncFanout) ConsumeBatch(batch []Sample) { a.send(batch) }
+
 // Close drains the workers and waits for them to finish. After Close the
-// wrapped sinks hold their final state and the fanout must not be used.
+// wrapped sinks hold their final state and the fanout must not be fed
+// again. Close is idempotent: extra calls are no-ops.
 func (a *AsyncFanout) Close() {
-	for _, ch := range a.chans {
-		close(ch)
+	a.once.Do(func() {
+		for _, ch := range a.chans {
+			close(ch)
+		}
+		for range a.chans {
+			<-a.done
+		}
+	})
+}
+
+// Err surfaces the first error recorded by a wrapped sink, in sink order,
+// by probing each for an `Err() error` method (the pipeline's convention
+// for failable sinks, e.g. trace.CSVSink). Call it after Close: before the
+// drain, sinks are still being written by their workers.
+func (a *AsyncFanout) Err() error {
+	for _, s := range a.sinks {
+		if f, ok := s.(interface{ Err() error }); ok {
+			if err := f.Err(); err != nil {
+				return err
+			}
+		}
 	}
-	for range a.chans {
-		<-a.done
-	}
+	return nil
 }
 
 // Counter counts samples per kind; useful in tests and sanity checks.
@@ -214,5 +403,15 @@ func (c *Counter) Consume(s Sample) {
 	c.Total++
 	if int(s.Kind) < len(c.ByKind) {
 		c.ByKind[s.Kind]++
+	}
+}
+
+// ConsumeBatch implements BatchSink.
+func (c *Counter) ConsumeBatch(batch []Sample) {
+	c.Total += len(batch)
+	for i := range batch {
+		if k := int(batch[i].Kind); k < len(c.ByKind) {
+			c.ByKind[batch[i].Kind]++
+		}
 	}
 }

@@ -115,6 +115,16 @@ func (s *StatSink) Consume(smp Sample) {
 	}
 }
 
+// ConsumeBatch implements BatchSink: one dispatch per step, selector per
+// sample.
+func (s *StatSink) ConsumeBatch(batch []Sample) {
+	for i := range batch {
+		if x, ok := s.sel(batch[i]); ok {
+			s.stat.Add(x)
+		}
+	}
+}
+
 // Summary snapshots the selected stream.
 func (s *StatSink) Summary() Summary { return s.stat.Summary() }
 
@@ -135,6 +145,15 @@ func NewCDFSink(sel Selector) *CDFSink {
 func (c *CDFSink) Consume(smp Sample) {
 	if x, ok := c.sel(smp); ok {
 		c.values = append(c.values, x)
+	}
+}
+
+// ConsumeBatch implements BatchSink.
+func (c *CDFSink) ConsumeBatch(batch []Sample) {
+	for i := range batch {
+		if x, ok := c.sel(batch[i]); ok {
+			c.values = append(c.values, x)
+		}
 	}
 }
 

@@ -12,10 +12,14 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"virtover/internal/monitor"
 	"virtover/internal/sampling"
@@ -34,19 +38,88 @@ const (
 // campaign with no buffering and no sorting: the engine's emission order
 // is already deterministic. The first write emits the header; call Flush
 // (or check Err) when the stream ends.
+//
+// Rows are encoded with strconv.AppendFloat into one reused []byte buffer
+// over a bufio.Writer — no per-field strings, no allocation in steady
+// state — and the bytes are identical to what encoding/csv produced
+// (same quoting rules, same 'g'/-1 float format, "\n" terminator); the
+// golden-trace fixture pins that equivalence.
 type CSVSink struct {
-	w      *csv.Writer
-	wrote  bool
-	err    error
-	record [7]string
+	w     *bufio.Writer
+	wrote bool
+	err   error
+	row   []byte
 }
 
 // NewCSVSink builds a CSV-writing sink over w.
 func NewCSVSink(w io.Writer) *CSVSink {
-	return &CSVSink{w: csv.NewWriter(w)}
+	return &CSVSink{w: bufio.NewWriterSize(w, 1<<15), row: make([]byte, 0, 160)}
 }
 
-func formatFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+// fieldNeedsQuotes mirrors encoding/csv's rule for Comma=',': quote when
+// the field contains a comma, a quote or a line break, starts with a
+// space, or is the Postgres-special `\.`.
+func fieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` || strings.ContainsAny(field, ",\"\r\n") {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r)
+}
+
+// appendField appends one CSV field, quoting exactly like encoding/csv
+// with UseCRLF=false (inner quotes doubled, CR/LF kept verbatim).
+func appendField(b []byte, field string) []byte {
+	if !fieldNeedsQuotes(field) {
+		return append(b, field...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(field); i++ {
+		if field[i] == '"' {
+			b = append(b, '"', '"')
+			continue
+		}
+		b = append(b, field[i])
+	}
+	return append(b, '"')
+}
+
+// header writes the column header before the first row.
+func (c *CSVSink) header() {
+	if c.wrote {
+		return
+	}
+	c.wrote = true
+	if _, err := c.w.WriteString("time,pm,domain,cpu,mem,io,bw\n"); err != nil {
+		c.err = err
+	}
+}
+
+// writeRow encodes one sample into the reused row buffer and writes it.
+func (c *CSVSink) writeRow(s *sampling.Sample) {
+	b := c.row[:0]
+	b = strconv.AppendFloat(b, s.Time, 'g', -1, 64)
+	b = append(b, ',')
+	b = appendField(b, s.PM)
+	b = append(b, ',')
+	b = appendField(b, s.Domain)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, s.Util.CPU, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, s.Util.Mem, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, s.Util.IO, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, s.Util.BW, 'g', -1, 64)
+	b = append(b, '\n')
+	c.row = b
+	if _, err := c.w.Write(b); err != nil {
+		c.err = err
+	}
+}
 
 // Consume implements sampling.Sink. The first error sticks; later samples
 // are dropped.
@@ -54,30 +127,33 @@ func (c *CSVSink) Consume(s sampling.Sample) {
 	if c.err != nil {
 		return
 	}
-	if !c.wrote {
-		c.wrote = true
-		if c.err = c.w.Write([]string{"time", "pm", "domain", "cpu", "mem", "io", "bw"}); c.err != nil {
+	c.header()
+	if c.err == nil {
+		c.writeRow(&s)
+	}
+}
+
+// ConsumeBatch implements sampling.BatchSink: one step's rows per
+// dispatch, all through the same reused buffer.
+func (c *CSVSink) ConsumeBatch(batch []sampling.Sample) {
+	if c.err != nil {
+		return
+	}
+	c.header()
+	for i := range batch {
+		if c.err != nil {
 			return
 		}
+		c.writeRow(&batch[i])
 	}
-	r := &c.record
-	r[0] = formatFloat(s.Time)
-	r[1] = s.PM
-	r[2] = s.Domain
-	r[3] = formatFloat(s.Util.CPU)
-	r[4] = formatFloat(s.Util.Mem)
-	r[5] = formatFloat(s.Util.IO)
-	r[6] = formatFloat(s.Util.BW)
-	c.err = c.w.Write(r[:])
 }
 
 // Flush drains buffered rows and returns the first error seen.
 func (c *CSVSink) Flush() error {
-	c.w.Flush()
-	if c.err != nil {
-		return c.err
+	if err := c.w.Flush(); err != nil && c.err == nil {
+		c.err = err
 	}
-	return c.w.Error()
+	return c.err
 }
 
 // Err returns the first error seen without flushing.

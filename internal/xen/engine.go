@@ -26,13 +26,15 @@ type Engine struct {
 	rng        *simrand.Source
 	migrations []*liveMigration
 	sinks      []sampling.Sink
+	bsinks     []sampling.BatchSink
 	sc         scratch
 }
 
 // scratch holds the engine's per-step working storage, reused across steps.
 // demands and flows are indexed by VM arena ID; migLoads by PM ID; the
 // remaining buffers are per-PM working slices sized to the arena (an upper
-// bound on guests per PM) and resliced to [:n] inside stepPM.
+// bound on guests per PM) and resliced to [:n] inside stepPM. batch is the
+// reusable per-step emission buffer handed to the attached BatchSinks.
 type scratch struct {
 	demands []Demand
 	flows   []vmFlows
@@ -46,6 +48,7 @@ type scratch struct {
 	fillW      []float64
 
 	migLoads []migrationLoad
+	batch    []sampling.Sample
 }
 
 // ensure grows the scratch arenas to cover nVM VM IDs and nPM PMs.
@@ -64,6 +67,12 @@ func (s *scratch) ensure(nVM, nPM int) {
 	if nPM > len(s.migLoads) {
 		s.migLoads = make([]migrationLoad, nPM)
 	}
+	// One step emits a guest row per live VM plus three PM rows; nVM (IDs
+	// ever issued) bounds the guest count, so steady-state emission appends
+	// within capacity and never allocates.
+	if n := nVM + 3*nPM; cap(s.batch) < n {
+		s.batch = make([]sampling.Sample, 0, n)
+	}
 }
 
 // NewEngine creates an engine over cluster with 1-second steps (the paper's
@@ -79,11 +88,18 @@ func (e *Engine) Now() float64 { return e.now }
 // invoked synchronously at the end of every step and must not mutate the
 // cluster topology from inside Consume; controllers buffer their actions
 // and apply them between Advance calls.
+//
+// Delivery is batched: each step the engine assembles one reusable
+// []Sample (arena order) and calls the sink's ConsumeBatch when it
+// implements sampling.BatchSink, falling back to a per-sample adapter
+// otherwise (resolved here, once, at attach time). The batch slice is the
+// engine's: sinks must not retain it across calls.
 func (e *Engine) AttachSink(s sampling.Sink) {
 	if s == nil {
 		return
 	}
 	e.sinks = append(e.sinks, s)
+	e.bsinks = append(e.bsinks, sampling.AsBatch(s))
 }
 
 // DetachSink unsubscribes a previously attached sink (compared by
@@ -92,6 +108,7 @@ func (e *Engine) DetachSink(s sampling.Sink) {
 	for i, k := range e.sinks {
 		if k == s {
 			e.sinks = append(e.sinks[:i], e.sinks[i+1:]...)
+			e.bsinks = append(e.bsinks[:i], e.bsinks[i+1:]...)
 			return
 		}
 	}
@@ -174,32 +191,33 @@ func (e *Engine) step() {
 		}
 	}
 	e.now += e.Step
-	if len(e.sinks) > 0 {
+	if len(e.bsinks) > 0 {
 		e.emit()
 	}
 }
 
-// emit pushes the step's ground-truth readings into the attached sinks.
+// emit assembles the step's ground-truth readings into the reusable batch
+// (arena order: per PM the guests, then Domain-0, hypervisor, host) and
+// delivers it to every attached sink in one dispatch.
 func (e *Engine) emit() {
 	t := e.now
+	b := e.sc.batch[:0]
 	for _, pm := range e.Cluster.PMs {
 		for _, vm := range pm.VMs {
-			e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name,
+			b = append(b, sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name,
 				VMID: vm.id, Domain: vm.Name, Kind: sampling.KindGuest, Util: vm.util})
 		}
-		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+		b = append(b, sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
 			Domain: sampling.LabelDom0, Kind: sampling.KindDom0, Util: pm.dom0Util})
-		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+		b = append(b, sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
 			Domain: sampling.LabelHypervisor, Kind: sampling.KindHypervisor,
 			Util: units.V(pm.hypCPU, 0, 0, 0)})
-		e.push(sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
+		b = append(b, sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
 			Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: pm.pmUtil})
 	}
-}
-
-func (e *Engine) push(s sampling.Sample) {
-	for _, k := range e.sinks {
-		k.Consume(s)
+	e.sc.batch = b
+	for _, k := range e.bsinks {
+		k.ConsumeBatch(b)
 	}
 }
 

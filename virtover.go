@@ -533,8 +533,10 @@ func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data)
 // The engine emits one ground-truth Sample per domain per step into
 // attached Sinks (Engine.AttachSink). MeasurementScript.Attach inserts the
 // decimate -> filter -> meter stages so downstream sinks see *measured*
-// samples at the script's interval. See DESIGN.md for a custom-sink
-// walkthrough.
+// samples at the script's interval. Delivery is batched: the engine hands
+// each step to BatchSink implementations as one reusable []Sample; plain
+// Sinks keep working via the PerSample adapter. See DESIGN.md for the
+// batch contract and a custom-sink walkthrough.
 
 // Sample is one per-domain utilization reading flowing through the
 // pipeline.
@@ -542,6 +544,16 @@ type Sample = sampling.Sample
 
 // Sink consumes samples; implement it to observe a simulation online.
 type Sink = sampling.Sink
+
+// BatchSink consumes one step's samples per dispatch. The batch slice is
+// reused by the producer and must not be retained.
+type BatchSink = sampling.BatchSink
+
+// PerSample adapts a scalar Sink to BatchSink by unrolling batches.
+type PerSample = sampling.PerSample
+
+// AsBatch returns a sink's native batch path, or a PerSample adapter.
+func AsBatch(s Sink) BatchSink { return sampling.AsBatch(s) }
 
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc = sampling.SinkFunc
