@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race determinism pipeline bench
+.PHONY: check vet build test race determinism pipeline obs bench
 
 # The full pre-commit gate: static checks, build, the race-enabled test
-# suite, the multi-GOMAXPROCS fitting-kernel determinism check, and the
-# sample-pipeline equivalence gate.
-check: vet build race determinism pipeline
+# suite, the multi-GOMAXPROCS fitting-kernel determinism check, the
+# sample-pipeline equivalence gate, and the observability-layer gate.
+check: vet build race determinism pipeline obs
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,14 @@ determinism:
 # equivalence property test, both under the race detector.
 pipeline:
 	$(GO) test -race -run 'TestGoldenTrace|TestBatchScalarEquivalence|TestCSVSinkMatchesEncodingCSV' ./internal/trace/ ./internal/monitor/
+
+# Observability gate: the metrics registry's lock-free concurrency under
+# the race detector, the Prometheus/span golden tests, and the two
+# allocation bounds (disabled: 0-alloc engine step preserved; enabled:
+# <= 2 allocs/step).
+obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -run 'TestObservedCampaignStepAllocs|TestMeteredCampaignStepAllocs|TestDebugServerEndToEnd' .
 
 # Hot-path benchmarks (engine step + sample pipeline + fitting/selection
 # kernels) with allocation reporting; the parsed results land in

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// benchFile is the JSON shape benchjson writes: benchmark name -> metric
+// unit -> value.
+type benchFile map[string]map[string]float64
+
+func readBenchFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// compareFiles diffs two benchjson files and writes a per-benchmark ns/op
+// delta table to w. It returns the names of benchmarks whose ns/op
+// regressed by more than thresholdPct percent. Benchmarks present in only
+// one file are listed but never count as regressions (the suite grew or
+// shrank; neither is a perf fault).
+func compareFiles(oldPath, newPath string, thresholdPct float64, w io.Writer) ([]string, error) {
+	oldF, err := readBenchFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newF, err := readBenchFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for n := range oldF {
+		names[n] = true
+	}
+	for n := range newF {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var regressed []string
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range sorted {
+		o, oldOK := oldF[n]["ns/op"]
+		nw, newOK := newF[n]["ns/op"]
+		switch {
+		case !oldOK:
+			fmt.Fprintf(w, "%-44s %14s %14.1f %9s\n", n, "-", nw, "new")
+		case !newOK:
+			fmt.Fprintf(w, "%-44s %14.1f %14s %9s\n", n, o, "-", "gone")
+		default:
+			delta := math.Inf(1)
+			if o > 0 {
+				delta = (nw - o) / o * 100
+			}
+			mark := ""
+			if delta > thresholdPct {
+				mark = "  REGRESSED"
+				regressed = append(regressed, n)
+			}
+			fmt.Fprintf(w, "%-44s %14.1f %14.1f %+8.1f%%%s\n", n, o, nw, delta, mark)
+		}
+	}
+	return regressed, nil
+}

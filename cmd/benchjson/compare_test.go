@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeJSON(t, dir, "old.json", `{
+		"BenchmarkStable":    {"ns/op": 1000, "allocs/op": 0},
+		"BenchmarkImproved":  {"ns/op": 2000},
+		"BenchmarkRegressed": {"ns/op": 1000},
+		"BenchmarkGone":      {"ns/op": 500}
+	}`)
+	newPath := writeJSON(t, dir, "new.json", `{
+		"BenchmarkStable":    {"ns/op": 1050, "allocs/op": 0},
+		"BenchmarkImproved":  {"ns/op": 1500},
+		"BenchmarkRegressed": {"ns/op": 1300},
+		"BenchmarkAdded":     {"ns/op": 700}
+	}`)
+
+	var out strings.Builder
+	regressed, err := compareFiles(oldPath, newPath, 20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkRegressed" {
+		t.Errorf("regressed = %v, want [BenchmarkRegressed]", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{"BenchmarkRegressed", "REGRESSED", "+30.0%", "-25.0%", "new", "gone"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	// A +5% drift must not be flagged at the default 20% threshold...
+	if strings.Count(text, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED mark:\n%s", text)
+	}
+	// ...but is flagged when the threshold is tightened below it.
+	regressed, err = compareFiles(oldPath, newPath, 4, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 2 {
+		t.Errorf("at threshold 4%%: regressed = %v, want BenchmarkRegressed and BenchmarkStable", regressed)
+	}
+}
+
+func TestCompareFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeJSON(t, dir, "good.json", `{"BenchmarkA": {"ns/op": 1}}`)
+	bad := writeJSON(t, dir, "bad.json", `{not json`)
+	var out strings.Builder
+	if _, err := compareFiles(good, filepath.Join(dir, "missing.json"), 20, &out); err == nil {
+		t.Error("missing file: want error")
+	}
+	if _, err := compareFiles(good, bad, 20, &out); err == nil {
+		t.Error("malformed JSON: want error")
+	}
+}

@@ -7,10 +7,13 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_stats.json
+//	benchjson -compare old.json new.json    # delta table; exit 1 on regression
 //
 // With -count > 1 the last reported line per benchmark wins. The file
 // gives successive PRs a recorded baseline to diff against instead of
-// re-running historical commits.
+// re-running historical commits; -compare does that diff, printing the
+// per-benchmark ns/op delta and exiting non-zero when any benchmark
+// regressed past -threshold percent.
 package main
 
 import (
@@ -18,18 +21,34 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"virtover/internal/obs/cli"
 )
 
+var app = cli.New("benchjson")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_stats.json", "output JSON path")
-	flag.Parse()
+	compare := flag.Bool("compare", false, "compare two benchjson files given as positional args (old.json new.json)")
+	threshold := flag.Float64("threshold", 20, "with -compare, the ns/op regression percentage that fails the run")
+	app.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			app.Fatal("usage: benchjson -compare old.json new.json")
+		}
+		regressed, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		app.Check(err)
+		if len(regressed) > 0 {
+			app.Fatalf("%d benchmark(s) regressed more than %.0f%% in ns/op: %s",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+		}
+		return
+	}
 
 	results := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -41,30 +60,22 @@ func main() {
 			results[name] = m
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
+	app.Check(sc.Err())
 	if len(results) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
+		app.Fatal("no benchmark lines found on stdin")
 	}
 	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
+	app.Check(enc.Encode(results))
+	app.Check(f.Close())
 	names := make([]string, 0, len(results))
 	for n := range results {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	log.Printf("wrote %d benchmarks to %s (%s ...)", len(results), *out, names[0])
+	app.Log.Info("wrote benchmarks", "count", len(results), "out", *out, "first", names[0])
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

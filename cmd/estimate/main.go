@@ -14,11 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"strconv"
 	"strings"
 
 	"virtover"
+	"virtover/internal/obs/cli"
 )
 
 // vmFlags accumulates repeated -vm flags.
@@ -51,9 +51,9 @@ func parseVector(s string) (virtover.Vector, error) {
 	return virtover.V(vals[0], vals[1], vals[2], vals[3]), nil
 }
 
+var app = cli.New("estimate")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("estimate: ")
 	var vms vmFlags
 	flag.Var(&vms, "vm", "guest utilization as cpu,mem,io,bw (repeatable)")
 	var (
@@ -62,21 +62,19 @@ func main() {
 		trainN = flag.Int("train-samples", 30, "samples per training campaign")
 		method = flag.String("method", "ols", "model fitting method: ols or lms")
 	)
-	flag.Parse()
+	app.Parse()
 	if len(vms) == 0 {
-		log.Fatal("at least one -vm is required (cpu,mem,io,bw)")
+		app.Fatal("at least one -vm is required (cpu,mem,io,bw)")
 	}
 	opt := virtover.FitOptions{}
 	if *method == "lms" {
 		opt.Method = virtover.MethodLMS
 	} else if *method != "ols" {
-		log.Fatalf("unknown method %q", *method)
+		app.Fatalf("unknown method %q", *method)
 	}
 
 	model, err := virtover.FitModel(*seed, *trainN, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	pred := model.Predict(vms)
 	sum := virtover.V(0, 0, 0, 0)
 	for _, v := range vms {
@@ -92,9 +90,7 @@ func main() {
 
 	if *capStr != "" {
 		capacity, err := parseVector(*capStr)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		fits := pred.PM.FitsWithin(capacity)
 		naive := sum.FitsWithin(capacity)
 		fmt.Printf("\nfit check against capacity %v:\n", capacity)

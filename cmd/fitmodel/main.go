@@ -10,18 +10,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 
 	"virtover"
 	"virtover/internal/core"
 	"virtover/internal/exps"
+	"virtover/internal/obs/cli"
 )
 
+var app = cli.New("fitmodel")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fitmodel: ")
 	var (
 		method  = flag.String("method", "ols", "regression estimator: ols or lms (the paper uses least median of squares)")
 		samples = flag.Int("samples", 120, "samples per micro-benchmark campaign (paper: 120)")
@@ -30,7 +30,7 @@ func main() {
 		ci      = flag.Bool("ci", false, "also print 90% bootstrap confidence intervals for the single-VM coefficients")
 		out     = flag.String("out", "", "save the fitted model as JSON for reuse by cmd/predict -model")
 	)
-	flag.Parse()
+	app.Parse()
 
 	opt := virtover.FitOptions{Workers: *workers}
 	switch *method {
@@ -39,39 +39,27 @@ func main() {
 	case "lms":
 		opt.Method = virtover.MethodLMS
 	default:
-		log.Fatalf("unknown method %q (have ols, lms)", *method)
+		app.Fatalf("unknown method %q (have ols, lms)", *method)
 	}
 	model, err := virtover.FitModel(*seed, *samples, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	fmt.Printf("fitted with %s on the Table II micro-benchmark study (%d samples/run)\n\n", *method, *samples)
 	fmt.Println(model.String())
 
 	if *out != "" {
 		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := core.SaveModel(f, model); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
+		app.Check(core.SaveModel(f, model))
+		app.Check(f.Close())
 		fmt.Printf("saved model to %s\n\n", *out)
 	}
 
 	if *ci {
 		fmt.Println("90% bootstrap confidence intervals for matrix a:")
 		single, _, err := exps.TrainingCorpus(*seed, *samples)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		cis, err := core.CoefficientCIs(single, 200, 0.90, *seed+31)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		names := []string{"const", "cpu", "mem", "io", "bw"}
 		for _, t := range core.Targets() {
 			fmt.Printf("  %s:\n", t)

@@ -7,20 +7,22 @@
 //	measure -fig 2|3|4|5          regenerate Figures 2, 3, 4 or 5
 //	measure -all                  everything
 //	measure -samples N -seed S    tune the campaign (default 120 samples)
+//	measure -all -debug-addr localhost:6060   watch the campaigns live
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"virtover"
+	"virtover/internal/exps"
+	"virtover/internal/obs/cli"
 )
 
+var app = cli.New("measure")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("measure: ")
 	var (
 		table   = flag.Int("table", 0, "print table 1, 2 or 3")
 		fig     = flag.Int("fig", 0, "regenerate figure 2, 3, 4 or 5")
@@ -29,12 +31,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		plot    = flag.Bool("plot", false, "draw ASCII charts instead of numeric tables")
 	)
-	flag.Parse()
+	app.DebugAddrFlag()
+	app.Parse()
 
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	reg, stopDebug := app.StartDebug()
+	defer stopDebug()
+	exps.SetObservability(reg)
+
 	printTable := func(n int) {
 		switch n {
 		case 1:
@@ -44,7 +51,7 @@ func main() {
 		case 3:
 			fmt.Println(virtover.RenderTableIII())
 		default:
-			log.Fatalf("unknown table %d (have 1, 2, 3)", n)
+			app.Fatalf("unknown table %d (have 1, 2, 3)", n)
 		}
 	}
 	printFig := func(n int) {
@@ -57,11 +64,9 @@ func main() {
 		case 5:
 			figs, err = virtover.Figure5(*seed, *samples)
 		default:
-			log.Fatalf("unknown figure %d (have 2, 3, 4, 5)", n)
+			app.Fatalf("unknown figure %d (have 2, 3, 4, 5)", n)
 		}
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		for _, f := range figs {
 			if *plot {
 				fmt.Println(f.Plot())

@@ -14,35 +14,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
 	"virtover"
+	"virtover/internal/obs/cli"
 )
 
+var app = cli.New("placement")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("placement: ")
 	var (
 		repeats  = flag.Int("repeats", 10, "random placement orders per cell (paper: 10)")
 		duration = flag.Int("duration", 120, "measured seconds per run")
 		seed     = flag.Int64("seed", 1, "random seed")
 		trainN   = flag.Int("train-samples", 60, "samples per training campaign")
 	)
-	flag.Parse()
+	app.Parse()
 
 	fmt.Println("fitting the overhead model from the micro-benchmark study...")
 	model, err := virtover.FitModel(*seed, *trainN, virtover.FitOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	cfg := virtover.DefaultPlacementConfig(*seed + 7)
 	cfg.Repeats = *repeats
 	cfg.Duration = *duration
 	fmt.Printf("running scenarios 0-3, %d repeats x %d s, VOA vs VOU...\n\n", cfg.Repeats, cfg.Duration)
 	results, err := virtover.PlacementExperiment(model, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	for _, f := range virtover.Figure10(results) {
 		fmt.Println(f.Render())
 	}

@@ -12,19 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 
 	"virtover"
 	"virtover/internal/core"
 	"virtover/internal/exps"
+	"virtover/internal/obs/cli"
 	"virtover/internal/trace"
 )
 
+var app = cli.New("predict")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("predict: ")
 	var (
 		fig       = flag.Int("fig", 7, "figure to reproduce: 7 (one VM/PM), 8 (two), 9 (three)")
 		duration  = flag.Int("duration", 600, "measured seconds per client count (paper: 10 minutes)")
@@ -35,38 +35,32 @@ func main() {
 		plot      = flag.Bool("plot", false, "draw ASCII CDF charts instead of numeric tables")
 		modelFile = flag.String("model", "", "load a fitted model JSON (from cmd/fitmodel -out) instead of training")
 	)
-	flag.Parse()
+	app.Parse()
 
 	sets := map[int]int{7: 1, 8: 2, 9: 3}[*fig]
 	if sets == 0 {
-		log.Fatalf("unknown figure %d (have 7, 8, 9)", *fig)
+		app.Fatalf("unknown figure %d (have 7, 8, 9)", *fig)
 	}
 	opt := virtover.FitOptions{}
 	if *method == "lms" {
 		opt.Method = virtover.MethodLMS
 	} else if *method != "ols" {
-		log.Fatalf("unknown method %q", *method)
+		app.Fatalf("unknown method %q", *method)
 	}
 
 	var model *virtover.Model
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		model, err = core.LoadModel(f)
 		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		fmt.Printf("loaded model from %s\n", *modelFile)
 	} else {
 		fmt.Printf("fitting the overhead model from the micro-benchmark study (%s)...\n", *method)
 		var err error
 		model, err = virtover.FitModel(*seed, *trainN, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 	}
 
 	if *traceFile != "" {
@@ -75,9 +69,7 @@ func main() {
 	}
 	fmt.Printf("running %d RUBiS set(s), clients 300..700, %d s each...\n\n", sets, *duration)
 	results, err := virtover.PredictionExperiment(model, sets, nil, *duration, *seed+99)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	for _, f := range virtover.PredictionFigures(fmt.Sprint(*fig), results, 8, 17) {
 		if *plot {
 			fmt.Println(f.Plot())
@@ -101,18 +93,12 @@ func main() {
 // replayTrace evaluates the model offline against a recorded trace CSV.
 func replayTrace(model *virtover.Model, path string) {
 	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	defer f.Close()
 	series, err := trace.Read(f)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	errsByPM, err := exps.EvaluateSeries(model, series)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	names := make([]string, 0, len(errsByPM))
 	for n := range errsByPM {
 		names = append(names, n)

@@ -6,27 +6,33 @@
 //
 //	report -quick -out report.md     # scaled-down, finishes in seconds
 //	report -out report.md            # the paper's experiment sizes
+//	report -quick -self-profile      # append where the run's time went
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"strconv"
 
 	"virtover/internal/exps"
+	"virtover/internal/obs"
+	"virtover/internal/obs/cli"
+	"virtover/internal/viz"
 )
 
+var app = cli.New("report")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("report: ")
 	var (
-		out   = flag.String("out", "", "output file (default stdout)")
-		quick = flag.Bool("quick", false, "scaled-down experiment sizes")
-		seed  = flag.Int64("seed", 1, "random seed")
-		noExt = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
+		out     = flag.String("out", "", "output file (default stdout)")
+		quick   = flag.Bool("quick", false, "scaled-down experiment sizes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
+		profile = flag.Bool("self-profile", false, "print the run's own metrics and phase timings to stderr afterwards")
 	)
-	flag.Parse()
+	app.DebugAddrFlag()
+	app.Parse()
 
 	cfg := exps.PaperReportConfig(*seed)
 	if *quick {
@@ -34,16 +40,57 @@ func main() {
 	}
 	cfg.Extensions = !*noExt
 
-	doc, err := exps.FullReport(cfg)
-	if err != nil {
-		log.Fatal(err)
+	reg, stopDebug := app.StartDebug()
+	defer stopDebug()
+	var tracer *obs.Tracer
+	if *profile {
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		tracer = obs.NewTracer(nil)
 	}
+	exps.SetObservability(reg)
+	cfg.Obs = reg
+	cfg.Tracer = tracer
+
+	doc, err := exps.FullReport(cfg)
+	app.Check(err)
 	if *out == "" {
 		fmt.Print(doc)
-		return
+	} else {
+		app.Check(os.WriteFile(*out, []byte(doc), 0o644))
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(doc))
 	}
-	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
-		log.Fatal(err)
+	if *profile {
+		fmt.Fprint(os.Stderr, selfProfile(reg, tracer))
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, len(doc))
+}
+
+// selfProfile renders the end-of-run introspection block: one table of
+// every registered metric, then the phase-span tree.
+func selfProfile(reg *obs.Registry, tracer *obs.Tracer) string {
+	snap := reg.Snapshot()
+	var rows [][]string
+	for _, c := range snap.Counters {
+		rows = append(rows, []string{c.Name, "counter", strconv.FormatUint(c.Value, 10)})
+	}
+	for _, g := range snap.Gauges {
+		rows = append(rows, []string{g.Name, "gauge", strconv.FormatInt(g.Value, 10)})
+	}
+	for _, h := range snap.Histograms {
+		v := fmt.Sprintf("n=%d mean=%.1f", h.Count, mean(h.Sum, h.Count))
+		rows = append(rows, []string{h.Name, "histogram", v})
+	}
+	s := "\n== self-profile ==\n" + viz.Table([]string{"metric", "kind", "value"}, rows)
+	if t := tracer.Render(); t != "" {
+		s += "\nphase timings:\n" + t
+	}
+	return s
+}
+
+func mean(sum int64, count uint64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
 }

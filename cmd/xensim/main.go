@@ -7,25 +7,26 @@
 // Usage:
 //
 //	xensim -vms 2 -kind cpu -level 3 -duration 120 > trace.csv
+//	xensim -vms 4 -kind bw -debug-addr localhost:6060   # live /metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"virtover"
 	"virtover/internal/exps"
 	"virtover/internal/monitor"
+	"virtover/internal/obs/cli"
 	"virtover/internal/scenario"
 	"virtover/internal/trace"
 	"virtover/internal/workload"
 )
 
+var app = cli.New("xensim")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xensim: ")
 	var (
 		vms      = flag.Int("vms", 1, "number of co-located VMs")
 		kindName = flag.String("kind", "cpu", "workload family: cpu, mem, io, bw")
@@ -39,21 +40,20 @@ func main() {
 		scenFile = flag.String("scenario", "", "run a declarative JSON scenario file instead of the flag-built setup")
 		summary  = flag.Bool("summary", false, "print streaming per-PM summaries (mean/std/p50/p90/p99) instead of the CSV trace")
 	)
-	flag.Parse()
+	app.DebugAddrFlag()
+	app.Parse()
+
+	reg, stopDebug := app.StartDebug()
+	defer stopDebug()
+	exps.SetObservability(reg)
 
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		sc, err := scenario.Parse(data)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		series, err := sc.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		emitSeries(series, *summary)
 		return
 	}
@@ -65,31 +65,28 @@ func main() {
 
 	if *rubisN > 0 {
 		series, err := exps.RecordRUBiSTrace(*rubisN, *clients, *duration, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
+		app.Check(err)
 		emitSeries(series, *summary)
 		return
 	}
 
-	kinds := map[string]virtover.WorkloadKind{
-		"cpu": workload.CPU, "mem": workload.MEM, "io": workload.IO, "bw": workload.BW,
-	}
-	kind, ok := kinds[*kindName]
+	kind, ok := workloadKinds[*kindName]
 	if !ok {
-		log.Fatalf("unknown workload kind %q (have cpu, mem, io, bw)", *kindName)
+		app.Fatalf("unknown workload kind %q (have cpu, mem, io, bw)", *kindName)
 	}
 	if *level < 0 || *level > 4 {
-		log.Fatalf("level %d out of Table II range 0..4", *level)
+		app.Fatalf("level %d out of Table II range 0..4", *level)
 	}
 	_, series, err := exps.RunMicro(exps.MicroScenario{
 		N: *vms, Kind: kind, LevelIdx: *level,
 		Samples: *duration, Seed: *seed, IntraPMTarget: *intra,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	app.Check(err)
 	emitSeries(series, *summary)
+}
+
+var workloadKinds = map[string]virtover.WorkloadKind{
+	"cpu": workload.CPU, "mem": workload.MEM, "io": workload.IO, "bw": workload.BW,
 }
 
 // emitSeries writes the measurement series as CSV, or as streaming
@@ -101,20 +98,15 @@ func emitSeries(series [][]monitor.Measurement, summary bool) {
 		fmt.Print(agg.Render())
 		return
 	}
-	if err := trace.Write(os.Stdout, series); err != nil {
-		log.Fatal(err)
-	}
+	app.Check(trace.Write(os.Stdout, series))
 }
 
 // printScreens builds the scenario and renders the terminal view the
 // paper's authors watched: every tool's screen for one sampling instant.
 func printScreens(vms int, kindName string, level int, seed int64) {
-	kinds := map[string]virtover.WorkloadKind{
-		"cpu": workload.CPU, "mem": workload.MEM, "io": workload.IO, "bw": workload.BW,
-	}
-	kind, ok := kinds[kindName]
+	kind, ok := workloadKinds[kindName]
 	if !ok {
-		log.Fatalf("unknown workload kind %q", kindName)
+		app.Fatalf("unknown workload kind %q", kindName)
 	}
 	cl := virtover.NewCluster()
 	pm := cl.AddPM("pm1")

@@ -21,6 +21,7 @@ import (
 
 	"virtover/internal/core"
 	"virtover/internal/monitor"
+	"virtover/internal/obs"
 	"virtover/internal/viz"
 	"virtover/internal/workload"
 	"virtover/internal/xen"
@@ -101,6 +102,10 @@ type MicroScenario struct {
 	// monitor.DefaultNoise). The robustness experiment uses this to inject
 	// tool glitches.
 	Noise *monitor.NoiseProfile
+	// Obs, when non-nil, instruments the campaign's engine and sample
+	// pipeline on that registry. Nil falls back to the package-wide
+	// registry set via SetObservability (itself nil by default).
+	Obs *obs.Registry
 }
 
 // RunMicro executes the scenario and returns the averaged measurement (what
@@ -142,7 +147,9 @@ func RunMicro(sc MicroScenario) (monitor.Measurement, [][]monitor.Measurement, e
 		noise = *sc.Noise
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), sc.Seed)
-	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: noise, Seed: sc.Seed + 1000}
+	reg := observability(sc.Obs)
+	e.Instrument(reg)
+	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: noise, Seed: sc.Seed + 1000, Obs: reg}
 	series, err := script.Run(e, []*xen.PM{pm})
 	if err != nil {
 		return monitor.Measurement{}, nil, err

@@ -1,0 +1,28 @@
+package exps
+
+import (
+	"sync/atomic"
+
+	"virtover/internal/obs"
+)
+
+// obsReg is the package-wide observability registry. Experiment entry
+// points consult it whenever a caller did not pass an explicit registry,
+// which lets the cmd binaries instrument whole studies (figures, corpus
+// builds, reports) without threading a registry through every generator
+// signature. Nil — the default — keeps everything uninstrumented.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObservability installs reg as the package-wide registry used by
+// experiment runs that were not given one explicitly. Pass nil to disable.
+// Safe for concurrent use; campaigns already running keep the registry
+// they resolved at start.
+func SetObservability(reg *obs.Registry) { obsReg.Store(reg) }
+
+// observability resolves an explicit registry against the package default.
+func observability(explicit *obs.Registry) *obs.Registry {
+	if explicit != nil {
+		return explicit
+	}
+	return obsReg.Load()
+}

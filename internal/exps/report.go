@@ -6,6 +6,7 @@ import (
 
 	"virtover/internal/cloudscale"
 	"virtover/internal/core"
+	"virtover/internal/obs"
 )
 
 // ReportConfig scales the full-reproduction report.
@@ -22,6 +23,14 @@ type ReportConfig struct {
 	PlacementDuration int
 	// Extensions includes the beyond-the-paper studies.
 	Extensions bool
+	// Obs, when non-nil, counts report progress (sections, figures) on
+	// that registry. Nil falls back to the package-wide registry set via
+	// SetObservability — which is also how the campaigns inside each
+	// section pick up instrumentation.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per report section so the
+	// self-profile shows where a report's wall time went.
+	Tracer *obs.Tracer
 }
 
 // QuickReportConfig finishes in seconds; PaperReportConfig uses the
@@ -48,11 +57,25 @@ func FullReport(cfg ReportConfig) (string, error) {
 	if cfg.SamplesPerRun <= 0 {
 		cfg.SamplesPerRun = 15
 	}
+	reg := observability(cfg.Obs)
+	sectionsC := reg.Counter("report_sections_total", "report sections rendered")
+	figuresC := reg.Counter("report_figures_total", "figures rendered into the report")
+	root := cfg.Tracer.Start("report")
+	defer root.End()
+	var sp *obs.Span
+	section := func(name string) {
+		sp.End()
+		sp = root.Start(name)
+		sectionsC.Inc()
+	}
+	defer func() { sp.End() }()
+
 	var b strings.Builder
 	b.WriteString("# Virtualization-overhead reproduction report\n\n")
 	fmt.Fprintf(&b, "Seed %d, %d samples per campaign.\n\n", cfg.Seed, cfg.SamplesPerRun)
 
 	// Tables.
+	section("tables")
 	b.WriteString("## Tables\n\n```\n")
 	b.WriteString(RenderTableI())
 	b.WriteString("\n")
@@ -62,6 +85,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Micro-benchmark figures.
+	section("micro-benchmarks")
 	b.WriteString("## Micro-benchmark study (Figures 2-5)\n\n```\n")
 	for _, n := range []int{1, 2, 4} {
 		figs, err := MicroFigure(n, cfg.Seed, cfg.SamplesPerRun)
@@ -71,6 +95,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 		for _, f := range figs {
 			b.WriteString(f.Render())
 			b.WriteString("\n")
+			figuresC.Inc()
 		}
 	}
 	figs5, err := Figure5(cfg.Seed, cfg.SamplesPerRun)
@@ -80,10 +105,12 @@ func FullReport(cfg ReportConfig) (string, error) {
 	for _, f := range figs5 {
 		b.WriteString(f.Render())
 		b.WriteString("\n")
+		figuresC.Inc()
 	}
 	b.WriteString("```\n\n")
 
 	// Model.
+	section("model-fit")
 	b.WriteString("## Overhead estimation model (Section V)\n\n```\n")
 	model, err := FitModel(cfg.Seed, cfg.SamplesPerRun, core.FitOptions{})
 	if err != nil {
@@ -93,6 +120,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Prediction experiments.
+	section("prediction")
 	b.WriteString("## Trace-driven prediction (Figures 7-9)\n\n")
 	b.WriteString("90th-percentile |p-m|/m errors in percent.\n\n```\n")
 	for fig, sets := range map[int]int{7: 1, 8: 2, 9: 3} {
@@ -100,6 +128,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		figuresC.Inc()
 		fmt.Fprintf(&b, "Figure %d (%d RUBiS set(s)):\n", fig, sets)
 		fmt.Fprintf(&b, "%8s %9s %9s %9s %9s\n", "clients", "PM1 CPU", "PM2 CPU", "PM1 BW", "PM2 BW")
 		for _, s := range P90Summary(results) {
@@ -110,6 +139,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Placement.
+	section("placement")
 	b.WriteString("## Overhead-aware provisioning (Figure 10)\n\n```\n")
 	pcfg := DefaultPlacementConfig(cfg.Seed + 41)
 	pcfg.Repeats = cfg.PlacementRepeats
@@ -118,6 +148,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	figuresC.Inc()
 	fmt.Fprintf(&b, "%10s %8s %18s %15s\n", "scenario", "policy", "throughput(req/s)", "total time(s)")
 	for _, r := range presults {
 		fmt.Fprintf(&b, "%10d %8s %18.2f %15.1f\n", r.Scenario, r.Policy, r.MeanThroughput(), r.MeanTotalTime())
@@ -129,6 +160,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 	}
 
 	// Extensions.
+	section("extensions")
 	b.WriteString("## Extensions beyond the paper\n\n")
 
 	b.WriteString("### Robustness: OLS vs LMS under tool glitches\n\n```\n")

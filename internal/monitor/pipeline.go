@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"virtover/internal/obs"
 	"virtover/internal/sampling"
 	"virtover/internal/units"
 )
@@ -55,6 +56,17 @@ type Meter struct {
 	out      []sampling.Sample // reusable measured-output batch
 
 	nb sampling.BatchSink // batch view of Next, resolved on first use
+
+	// Self-observability instruments (nil-safe no-ops until Instrument).
+	groups       *obs.Counter
+	groupSamples *obs.Histogram
+}
+
+// Instrument registers the meter's metrics: measured PM groups and the
+// size of each measured output batch. A nil registry is a no-op.
+func (m *Meter) Instrument(reg *obs.Registry) {
+	m.groups = reg.Counter("meter_groups_total", "PM groups measured by the tool emulation")
+	m.groupSamples = reg.Histogram("meter_group_samples", "samples per measured PM group batch")
 }
 
 // instruments bundles one tool set per monitored PM.
@@ -256,6 +268,8 @@ func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.
 	)
 	out = append(out, host)
 	m.out = out
+	m.groups.Inc()
+	m.groupSamples.Observe(int64(len(out)))
 	m.nextBatch().ConsumeBatch(out)
 }
 

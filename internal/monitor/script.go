@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"virtover/internal/obs"
 	"virtover/internal/sampling"
 	"virtover/internal/units"
 	"virtover/internal/xen"
@@ -77,6 +78,15 @@ type Script struct {
 	Noise NoiseProfile
 	// Seed derives each tool's noise stream.
 	Seed int64
+	// Obs, when non-nil, instruments the measurement chain: decimator
+	// keep/drop step counts, monitored-PM filter pass/drop counts, and the
+	// meter's group metrics all register here. Nil (the default) keeps the
+	// chain uninstrumented and allocation-free.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records Run's phase spans (setup / advance /
+	// collect) as one "campaign" tree. Inject a deterministic clock in the
+	// tracer to make the recorded tree reproducible in tests.
+	Tracer *obs.Tracer
 }
 
 // DefaultScript mirrors the paper's 1 Hz x 120 s campaign.
@@ -94,18 +104,26 @@ func (sc Script) Attach(e *xen.Engine, pms []*xen.PM, next sampling.Sink) (func(
 	if sc.IntervalSteps <= 0 {
 		return nil, fmt.Errorf("monitor: IntervalSteps must be positive, got %d", sc.IntervalSteps)
 	}
-	var sink sampling.Sink = NewMeter(sc.Noise, sc.Seed, next)
+	meter := NewMeter(sc.Noise, sc.Seed, next)
+	meter.Instrument(sc.Obs)
+	var sink sampling.Sink = meter
 	if len(pms) > 0 {
 		keep := make(map[int]bool, len(pms))
 		for _, pm := range pms {
 			keep[pm.ID()] = true
 		}
 		sink = sampling.Filter{
-			Keep: func(s sampling.Sample) bool { return keep[s.PMID] },
-			Next: sink,
+			Keep:    func(s sampling.Sample) bool { return keep[s.PMID] },
+			Next:    sink,
+			Kept:    sc.Obs.Counter("pipeline_filter_kept_samples_total", "samples passed by the monitored-PM filter"),
+			Dropped: sc.Obs.Counter("pipeline_filter_dropped_samples_total", "samples rejected by the monitored-PM filter"),
 		}
 	}
 	dec := sampling.Decimate(sc.IntervalSteps, sink)
+	dec.Instrument(
+		sc.Obs.Counter("pipeline_decimate_kept_steps_total", "steps forwarded by the sampling-interval decimator"),
+		sc.Obs.Counter("pipeline_decimate_dropped_steps_total", "steps dropped by the sampling-interval decimator"),
+	)
 	// A freshly built decimator starts clean, but Reset here keeps the
 	// contract explicit: every Attach (and hence every Run) begins at step
 	// parity zero, never inheriting phase from a previous campaign.
@@ -122,14 +140,23 @@ func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
 	if sc.Samples <= 0 {
 		return nil, fmt.Errorf("monitor: Samples must be positive, got %d", sc.Samples)
 	}
+	campaign := sc.Tracer.Start("campaign")
+	defer campaign.End()
+	setup := campaign.Start("setup")
 	col := NewCollector()
 	detach, err := sc.Attach(e, pms, col)
+	setup.End()
 	if err != nil {
 		return nil, err
 	}
 	defer detach()
+	adv := campaign.Start("advance")
 	e.Advance(sc.Samples * sc.IntervalSteps)
-	return col.Series(), nil
+	adv.End()
+	collect := campaign.Start("collect")
+	series := col.Series()
+	collect.End()
+	return series, nil
 }
 
 // Average collapses a per-sample series (as returned by Run) into one mean

@@ -1,0 +1,72 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"virtover/internal/obs"
+	"virtover/internal/xen"
+)
+
+// TestScriptRunSpanGolden pins Run's phase-span tree under an injected
+// deterministic clock: every clock reading advances exactly 1 ms, so the
+// rendered tree — structure, order and durations — is reproducible to the
+// byte. Run reads the clock 8 times (campaign, setup, advance, collect,
+// each start+end), giving setup/advance/collect 1 ms each and the
+// enclosing campaign 7 ms.
+func TestScriptRunSpanGolden(t *testing.T) {
+	var ticks int64
+	clock := obs.Clock(func() int64 {
+		ticks += int64(time.Millisecond)
+		return ticks
+	})
+	tracer := obs.NewTracer(clock)
+	e, pm := testEngine(1, xen.Demand{CPU: 30}, 0)
+	sc := Script{IntervalSteps: 1, Samples: 2, Noise: DefaultNoise(), Seed: 3, Tracer: tracer}
+	if _, err := sc.Run(e, []*xen.PM{pm}); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%-40s%12s\n", "campaign", "7ms") +
+		fmt.Sprintf("  %-38s%12s\n", "setup", "1ms") +
+		fmt.Sprintf("  %-38s%12s\n", "advance", "1ms") +
+		fmt.Sprintf("  %-38s%12s\n", "collect", "1ms")
+	if got := tracer.Render(); got != want {
+		t.Errorf("span tree mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestScriptObsCounters checks the pipeline instruments Script wires up
+// when a registry is attached: decimator keep/drop totals, the
+// monitored-PM filter's pass counts, and the meter's group metrics.
+func TestScriptObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, pm := testEngine(2, xen.Demand{CPU: 40}, 0)
+	sc := Script{IntervalSteps: 2, Samples: 3, Noise: DefaultNoise(), Seed: 3, Obs: reg}
+	if _, err := sc.Run(e, []*xen.PM{pm}); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]uint64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	// 6 engine steps at interval 2: 3 kept, 3 dropped.
+	if got := counters["pipeline_decimate_kept_steps_total"]; got != 3 {
+		t.Errorf("decimate kept = %d, want 3", got)
+	}
+	if got := counters["pipeline_decimate_dropped_steps_total"]; got != 3 {
+		t.Errorf("decimate dropped = %d, want 3", got)
+	}
+	// The only PM is monitored, so the filter drops nothing: 3 kept steps
+	// x (2 guests + Dom0 + hypervisor + host) = 15 samples.
+	if got := counters["pipeline_filter_kept_samples_total"]; got != 15 {
+		t.Errorf("filter kept = %d, want 15", got)
+	}
+	if got := counters["pipeline_filter_dropped_samples_total"]; got != 0 {
+		t.Errorf("filter dropped = %d, want 0", got)
+	}
+	// One measured group per kept step.
+	if got := counters["meter_groups_total"]; got != 3 {
+		t.Errorf("meter groups = %d, want 3", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package cli is the shared harness for virtover's command binaries:
+// structured logging with a -v verbosity flag, fatal-error helpers that
+// exit non-zero, and optional wiring of the obs debug server behind a
+// -debug-addr flag. Every cmd main follows the same shape:
+//
+//	app := cli.New("xensim")       // registers -v (and -debug-addr if asked)
+//	app.DebugAddrFlag()
+//	// ... register command-specific flags ...
+//	app.Parse()                    // flag.Parse + logger setup
+//	reg, stop := app.StartDebug()  // nil registry when -debug-addr unset
+//	defer stop()
+//	app.Check(err)                 // logs and exits 1 on non-nil error
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"virtover/internal/obs"
+)
+
+// osExit is swapped out by tests so fatal paths can be exercised without
+// killing the test process.
+var osExit = os.Exit
+
+// App is one command's harness. Construct with New, register flags, then
+// Parse before using the logger or fatal helpers.
+type App struct {
+	// Name prefixes every log record as the "cmd" attribute.
+	Name string
+	// Log is the command's logger, ready after Parse. Before Parse it is
+	// a usable default so early failures still print.
+	Log *slog.Logger
+
+	errw      io.Writer
+	verbose   *bool
+	debugAddr *string
+}
+
+// New creates the harness and registers the shared -v flag on the default
+// flag set. Call before registering command-specific flags so -v shows
+// first in -help's sorted output only by flag-name order, not by accident.
+func New(name string) *App {
+	a := &App{Name: name, errw: os.Stderr}
+	a.Log = a.newLogger(slog.LevelInfo)
+	a.verbose = flag.Bool("v", false, "verbose (debug-level) logging")
+	return a
+}
+
+// DebugAddrFlag registers -debug-addr. Commands that run long enough to be
+// worth introspecting call this before Parse; StartDebug then honors it.
+func (a *App) DebugAddrFlag() {
+	a.debugAddr = flag.String("debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060); empty disables")
+}
+
+// Parse parses the command line (flag.Parse) and finishes logger setup
+// from the -v flag. Call exactly once, after all flags are registered.
+func (a *App) Parse() {
+	flag.Parse()
+	lvl := slog.LevelInfo
+	if a.verbose != nil && *a.verbose {
+		lvl = slog.LevelDebug
+	}
+	a.Log = a.newLogger(lvl)
+}
+
+func (a *App) newLogger(lvl slog.Level) *slog.Logger {
+	h := slog.NewTextHandler(a.errw, &slog.HandlerOptions{Level: lvl})
+	return slog.New(h).With("cmd", a.Name)
+}
+
+// StartDebug starts the introspection endpoint when -debug-addr was
+// supplied: it builds a live registry, publishes it to expvar, and serves
+// /metrics, /debug/vars and /debug/pprof on the requested address. It
+// returns the registry — nil (fully disabled observability) when the flag
+// is unset or unregistered — and a shutdown function that is always safe
+// to defer.
+func (a *App) StartDebug() (*obs.Registry, func()) {
+	if a.debugAddr == nil || *a.debugAddr == "" {
+		return nil, func() {}
+	}
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("virtover")
+	srv, err := obs.ServeDebug(*a.debugAddr, reg)
+	if err != nil {
+		a.Fatal("debug server failed", "err", err)
+		return nil, func() {} // reached only under a test osExit
+	}
+	a.Log.Info("debug server listening", "addr", srv.Addr(), "metrics", srv.URL()+"/metrics")
+	return reg, func() { _ = srv.Close() }
+}
+
+// Fatal logs msg (with optional slog attrs) at error level and exits 1.
+func (a *App) Fatal(msg string, args ...any) {
+	a.Log.Error(msg, args...)
+	osExit(1)
+}
+
+// Fatalf is Fatal with fmt formatting, for call sites migrating from
+// log.Fatalf.
+func (a *App) Fatalf(format string, args ...any) {
+	a.Fatal(fmt.Sprintf(format, args...))
+}
+
+// Check exits via Fatal when err is non-nil; nil is a no-op. It replaces
+// the `if err != nil { log.Fatal(err) }` stanza.
+func (a *App) Check(err error) {
+	if err != nil {
+		a.Fatal(err.Error())
+	}
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+)
+
+// testApp builds an App without touching the process-global flag set, so
+// tests can run many instances.
+func testApp(buf *bytes.Buffer) *App {
+	a := &App{Name: "testcmd", errw: buf}
+	a.Log = a.newLogger(slog.LevelInfo)
+	return a
+}
+
+// TestFatalHelpersExitNonZero: Fatal, Fatalf and Check(err) must log at
+// error level and exit 1; Check(nil) must do nothing.
+func TestFatalHelpersExitNonZero(t *testing.T) {
+	var codes []int
+	osExit = func(c int) { codes = append(codes, c) }
+	defer func() { osExit = os.Exit }()
+
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	a.Fatal("boom", "detail", "xyz")
+	a.Fatalf("bad value %d", 7)
+	a.Check(errors.New("checked failure"))
+	a.Check(nil)
+
+	if len(codes) != 3 {
+		t.Fatalf("exit called %d times, want 3 (Check(nil) must not exit)", len(codes))
+	}
+	for i, c := range codes {
+		if c != 1 {
+			t.Errorf("exit code %d = %d, want 1", i, c)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"boom", "detail=xyz", "bad value 7", "checked failure", "cmd=testcmd", "level=ERROR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVerbosity: debug records are suppressed at the default level and
+// emitted at debug level.
+func TestVerbosity(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	a.Log.Debug("hidden")
+	a.Log.Info("shown")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("info-level logger output wrong:\n%s", out)
+	}
+	buf.Reset()
+	a.Log = a.newLogger(slog.LevelDebug)
+	a.Log.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Errorf("debug-level logger suppressed debug records:\n%s", buf.String())
+	}
+}
+
+// TestStartDebugDisabled: without -debug-addr the registry must be nil —
+// fully disabled observability — and the shutdown func a safe no-op.
+func TestStartDebugDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	reg, stop := a.StartDebug()
+	if reg != nil {
+		t.Errorf("StartDebug without flag: registry = %v, want nil", reg)
+	}
+	stop()
+}
+
+// TestStartDebugServes: with an address, StartDebug must return a live
+// registry and a working shutdown func.
+func TestStartDebugServes(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	addr := "127.0.0.1:0"
+	a.debugAddr = &addr
+	reg, stop := a.StartDebug()
+	defer stop()
+	if !reg.Enabled() {
+		t.Fatal("StartDebug with addr: registry disabled, want live")
+	}
+	if !strings.Contains(buf.String(), "debug server listening") {
+		t.Errorf("expected listen log line, got:\n%s", buf.String())
+	}
+}

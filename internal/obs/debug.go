@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional introspection endpoint behind the cmd
+// binaries' -debug-addr flag. It serves
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    the expvar namespace (includes the registry if published)
+//	/debug/pprof/  the standard runtime profiles
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060"; use
+// ":0" for an ephemeral port) exposing reg. It returns once the listener
+// is bound; requests are served on a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.lis.Addr().String() }
+
+// URL returns "http://<addr>".
+func (s *DebugServer) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

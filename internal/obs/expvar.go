@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvarPublished guards against double-publishing, which expvar.Publish
+// punishes with a panic. Keyed by exported name, process-wide (expvar's
+// namespace is process-wide too).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given name in the standard
+// expvar namespace (visible at /debug/vars), as a map of metric name to
+// value — counters and gauges as numbers, histograms as {count, sum, mean}.
+// Repeated publishes of the same name are no-ops, so campaign code can call
+// it unconditionally. A nil registry publishes nothing.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any {
+		s := r.Snapshot()
+		out := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+		for _, c := range s.Counters {
+			out[c.Name] = c.Value
+		}
+		for _, g := range s.Gauges {
+			out[g.Name] = g.Value
+		}
+		for _, h := range s.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			out[h.Name] = map[string]any{"count": h.Count, "sum": h.Sum, "mean": mean}
+		}
+		return out
+	}))
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// values <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i). With 40
+// buckets the top finite bucket covers up to 2^39 ns ≈ 9 minutes when the
+// histogram records nanoseconds — far above any phase the simulator times —
+// and an implicit +Inf bucket catches the rest at exposition time.
+const numBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two histogram for latencies (in
+// nanoseconds) and sizes (in samples). Observe is a bucket-index
+// computation plus three atomic adds: no locks, no allocations, safe for
+// concurrent use. A nil Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+	name    string
+	help    string
+}
+
+// bucketIndex maps a value to its bucket: 0 for v <= 0, else
+// min(bits.Len(v), numBuckets-1) so 1 lands in bucket 1 ([1,2)), 2..3 in
+// bucket 2, 4..7 in bucket 3, and overflow saturates into the top bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// snapshot copies the histogram's state with individual atomic loads.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Name: h.name, Help: h.help, Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i: 0 for
+// bucket 0 and 2^i - 1 for i >= 1, so cumulative counts at these bounds
+// are exact for integer observations.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}

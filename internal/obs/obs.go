@@ -1,0 +1,280 @@
+// Package obs is the simulator's self-observability layer: the same
+// profile-first method the paper applies to Xen (one synchronized reading
+// of every domain per second), turned inward on the reproduction stack
+// itself. It provides
+//
+//   - a metrics Registry of Counters, Gauges and fixed-bucket Histograms
+//     whose hot-path operations are single atomic instructions with zero
+//     steady-state allocations;
+//   - phase Spans (see span.go) recording deterministic wall-time trees
+//     under an injectable clock;
+//   - exposition as Prometheus text (prom.go), expvar (expvar.go) and an
+//     optional pprof+metrics debug HTTP server (debug.go).
+//
+// Everything is off by default: a nil *Registry hands out nil instruments,
+// and every instrument method is a no-op on a nil receiver, so
+// uninstrumented code paths cost one predictable nil check and zero
+// allocations. Subsystems therefore hold instrument pointers
+// unconditionally and never branch on an "enabled" flag themselves:
+//
+//	var m struct{ steps *obs.Counter }
+//	m.steps = reg.Counter("engine_steps_total", "simulation steps run")
+//	m.steps.Inc() // safe and free whether reg was nil or not
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock returns a monotonic timestamp in nanoseconds. Injecting a fake
+// Clock makes every duration the layer records — histograms via
+// Registry.Now, span trees via Tracer — deterministic in tests.
+type Clock func() int64
+
+// realClock measures against a fixed origin so values stay monotonic
+// (time.Since uses the runtime's monotonic reading).
+func realClock() Clock {
+	t0 := time.Now()
+	return func() int64 { return int64(time.Since(t0)) }
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil Counter is a no-op.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level (queue depths, in-flight counts). A nil
+// Gauge is a no-op.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry owns a process's instruments. Registration (Counter, Gauge,
+// Histogram) takes a mutex and may allocate; the returned instruments are
+// lock-free. Registering the same name again returns the existing
+// instrument, so pipeline stages rebuilt per campaign keep accumulating
+// into the same series. A nil *Registry is the disabled state: it returns
+// nil instruments and zero timestamps.
+type Registry struct {
+	clock Clock
+
+	mu     sync.Mutex
+	byName map[string]any
+	names  []string // registration order; exposition sorts copies
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock replaces the real monotonic clock, making recorded durations
+// deterministic in tests.
+func WithClock(c Clock) Option {
+	return func(r *Registry) { r.clock = c }
+}
+
+// NewRegistry builds an empty registry reading the real monotonic clock
+// unless WithClock overrides it.
+func NewRegistry(opts ...Option) *Registry {
+	r := &Registry{byName: map[string]any{}}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.clock == nil {
+		r.clock = realClock()
+	}
+	return r
+}
+
+// Now returns the registry's clock reading, or 0 when the registry is nil.
+// Callers time an operation only when Enabled reports true, so disabled
+// runs never touch the clock.
+func (r *Registry) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Enabled reports whether the registry records anything. It is the one
+// branch hot paths may take before doing clock reads that would otherwise
+// be wasted.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// register interns an instrument under name, enforcing one type per name.
+func register[T any](r *Registry, name, help string, mk func() T) T {
+	validateName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.byName[name]; ok {
+		t, ok := got.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, got))
+		}
+		return t
+	}
+	t := mk()
+	r.byName[name] = t
+	r.names = append(r.names, name)
+	return t
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Nil registries return nil (a no-op counter).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, help, func() *Counter { return &Counter{name: name, help: help} })
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, help, func() *Gauge { return &Gauge{name: name, help: help} })
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, help, func() *Histogram { return &Histogram{name: name, help: help} })
+}
+
+// validateName enforces the Prometheus metric-name charset so exposition
+// never emits an invalid series.
+func validateName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+// sortedNames returns the registered names in lexicographic order.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// CounterSnapshot is one counter's point-in-time value.
+type CounterSnapshot struct {
+	Name  string
+	Help  string
+	Value uint64
+}
+
+// GaugeSnapshot is one gauge's point-in-time value.
+type GaugeSnapshot struct {
+	Name  string
+	Help  string
+	Value int64
+}
+
+// HistogramSnapshot is one histogram's point-in-time state.
+type HistogramSnapshot struct {
+	Name    string
+	Help    string
+	Count   uint64
+	Sum     int64
+	Buckets [numBuckets]uint64 // non-cumulative; bucket i counts v in [2^(i-1), 2^i)
+}
+
+// Snapshot is a deterministic (name-sorted) copy of every registered
+// instrument's current value. Values are read individually with atomic
+// loads; the snapshot is not a single consistent cut, which is fine for
+// monotonic counters and monitoring gauges.
+type Snapshot struct {
+	Counters   []CounterSnapshot
+	Gauges     []GaugeSnapshot
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		inst := r.byName[name]
+		r.mu.Unlock()
+		switch m := inst.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: m.name, Help: m.help, Value: m.Value()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: m.name, Help: m.help, Value: m.Value()})
+		case *Histogram:
+			s.Histograms = append(s.Histograms, m.snapshot())
+		}
+	}
+	return s
+}

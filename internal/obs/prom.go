@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric name so the
+// output is deterministic and diffable. Histograms expose cumulative
+// buckets at their exact integer upper bounds (le="0", "1", "3", "7", ...,
+// "+Inf") plus _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if err := writeHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeHeader(w, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Buckets {
+			cum += n
+			// Empty interior buckets are elided to keep the exposition
+			// small; the final +Inf bucket always appears, and cumulative
+			// counts stay correct because cum carries across elisions.
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.Name, BucketUpperBound(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", h.Name, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}

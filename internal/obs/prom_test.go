@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: counters, then
+// gauges, then histograms, each group sorted by name; histogram buckets
+// cumulative at exact integer upper bounds with empty interior buckets
+// elided.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_steps_total", "simulation steps run").Add(42)
+	r.Gauge("pipeline_async_queue_depth", "deepest worker queue").Set(3)
+	h := r.Histogram("engine_step_nanos", "wall time per engine step")
+	for _, v := range []int64{0, 1, 3, 5, 5, 900} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP engine_steps_total simulation steps run
+# TYPE engine_steps_total counter
+engine_steps_total 42
+# HELP pipeline_async_queue_depth deepest worker queue
+# TYPE pipeline_async_queue_depth gauge
+pipeline_async_queue_depth 3
+# HELP engine_step_nanos wall time per engine step
+# TYPE engine_step_nanos histogram
+engine_step_nanos_bucket{le="0"} 1
+engine_step_nanos_bucket{le="1"} 2
+engine_step_nanos_bucket{le="3"} 3
+engine_step_nanos_bucket{le="7"} 5
+engine_step_nanos_bucket{le="1023"} 6
+engine_step_nanos_bucket{le="+Inf"} 6
+engine_step_nanos_sum 914
+engine_step_nanos_count 6
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: every instrument and registry method must be a usable
+// no-op in the disabled (nil) state — this is the contract that lets the
+// engine keep instrument calls on its hot path unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil registry clock must read 0")
+	}
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_nanos", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.PublishExpvar("nil_registry")
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	sp := tr.Start("root")
+	sp2 := sp.Start("child")
+	sp2.End()
+	sp.End()
+	if sp.Duration() != 0 || tr.Render() != "" {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("steps_total", "steps")
+	b := r.Counter("steps_total", "ignored on re-register")
+	if a != b {
+		t.Fatal("re-registering a name must return the same instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("interned counters must share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a name as a different type must panic")
+		}
+	}()
+	r.Gauge("steps_total", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_nanos", "")
+	for _, v := range []int64{-5, 0, 1, 1, 2, 3, 4, 7, 8, 1 << 45} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms[0]
+	want := map[int]uint64{0: 2, 1: 2, 2: 2, 3: 2, 4: 1, numBuckets - 1: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d (le=%d): got %d want %d", i, BucketUpperBound(i), n, want[i])
+		}
+	}
+	if s.Count != 10 {
+		t.Errorf("count: got %d want 10", s.Count)
+	}
+	if wantSum := int64(-5 + 1 + 1 + 2 + 3 + 4 + 7 + 8 + 1<<45); s.Sum != wantSum {
+		t.Errorf("sum: got %d want %d", s.Sum, wantSum)
+	}
+}
+
+// TestRegistryConcurrent hammers Inc/Add/Set/Observe from many goroutines
+// while Snapshot and WritePrometheus run concurrently; run under -race this
+// is the registry's data-race gate, and the final totals check that no
+// update is lost.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_nanos", "")
+
+	const workers = 8
+	const perWorker = 5000
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+				t.Error("snapshot lost instruments")
+				return
+			}
+			_ = r.WritePrometheus(discard{})
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 1024))
+				// Late registration must also be safe under load.
+				r.Counter("hits_total", "").Add(1)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := c.Value(), uint64(2*workers*perWorker); got != want {
+		t.Fatalf("counter lost updates: got %d want %d", got, want)
+	}
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("histogram lost updates: got %d want %d", got, want)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

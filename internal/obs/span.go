@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of phase spans — campaign setup, engine advance,
+// sink dispatch, LMS search, report rendering — against an injectable
+// clock, so tests assert the exact tree without real time. Spans are for
+// coarse phases (a handful per run), not per-step events: starting a span
+// allocates; the per-step hot path uses Histograms instead.
+//
+// A nil *Tracer, and every *Span it hands out, is a no-op, so phase
+// instrumentation can stay in place unconditionally.
+type Tracer struct {
+	clock Clock
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer builds a tracer on the given clock (nil selects the real
+// monotonic clock).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = realClock()
+	}
+	return &Tracer{clock: clock}
+}
+
+// Span is one timed phase. End it exactly once; child spans created with
+// Start nest under it.
+type Span struct {
+	Name  string
+	start int64
+	end   int64
+	ended bool
+
+	tracer   *Tracer
+	mu       sync.Mutex
+	children []*Span
+}
+
+// Start opens a root span. Returns nil (a no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, start: t.clock(), tracer: t}
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Start opens a child span. Safe (and a no-op) on a nil receiver, so call
+// sites never need to check whether tracing is enabled.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{Name: name, start: s.tracer.clock(), tracer: s.tracer}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End closes the span. Extra Ends keep the first end time.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.end = s.tracer.clock()
+	s.ended = true
+}
+
+// Duration returns the span's wall time (0 for nil or unfinished spans).
+func (s *Span) Duration() time.Duration {
+	if s == nil || !s.ended {
+		return 0
+	}
+	return time.Duration(s.end - s.start)
+}
+
+// Render draws the recorded span forest as an indented text tree with
+// per-span durations, e.g.
+//
+//	campaign                                 7ms
+//	  setup                                  1ms
+//	  advance                                3ms
+//
+// The output is deterministic under a deterministic clock: spans appear in
+// start order. A nil tracer renders the empty string.
+func (t *Tracer) Render() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	var b strings.Builder
+	for _, sp := range roots {
+		renderSpan(&b, sp, 0)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	dur := "(open)"
+	if s.ended {
+		dur = time.Duration(s.end - s.start).String()
+	}
+	fmt.Fprintf(b, "%-*s%-*s%12s\n", 2*depth, "", 40-2*depth, s.Name, dur)
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		renderSpan(b, c, depth+1)
+	}
+}

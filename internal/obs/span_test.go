@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock ticks one millisecond per reading — every Start and End
+// consumes exactly one tick, so span trees are fully deterministic.
+func fakeClock() Clock {
+	var t int64
+	return func() int64 {
+		t += int64(time.Millisecond)
+		return t
+	}
+}
+
+// TestSpanTreeGolden pins the rendered span tree under the injected clock.
+func TestSpanTreeGolden(t *testing.T) {
+	tr := NewTracer(fakeClock())
+	campaign := tr.Start("campaign") // t=1
+	setup := campaign.Start("setup") // t=2
+	setup.End()                      // t=3
+	adv := campaign.Start("advance") // t=4
+	stepA := adv.Start("migrations") // t=5
+	stepA.End()                      // t=6
+	adv.End()                        // t=7
+	campaign.End()                   // t=8
+	render := tr.Start("render")     // t=9
+	render.End()                     // t=10
+
+	want := "" +
+		"campaign                                         7ms\n" +
+		"  setup                                          1ms\n" +
+		"  advance                                        3ms\n" +
+		"    migrations                                   1ms\n" +
+		"render                                           1ms\n"
+	if got := tr.Render(); got != want {
+		t.Fatalf("span tree mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if d := campaign.Duration(); d != 7*time.Millisecond {
+		t.Fatalf("campaign duration: got %v want 7ms", d)
+	}
+	// Double End keeps the first end time.
+	campaign.End()
+	if d := campaign.Duration(); d != 7*time.Millisecond {
+		t.Fatalf("duration changed after second End: %v", d)
+	}
+}
+
+func TestOpenSpanRenders(t *testing.T) {
+	tr := NewTracer(fakeClock())
+	sp := tr.Start("never-ended")
+	if sp.Duration() != 0 {
+		t.Fatal("open span must report zero duration")
+	}
+	want := "never-ended                                   (open)\n"
+	if got := tr.Render(); got != want {
+		t.Fatalf("open span render:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}

@@ -36,9 +36,11 @@
 package sampling
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
+	"virtover/internal/obs"
 	"virtover/internal/units"
 )
 
@@ -166,16 +168,24 @@ func (f Fanout) ConsumeBatch(batch []Sample) {
 	}
 }
 
-// Filter forwards the samples Keep accepts to Next.
+// Filter forwards the samples Keep accepts to Next. The optional Kept and
+// Dropped counters (nil-safe no-ops when unset) record the filter's pass
+// ratio; monitor.Script wires them when observability is enabled.
 type Filter struct {
 	Keep func(Sample) bool
 	Next Sink
+
+	Kept    *obs.Counter
+	Dropped *obs.Counter
 }
 
 // Consume implements Sink.
 func (f Filter) Consume(s Sample) {
 	if f.Keep(s) {
+		f.Kept.Inc()
 		f.Next.Consume(s)
+	} else {
+		f.Dropped.Inc()
 	}
 }
 
@@ -184,13 +194,16 @@ func (f Filter) Consume(s Sample) {
 // that keeps whole PM groups (the monitored-PM filter does) hands each
 // group downstream in a single dispatch.
 func (f Filter) ConsumeBatch(batch []Sample) {
+	kept := 0
 	next, batched := f.Next.(BatchSink)
 	if !batched {
 		for i := range batch {
 			if f.Keep(batch[i]) {
+				kept++
 				f.Next.Consume(batch[i])
 			}
 		}
+		f.countBatch(kept, len(batch))
 		return
 	}
 	start := -1
@@ -202,13 +215,22 @@ func (f Filter) ConsumeBatch(batch []Sample) {
 			continue
 		}
 		if start >= 0 {
+			kept += i - start
 			next.ConsumeBatch(batch[start:i])
 			start = -1
 		}
 	}
 	if start >= 0 {
+		kept += len(batch) - start
 		next.ConsumeBatch(batch[start:])
 	}
+	f.countBatch(kept, len(batch))
+}
+
+// countBatch records one batch's keep/drop split (no-op with nil counters).
+func (f Filter) countBatch(kept, total int) {
+	f.Kept.Add(uint64(kept))
+	f.Dropped.Add(uint64(total - kept))
 }
 
 // Decimator forwards every Nth simulation step (all of that step's samples)
@@ -223,6 +245,16 @@ type Decimator struct {
 	curTime float64
 	started bool
 	keep    bool
+
+	kept    *obs.Counter // steps forwarded
+	dropped *obs.Counter // steps decimated away
+}
+
+// Instrument attaches keep/drop step counters (nil-safe): every step
+// decision increments exactly one of them, so kept+dropped equals the
+// steps observed and dropped/(kept+dropped) is the decimation ratio.
+func (d *Decimator) Instrument(kept, dropped *obs.Counter) {
+	d.kept, d.dropped = kept, dropped
 }
 
 // Decimate builds a Decimator; every < 1 is treated as 1 (forward all).
@@ -261,6 +293,11 @@ func (d *Decimator) observeStep(t float64) {
 		d.curTime = t
 		d.step++
 		d.keep = d.step%d.every == 0
+		if d.keep {
+			d.kept.Inc()
+		} else {
+			d.dropped.Inc()
+		}
 	}
 }
 
@@ -293,6 +330,27 @@ type AsyncFanout struct {
 	free  chan *asyncBatch
 	once  sync.Once
 	one   [1]Sample // scratch for scalar Consume
+
+	batches    *obs.Counter // batches enqueued (per fanout, not per worker)
+	queueDepth *obs.Gauge   // deepest worker queue after the last enqueue
+	poolMisses *obs.Counter // enqueues that had to allocate a fresh buffer
+	sinkErrors *obs.Gauge   // errors surfaced by the wrapped sinks (set by Err)
+}
+
+// AsyncMetrics bundles the optional AsyncFanout instruments; any field may
+// be nil (a no-op).
+type AsyncMetrics struct {
+	Batches    *obs.Counter
+	QueueDepth *obs.Gauge
+	PoolMisses *obs.Counter
+	SinkErrors *obs.Gauge
+}
+
+// Instrument attaches the fanout's instruments. Call before the first
+// Consume; the fields are read by the enqueue path without synchronization.
+func (a *AsyncFanout) Instrument(m AsyncMetrics) {
+	a.batches, a.queueDepth, a.poolMisses, a.sinkErrors =
+		m.Batches, m.QueueDepth, m.PoolMisses, m.SinkErrors
 }
 
 // NewAsyncFanout starts one worker per sink with the given channel buffer
@@ -343,11 +401,22 @@ func (a *AsyncFanout) send(samples []Sample) {
 	case ab = <-a.free:
 	default:
 		ab = &asyncBatch{}
+		a.poolMisses.Inc()
 	}
 	ab.buf = append(ab.buf[:0], samples...)
 	ab.refs.Store(int32(len(a.chans)))
 	for _, ch := range a.chans {
 		ch <- ab
+	}
+	a.batches.Inc()
+	if a.queueDepth != nil {
+		depth := 0
+		for _, ch := range a.chans {
+			if n := len(ch); n > depth {
+				depth = n
+			}
+		}
+		a.queueDepth.Set(int64(depth))
 	}
 }
 
@@ -377,19 +446,24 @@ func (a *AsyncFanout) Close() {
 	})
 }
 
-// Err surfaces the first error recorded by a wrapped sink, in sink order,
+// Err surfaces the errors recorded by the wrapped sinks, in sink order,
 // by probing each for an `Err() error` method (the pipeline's convention
-// for failable sinks, e.g. trace.CSVSink). Call it after Close: before the
-// drain, sinks are still being written by their workers.
+// for failable sinks, e.g. trace.CSVSink) and joining every non-nil result
+// with errors.Join — earlier versions returned only the first and silently
+// dropped the rest. The SinkErrors gauge, when instrumented, is set to the
+// number of failing sinks (idempotent across repeated calls). Call after
+// Close: before the drain, sinks are still being written by their workers.
 func (a *AsyncFanout) Err() error {
+	var errs []error
 	for _, s := range a.sinks {
 		if f, ok := s.(interface{ Err() error }); ok {
 			if err := f.Err(); err != nil {
-				return err
+				errs = append(errs, err)
 			}
 		}
 	}
-	return nil
+	a.sinkErrors.Set(int64(len(errs)))
+	return errors.Join(errs...)
 }
 
 // Counter counts samples per kind; useful in tests and sanity checks.

@@ -31,6 +31,10 @@ type LMSOptions struct {
 	// lexicographic minimum of (objective, trial index) — the same
 	// contract the experiment harness's runParallel gives campaigns.
 	Workers int
+	// Metrics, when non-nil, counts trials / degenerate subsets / abandoned
+	// candidates / incumbent updates. Purely observational: the fitted
+	// model is bit-identical with or without it.
+	Metrics *LMSMetrics
 }
 
 // LMS fits y ≈ X·beta by least median of squares (Rousseeuw 1984), the
@@ -80,7 +84,7 @@ func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, er
 	}
 	var best lmsCandidate
 	if workers <= 1 {
-		best = newLMSKernel(x, ys).search(subsets, 0, trials, nil)
+		best = newLMSKernel(x, ys).search(subsets, 0, trials, nil, opt.Metrics)
 	} else {
 		shared := newLMSIncumbent()
 		cands := make([]lmsCandidate, workers)
@@ -90,7 +94,7 @@ func LMS(xs [][]float64, ys []float64, intercept bool, opt LMSOptions) (*Fit, er
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				cands[w] = newLMSKernel(x, ys).search(subsets, lo, hi, shared)
+				cands[w] = newLMSKernel(x, ys).search(subsets, lo, hi, shared, opt.Metrics)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -194,11 +198,13 @@ func (s *lmsIncumbent) publish(obj float64) {
 // search scores trials [lo,hi) against the materialized subset stream and
 // returns the best candidate under the (objective, trial) order. shared,
 // when non-nil, tightens the abandon threshold with other workers'
-// published objectives. It allocates nothing.
-func (k *lmsKernel) search(subsets []int, lo, hi int, shared *lmsIncumbent) lmsCandidate {
+// published objectives. It allocates nothing; metrics counts accumulate in
+// plain locals and flush once on return, so the trial loop pays no atomics.
+func (k *lmsKernel) search(subsets []int, lo, hi int, shared *lmsIncumbent, m *LMSMetrics) lmsCandidate {
 	n, p := k.x.Rows, k.x.Cols
 	bestObj := math.Inf(1)
 	bestTrial := -1
+	var nDegenerate, nAbandoned, nUpdates uint64
 	// More than n/2 squared residuals above the incumbent put the median
 	// strictly above it (for both the odd and the averaged even case), so
 	// the candidate cannot win or tie.
@@ -210,6 +216,7 @@ func (k *lmsKernel) search(subsets []int, lo, hi int, shared *lmsIncumbent) lmsC
 			k.rhs[i] = k.ys[r]
 		}
 		if solveLinearInPlace(k.sub, k.rhs, k.beta) >= 0 {
+			nDegenerate++
 			continue // degenerate subset; skip
 		}
 		threshold := bestObj
@@ -238,18 +245,21 @@ func (k *lmsKernel) search(subsets []int, lo, hi int, shared *lmsIncumbent) lmsC
 			}
 		}
 		if abandoned {
+			nAbandoned++
 			continue
 		}
 		obj := MedianInPlace(k.res2)
 		if obj < bestObj {
 			bestObj = obj
 			bestTrial = t
+			nUpdates++
 			k.bestBeta = append(k.bestBeta[:0], k.beta...)
 			if shared != nil {
 				shared.publish(obj)
 			}
 		}
 	}
+	m.add(uint64(hi-lo), nDegenerate, nAbandoned, nUpdates)
 	return lmsCandidate{obj: bestObj, trial: bestTrial, beta: k.bestBeta}
 }
 

@@ -122,7 +122,7 @@ func TestLMSSearchAllocFree(t *testing.T) {
 	}
 	k := newLMSKernel(x, ys)
 	if got := testing.AllocsPerRun(20, func() {
-		if c := k.search(subsets, 0, trials, nil); c.trial < 0 {
+		if c := k.search(subsets, 0, trials, nil, nil); c.trial < 0 {
 			t.Fatal("search found no candidate")
 		}
 	}); got != 0 {

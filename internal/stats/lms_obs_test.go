@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"virtover/internal/obs"
+)
+
+// TestLMSMetricsObservational: attaching LMSMetrics must not perturb the
+// fit — same data, same seed, with and without metrics, bit-identical
+// coefficients — while the counters stay internally consistent.
+func TestLMSMetricsObservational(t *testing.T) {
+	xs, ys := lmsFixture(120)
+	const trials = 200
+	base, err := LMS(xs, ys, true, LMSOptions{Subsamples: trials, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		m := NewLMSMetrics(reg)
+		f, err := LMS(xs, ys, true, LMSOptions{Subsamples: trials, Seed: 5, Workers: workers, Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base.Coef {
+			if math.Float64bits(f.Coef[j]) != math.Float64bits(base.Coef[j]) {
+				t.Errorf("workers=%d: coef[%d] = %x, want %x (metrics changed the fit)",
+					workers, j, f.Coef[j], base.Coef[j])
+			}
+		}
+		if got := m.Trials.Value(); got != trials {
+			t.Errorf("workers=%d: Trials = %d, want %d", workers, got, trials)
+		}
+		if m.IncumbentUpdates.Value() == 0 {
+			t.Errorf("workers=%d: IncumbentUpdates = 0, want >= 1", workers)
+		}
+		if sum := m.Degenerate.Value() + m.Abandoned.Value(); sum > trials {
+			t.Errorf("workers=%d: degenerate+abandoned = %d, exceeds %d trials", workers, sum, trials)
+		}
+	}
+}
+
+// TestNewLMSMetricsNilRegistry: a nil registry must yield nil metrics, and
+// a nil *LMSMetrics must be safe to use in a search.
+func TestNewLMSMetricsNilRegistry(t *testing.T) {
+	if m := NewLMSMetrics(nil); m != nil {
+		t.Fatalf("NewLMSMetrics(nil) = %v, want nil", m)
+	}
+	xs, ys := lmsFixture(40)
+	if _, err := LMS(xs, ys, true, LMSOptions{Subsamples: 50, Seed: 2, Metrics: nil}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import "virtover/internal/obs"
+
+// LMSMetrics counts LMS search activity: trials examined, degenerate
+// elemental subsets skipped, candidates early-abandoned against the
+// incumbent objective, and incumbent improvements. Attach one via
+// LMSOptions.Metrics; a nil *LMSMetrics (the default) is a no-op.
+//
+// Metrics are observational only: each scorer accumulates plain local
+// counts during its trial loop and flushes them once at the end, so the
+// search hot path gains no atomic operations and the fitted model is
+// bit-identical with or without metrics attached.
+type LMSMetrics struct {
+	Trials           *obs.Counter
+	Degenerate       *obs.Counter
+	Abandoned        *obs.Counter
+	IncumbentUpdates *obs.Counter
+}
+
+// NewLMSMetrics registers the LMS counters on reg. A nil registry yields a
+// nil *LMSMetrics, which every consumer treats as disabled.
+func NewLMSMetrics(reg *obs.Registry) *LMSMetrics {
+	if !reg.Enabled() {
+		return nil
+	}
+	return &LMSMetrics{
+		Trials:           reg.Counter("lms_trials_total", "elemental subsets examined by the LMS search"),
+		Degenerate:       reg.Counter("lms_degenerate_subsets_total", "elemental subsets skipped as singular"),
+		Abandoned:        reg.Counter("lms_abandoned_candidates_total", "candidates early-abandoned against the incumbent objective"),
+		IncumbentUpdates: reg.Counter("lms_incumbent_updates_total", "times a candidate improved the best objective"),
+	}
+}
+
+// add flushes one scorer's locally accumulated counts.
+func (m *LMSMetrics) add(trials, degenerate, abandoned, updates uint64) {
+	if m == nil {
+		return
+	}
+	m.Trials.Add(trials)
+	m.Degenerate.Add(degenerate)
+	m.Abandoned.Add(abandoned)
+	m.IncumbentUpdates.Add(updates)
+}

@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders header plus rows as an aligned text table: the first
+// column is left-aligned (names), every other column right-aligned
+// (values), columns separated by two spaces. Rows shorter than the header
+// pad with empty cells; longer rows extend the table. An empty header and
+// no rows render as an empty string.
+func Table(header []string, rows [][]string) string {
+	cols := len(header)
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(header)
+	for _, r := range rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		var row strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&row, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&row, "%*s", widths[i], cell)
+			}
+		}
+		// Trim the padding a left-aligned sole column would leave.
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(header) > 0 {
+		writeRow(header)
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(rule)
+	}
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,6 +1,7 @@
 package xen
 
 import (
+	"virtover/internal/obs"
 	"virtover/internal/sampling"
 	"virtover/internal/simrand"
 	"virtover/internal/units"
@@ -28,6 +29,46 @@ type Engine struct {
 	sinks      []sampling.Sink
 	bsinks     []sampling.BatchSink
 	sc         scratch
+	obs        engineMetrics
+}
+
+// engineMetrics holds the engine's self-observability instruments. All
+// fields are nil until Instrument is called, and every instrument method is
+// a no-op on nil, so the uninstrumented hot path pays only predictable nil
+// checks — no allocations, no clock reads (the step timer is gated on
+// reg.Enabled()).
+type engineMetrics struct {
+	reg           *obs.Registry // clock source; nil means disabled
+	steps         *obs.Counter
+	stepNanos     *obs.Histogram
+	batchSamples  *obs.Histogram
+	dispatchNanos *obs.Histogram
+	saturated     *obs.Counter
+	migStarted    *obs.Counter
+	migCompleted  *obs.Counter
+	migActive     *obs.Gauge
+}
+
+// Instrument registers the engine's metrics in reg and turns on per-step
+// self-profiling: step count and wall time, emitted batch sizes, per-sink
+// dispatch latency, credit-scheduler saturation events and live-migration
+// progress. A nil registry leaves the engine uninstrumented (the default).
+// Multiple engines may share one registry; their series accumulate.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.obs = engineMetrics{
+		reg:           reg,
+		steps:         reg.Counter("engine_steps_total", "simulation steps run"),
+		stepNanos:     reg.Histogram("engine_step_nanos", "wall time per engine step"),
+		batchSamples:  reg.Histogram("engine_batch_samples", "samples emitted per step batch"),
+		dispatchNanos: reg.Histogram("engine_sink_dispatch_nanos", "wall time per sink batch dispatch"),
+		saturated:     reg.Counter("engine_saturated_pm_steps_total", "PM-steps resolved under CPU saturation (water-fill)"),
+		migStarted:    reg.Counter("engine_migrations_started_total", "live migrations begun"),
+		migCompleted:  reg.Counter("engine_migrations_completed_total", "live migrations completed"),
+		migActive:     reg.Gauge("engine_migrations_active", "in-flight live migrations"),
+	}
 }
 
 // scratch holds the engine's per-step working storage, reused across steps.
@@ -131,6 +172,10 @@ type vmFlows struct {
 }
 
 func (e *Engine) step() {
+	var t0 int64
+	if e.obs.reg.Enabled() {
+		t0 = e.obs.reg.Now()
+	}
 	t := e.now
 	cl := e.Cluster
 	e.sc.ensure(cl.NumVMIDs(), len(cl.PMs))
@@ -194,6 +239,10 @@ func (e *Engine) step() {
 	if len(e.bsinks) > 0 {
 		e.emit()
 	}
+	e.obs.steps.Inc()
+	if e.obs.reg.Enabled() {
+		e.obs.stepNanos.Observe(e.obs.reg.Now() - t0)
+	}
 }
 
 // emit assembles the step's ground-truth readings into the reusable batch
@@ -216,6 +265,15 @@ func (e *Engine) emit() {
 			Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: pm.pmUtil})
 	}
 	e.sc.batch = b
+	e.obs.batchSamples.Observe(int64(len(b)))
+	if e.obs.reg.Enabled() {
+		for _, k := range e.bsinks {
+			d0 := e.obs.reg.Now()
+			k.ConsumeBatch(b)
+			e.obs.dispatchNanos.Observe(e.obs.reg.Now() - d0)
+		}
+		return
+	}
 	for _, k := range e.bsinks {
 		k.ConsumeBatch(b)
 	}
@@ -364,6 +422,7 @@ func (e *Engine) stepPM(pm *PM) {
 		dom0CPU = dom0Demand
 		hypCPU = hypDemand
 	} else {
+		e.obs.saturated.Inc()
 		dom0CPU = dom0Demand
 		if dom0CPU > c.Dom0SatCPU {
 			dom0CPU = c.Dom0SatCPU

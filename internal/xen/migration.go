@@ -50,6 +50,8 @@ func (e *Engine) BeginLiveMigration(name string, dst *PM) error {
 	}
 	kb := vm.MemCapMB * 8000 * factor // 1 MB = 8000 Kb
 	e.migrations = append(e.migrations, &liveMigration{vm: vm, dst: dst, remainingKb: kb})
+	e.obs.migStarted.Inc()
+	e.obs.migActive.Set(int64(len(e.migrations)))
 	return nil
 }
 
@@ -107,11 +109,13 @@ func (e *Engine) stepMigrations() bool {
 		if m.remainingKb <= 0 {
 			// Stop-and-copy: switch execution to the destination.
 			_ = e.Cluster.MigrateVM(m.vm.Name, m.dst)
+			e.obs.migCompleted.Inc()
 		} else {
 			keep = append(keep, m)
 		}
 	}
 	e.migrations = keep
+	e.obs.migActive.Set(int64(len(e.migrations)))
 	return true
 }
 

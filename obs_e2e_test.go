@@ -1,0 +1,149 @@
+package virtover_test
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"virtover/internal/monitor"
+	"virtover/internal/obs"
+)
+
+// TestObservedCampaignStepAllocs is the enabled-path allocation gate: with
+// a live registry instrumenting the engine and the whole sample pipeline,
+// a metered campaign step on the paper-sized cluster must stay at or below
+// 2 allocations per simulated second in steady state. The instruments are
+// preallocated atomics, so the observed path should in fact stay at 0;
+// the cap of 2 leaves room for runtime-internal noise only.
+func TestObservedCampaignStepAllocs(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := benchCampaignCluster()
+	e.Instrument(reg)
+	agg := monitor.NewStreamAggregator()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7, Obs: reg}
+	detach, err := script.Attach(e, nil, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	e.Advance(10)
+	if allocs := testing.AllocsPerRun(100, func() { e.Advance(1) }); allocs > 2 {
+		t.Fatalf("observed campaign step allocates %.1f times, want <= 2", allocs)
+	}
+}
+
+// BenchmarkEngineCampaignStepObserved is BenchmarkEngineCampaignStep with
+// observability enabled: the acceptance bound is <= 15% overhead over the
+// disabled variant (compare ns/op in BENCH_stats.json).
+func BenchmarkEngineCampaignStepObserved(b *testing.B) {
+	reg := obs.NewRegistry()
+	e := benchCampaignCluster()
+	e.Instrument(reg)
+	agg := monitor.NewStreamAggregator()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7, Obs: reg}
+	detach, err := script.Attach(e, nil, agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer detach()
+	e.Advance(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
+
+// TestDebugServerEndToEnd drives an instrumented campaign (the same wiring
+// cmd/xensim uses behind -debug-addr), scrapes /metrics over HTTP, and
+// asserts the engine-step, batch-size and decimate-drop series are
+// exposed with the values the run implies. It also checks the pprof
+// index is mounted.
+func TestDebugServerEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := benchCampaignCluster()
+	e.Instrument(reg)
+	agg := monitor.NewStreamAggregator()
+	// IntervalSteps 2 so the decimator drops every other step and the
+	// drop series is provably nonzero.
+	script := monitor.Script{IntervalSteps: 2, Noise: monitor.DefaultNoise(), Seed: 7, Obs: reg}
+	detach, err := script.Attach(e, nil, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detach()
+	e.Advance(20)
+
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		"engine_steps_total 20",
+		"pipeline_decimate_kept_steps_total 10",
+		"pipeline_decimate_dropped_steps_total 10",
+		"# TYPE engine_batch_samples histogram",
+		"# TYPE engine_step_nanos histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The batch-size histogram recorded one batch per step.
+	if ok, _ := regexp.MatchString(`engine_batch_samples_count 20\b`, body); !ok {
+		t.Errorf("/metrics: engine_batch_samples_count != 20:\n%s", grepLines(body, "engine_batch_samples"))
+	}
+
+	if status := httpStatus(t, srv.URL()+"/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d, want 200", status)
+	}
+	if status := httpStatus(t, srv.URL()+"/debug/vars"); status != http.StatusOK {
+		t.Errorf("/debug/vars status = %d, want 200", status)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func httpStatus(t *testing.T, url string) int {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// grepLines returns body's lines containing substr, for failure messages.
+func grepLines(body, substr string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
