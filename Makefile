@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race determinism pipeline obs bench
+.PHONY: check vet ctxvet build test race determinism pipeline obs serve bench
 
 # The full pre-commit gate: static checks, build, the race-enabled test
 # suite, the multi-GOMAXPROCS fitting-kernel determinism check, the
-# sample-pipeline equivalence gate, and the observability-layer gate.
-check: vet build race determinism pipeline obs
+# sample-pipeline equivalence gate, the observability-layer gate, and the
+# estimation-service gate.
+check: vet ctxvet build race determinism pipeline obs serve
 
 vet:
 	$(GO) vet ./...
+
+# Context convention: new exported Run*/Fit* entry points in internal/exps
+# and internal/serve must take context.Context first (legacy wrappers are
+# allowlisted in the script).
+ctxvet:
+	./scripts/ctxvet.sh
 
 build:
 	$(GO) build ./...
@@ -37,6 +44,13 @@ pipeline:
 obs:
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -run 'TestObservedCampaignStepAllocs|TestMeteredCampaignStepAllocs|TestDebugServerEndToEnd' .
+
+# Estimation-service gate: the concurrent e2e suite (saturation/429,
+# cache, drain, served-fit determinism) and the cancellation-bound tests,
+# all under the race detector.
+serve:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run 'TestRunMicroContextCancelsWithinOneStep|TestFitModelContextCancels|TestRunParallelFailFast|TestRunParallelLowestIndexError' ./internal/exps/
 
 # Hot-path benchmarks (engine step + sample pipeline + fitting/selection
 # kernels) with allocation reporting; the parsed results land in

@@ -1,0 +1,97 @@
+// Command servd runs the concurrent overhead-estimation service: the
+// library's model-fitting and prediction pipeline behind an HTTP/JSON API
+// with a bounded worker pool, a fitted-model LRU cache, per-request
+// deadlines and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	servd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	      [-timeout D] [-debug-addr HOST:PORT]
+//
+// Endpoints:
+//
+//	POST /v1/fit          train (or recall) a model; returns model JSON
+//	POST /v1/estimate     fit-or-recall a model and predict PM utilization
+//	POST /v1/scenario/run simulate a scenario envelope, return averages
+//	GET  /v1/models       list cached models
+//	GET  /metrics         service metrics (Prometheus text)
+//
+// See DESIGN.md §11 for the architecture and README.md for a curl
+// quick-start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"virtover/internal/obs"
+	"virtover/internal/obs/cli"
+	"virtover/internal/serve"
+)
+
+var app = cli.New("servd")
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "service listen address")
+		workers = flag.Int("workers", 4, "concurrent compute workers")
+		queue   = flag.Int("queue", 16, "requests that may wait beyond the executing ones; full queue answers 429")
+		cache   = flag.Int("cache", 32, "fitted models kept in the LRU cache")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute deadline")
+	)
+	app.DebugAddrFlag()
+	app.Parse()
+
+	// The service always carries a live registry: its own /metrics endpoint
+	// exposes it even when the pprof debug server (-debug-addr) is off.
+	reg, stopDebug := app.StartDebug()
+	defer stopDebug()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	svc := serve.New(serve.Options{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		Obs:            reg,
+		Log:            app.Log,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	app.Log.Info("estimation service listening", "addr", *addr,
+		"workers", *workers, "queue", *queue, "cache", *cache)
+
+	select {
+	case err := <-errc:
+		app.Check(err) // immediate listen failure
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let admitted
+	// requests finish before stopping the worker pool.
+	app.Log.Info("draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		app.Log.Error("http shutdown", "err", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		app.Log.Error("pool shutdown", "err", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		app.Check(err)
+	}
+	app.Log.Info("stopped")
+}

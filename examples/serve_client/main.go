@@ -1,0 +1,117 @@
+// Serve client: talk to the overhead-estimation service (cmd/servd) over
+// HTTP. Start the service, then run this program:
+//
+//	go run ./cmd/servd -addr localhost:8080 &
+//	go run ./examples/serve_client -addr localhost:8080
+//
+// It fits a model (first call trains, repeats hit the LRU cache), asks for
+// a PM-utilization estimate for two co-located guests, runs a scenario
+// envelope, and lists the cached models.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "localhost:8080", "service address")
+	flag.Parse()
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// 1. Fit a model. The response is the same JSON cmd/fitmodel -out
+	//    writes; the X-Cache header tells trained from cached.
+	fitReq := `{"version": 1, "seed": 42, "samples": 20, "method": "ols"}`
+	resp := post(client, base+"/v1/fit", fitReq)
+	fmt.Printf("fit: %d bytes of model JSON (X-Cache: %s)\n",
+		len(resp.body), resp.header.Get("X-Cache"))
+
+	// 2. Estimate the PM utilization behind two co-located guests.
+	estReq := `{
+	  "model": {"seed": 42, "samples": 20, "method": "ols"},
+	  "guests": [
+	    {"cpu": 50, "mem": 128, "io": 20, "bw": 400},
+	    {"cpu": 30, "mem": 256, "io": 5, "bw": 100}
+	  ]
+	}`
+	resp = post(client, base+"/v1/estimate", estReq)
+	var est struct {
+		Dom0CPU  float64 `json:"dom0CPU"`
+		HypCPU   float64 `json:"hypCPU"`
+		CacheHit bool    `json:"cacheHit"`
+		PM       struct {
+			CPU, Mem, IO, BW float64
+		} `json:"pm"`
+	}
+	must(json.Unmarshal(resp.body, &est))
+	fmt.Printf("estimate (cacheHit=%v):\n", est.CacheHit)
+	fmt.Printf("  Dom0 CPU %6.2f%%  hypervisor CPU %6.2f%%\n", est.Dom0CPU, est.HypCPU)
+	fmt.Printf("  PM: cpu %.1f%%  mem %.0f MB  io %.1f blk/s  bw %.0f Kb/s\n",
+		est.PM.CPU, est.PM.Mem, est.PM.IO, est.PM.BW)
+
+	// 3. Run a scenario envelope — the same schema as
+	//    examples/scenarios/*.json and cmd/xensim.
+	scnReq := `{
+	  "version": 1, "seed": 7, "duration": 30,
+	  "pms": [{"name": "pm1"}],
+	  "vms": [
+	    {"name": "web", "pm": "pm1",
+	     "workload": {"kind": "mix", "cpu": 40, "ioBlocks": 10, "bwMbps": 0.5}}
+	  ]
+	}`
+	resp = post(client, base+"/v1/scenario/run", scnReq)
+	var run struct {
+		Samples int `json:"samples"`
+		Average []struct {
+			PM   string `json:"pm"`
+			Host struct {
+				CPU float64 `json:"cpu"`
+			} `json:"host"`
+		} `json:"average"`
+	}
+	must(json.Unmarshal(resp.body, &run))
+	fmt.Printf("scenario: %d samples", run.Samples)
+	for _, m := range run.Average {
+		fmt.Printf("  %s host CPU %.1f%%", m.PM, m.Host.CPU)
+	}
+	fmt.Println()
+
+	// 4. List the cached models.
+	r, err := client.Get(base + "/v1/models")
+	must(err)
+	body, err := io.ReadAll(r.Body)
+	must(err)
+	must(r.Body.Close())
+	fmt.Printf("models: %s", body)
+}
+
+type result struct {
+	header http.Header
+	body   []byte
+}
+
+func post(client *http.Client, url, body string) result {
+	r, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	must(err)
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	must(err)
+	if r.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s: %s", url, r.Status, data)
+	}
+	return result{header: r.Header, body: data}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -97,6 +97,9 @@ func fitConfigRow(samples []ConfigSample, ys func(ConfigSample) float64, opt Fit
 // single-VM samples (of any configuration) and o from multi-VM residuals,
 // exactly as Train does for the base model.
 func TrainConfig(single, multi []ConfigSample, opt FitOptions) (*ConfigModel, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if len(single) == 0 {
 		return nil, errors.New("core: TrainConfig: no single-VM samples")
 	}

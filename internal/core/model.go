@@ -246,6 +246,9 @@ func fitRows(samples []Sample, ys func(Sample) float64, opt FitOptions) (Row, er
 // TrainSingle fits the single-VM model (Eq. 1-2) from N=1 samples.
 // Samples with N != 1 are rejected.
 func TrainSingle(samples []Sample, opt FitOptions) (*Model, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if len(samples) == 0 {
 		return nil, errors.New("core: TrainSingle: no samples")
 	}

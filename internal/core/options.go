@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadOptions is wrapped by every FitOptions validation failure, so
+// callers (and the estimation service, which validates requests before
+// queueing them) can distinguish "your options are malformed" from "the
+// fit itself failed" with errors.Is.
+var ErrBadOptions = errors.New("invalid fit options")
+
+// Validate checks the options for internal consistency. It is called by
+// every training entry point (Train, TrainSingle, TrainConfig and the
+// experiment-harness FitModel wrappers), so a malformed option set fails
+// fast with a descriptive error instead of surfacing as a confusing
+// regression failure deep in the fitting kernel. All returned errors wrap
+// ErrBadOptions.
+func (o FitOptions) Validate() error {
+	if o.Method != MethodOLS && o.Method != MethodLMS {
+		return fmt.Errorf("core: %w: unknown method %d (have MethodOLS=0, MethodLMS=1)", ErrBadOptions, int(o.Method))
+	}
+	if o.Ridge < 0 {
+		return fmt.Errorf("core: %w: ridge penalty must be >= 0, got %g", ErrBadOptions, o.Ridge)
+	}
+	if o.Ridge > 0 && o.Method != MethodOLS {
+		return fmt.Errorf("core: %w: ridge applies to MethodOLS only", ErrBadOptions)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: %w: workers must be >= 0, got %d", ErrBadOptions, o.Workers)
+	}
+	if o.LMS.Subsamples < 0 {
+		return fmt.Errorf("core: %w: LMS subsamples must be >= 0, got %d", ErrBadOptions, o.LMS.Subsamples)
+	}
+	if o.LMS.Workers < 0 {
+		return fmt.Errorf("core: %w: LMS workers must be >= 0, got %d", ErrBadOptions, o.LMS.Workers)
+	}
+	return nil
+}

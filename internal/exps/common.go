@@ -15,6 +15,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -110,8 +111,17 @@ type MicroScenario struct {
 
 // RunMicro executes the scenario and returns the averaged measurement (what
 // the paper reports) plus the raw per-sample series (used for model
-// training).
+// training). It is RunMicroContext under context.Background().
 func RunMicro(sc MicroScenario) (monitor.Measurement, [][]monitor.Measurement, error) {
+	return RunMicroContext(context.Background(), sc)
+}
+
+// RunMicroContext is RunMicro with cancellation: the campaign's engine
+// checks ctx before every step, so cancellation aborts the run within one
+// engine step and the error satisfies errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded). The measured series of a canceled run is
+// discarded.
+func RunMicroContext(ctx context.Context, sc MicroScenario) (monitor.Measurement, [][]monitor.Measurement, error) {
 	if sc.N <= 0 {
 		return monitor.Measurement{}, nil, fmt.Errorf("exps: scenario needs N >= 1, got %d", sc.N)
 	}
@@ -150,7 +160,7 @@ func RunMicro(sc MicroScenario) (monitor.Measurement, [][]monitor.Measurement, e
 	reg := observability(sc.Obs)
 	e.Instrument(reg)
 	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: noise, Seed: sc.Seed + 1000, Obs: reg}
-	series, err := script.Run(e, []*xen.PM{pm})
+	series, err := script.RunContext(ctx, e, []*xen.PM{pm})
 	if err != nil {
 		return monitor.Measurement{}, nil, err
 	}
@@ -182,6 +192,10 @@ func IsSaturatedRun(avg monitor.Measurement, calib xen.Calibration) bool {
 // CPU-saturation squeeze (see IsSaturatedRun) are excluded: the linear
 // model only describes the unsaturated regime.
 func TrainingCorpus(seed int64, samplesPerRun int) (single, multi []core.Sample, err error) {
+	return trainingCorpusCtx(context.Background(), seed, samplesPerRun)
+}
+
+func trainingCorpusCtx(ctx context.Context, seed int64, samplesPerRun int) (single, multi []core.Sample, err error) {
 	calib := xen.DefaultCalibration()
 	var scenarios []MicroScenario
 	for _, n := range []int{1, 2, 4} {
@@ -198,8 +212,8 @@ func TrainingCorpus(seed int64, samplesPerRun int) (single, multi []core.Sample,
 	// Campaigns are independent simulations: run them on all cores and
 	// flatten in scenario order so the corpus is deterministic.
 	perRun := make([][]core.Sample, len(scenarios))
-	err = runParallel(len(scenarios), func(i int) error {
-		avg, series, rerr := RunMicro(scenarios[i])
+	err = runParallelCtx(ctx, len(scenarios), func(jctx context.Context, i int) error {
+		avg, series, rerr := RunMicroContext(jctx, scenarios[i])
 		if rerr != nil {
 			return rerr
 		}
@@ -226,12 +240,25 @@ func TrainingCorpus(seed int64, samplesPerRun int) (single, multi []core.Sample,
 
 // FitModel builds the training corpus and fits the overhead model.
 // samplesPerRun <= 0 selects a fast default (30) that already yields tight
-// fits; the paper's 120 works too and is used by cmd/fitmodel.
+// fits; the paper's 120 works too and is used by cmd/fitmodel. It is
+// FitModelContext under context.Background().
 func FitModel(seed int64, samplesPerRun int, opt core.FitOptions) (*core.Model, error) {
+	return FitModelContext(context.Background(), seed, samplesPerRun, opt)
+}
+
+// FitModelContext is FitModel with cancellation: the corpus campaigns stop
+// dispatching when ctx is canceled, every in-flight campaign aborts within
+// one engine step, and the error is ctx.Err(). The fitted coefficients for
+// an uncanceled run are bit-identical to FitModel's for the same seed and
+// options.
+func FitModelContext(ctx context.Context, seed int64, samplesPerRun int, opt core.FitOptions) (*core.Model, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if samplesPerRun <= 0 {
 		samplesPerRun = 30
 	}
-	single, multi, err := TrainingCorpus(seed, samplesPerRun)
+	single, multi, err := trainingCorpusCtx(ctx, seed, samplesPerRun)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 
 	"virtover/internal/monitor"
@@ -22,6 +23,12 @@ import (
 //	(d) BW utilizations vs BW workload       (VM, Dom0, PM)
 //	(e) CPU utilizations vs BW workload      (VM, Dom0, hypervisor)
 func MicroFigure(n int, seed int64, samples int) ([]Figure, error) {
+	return MicroFigureContext(context.Background(), n, seed, samples)
+}
+
+// MicroFigureContext is MicroFigure with cancellation; each underlying
+// campaign aborts within one engine step of ctx cancel.
+func MicroFigureContext(ctx context.Context, n int, seed int64, samples int) ([]Figure, error) {
 	figNum := map[int]string{1: "2", 2: "3", 4: "4"}[n]
 	if figNum == "" {
 		figNum = fmt.Sprintf("2[N=%d]", n)
@@ -30,7 +37,7 @@ func MicroFigure(n int, seed int64, samples int) ([]Figure, error) {
 		levels := workload.Levels(kind)
 		ms := make([]monitor.Measurement, len(levels))
 		for i := range levels {
-			m, _, err := RunMicro(MicroScenario{
+			m, _, err := RunMicroContext(ctx, MicroScenario{
 				N: n, Kind: kind, LevelIdx: i, Samples: samples,
 				Seed: seed + int64(kind)*10000 + int64(i),
 			})
@@ -130,10 +137,15 @@ func MicroFigure(n int, seed int64, samples int) ([]Figure, error) {
 //	(a) BW utilizations (VM, Dom0, PM)
 //	(b) CPU utilizations (VM, Dom0, hypervisor)
 func Figure5(seed int64, samples int) ([]Figure, error) {
+	return Figure5Context(context.Background(), seed, samples)
+}
+
+// Figure5Context is Figure5 with cancellation.
+func Figure5Context(ctx context.Context, seed int64, samples int) ([]Figure, error) {
 	levels := workload.Levels(workload.BW)
 	ms := make([]monitor.Measurement, len(levels))
 	for i := range levels {
-		m, _, err := RunMicro(MicroScenario{
+		m, _, err := RunMicroContext(ctx, MicroScenario{
 			N: 2, Kind: workload.BW, LevelIdx: i, Samples: samples,
 			Seed: seed + int64(i), IntraPMTarget: true,
 		})

@@ -1,60 +1,103 @@
 package exps
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// runParallel executes jobs 0..n-1 on a bounded worker pool and returns
-// the error of the lowest-index failing job (all jobs still run to
-// completion) — wall-clock completion order varies across runs, job index
-// does not, so the reported error is deterministic. Each job owns its own
-// simulation engine and RNG streams, so campaigns are embarrassingly
-// parallel; callers preserve determinism by writing results into
-// index-addressed slots and flattening in index order afterwards.
-func runParallel(n int, job func(i int) error) error {
+// runParallelCtx executes jobs 0..n-1 on a bounded worker pool. Each job
+// receives a context derived from ctx; the derived context is canceled on
+// the first job failure, so long campaigns fail fast: already-running jobs
+// observe the cancellation at their next engine step and undispatched jobs
+// are never started. The returned error is deterministic:
+//
+//   - if the parent ctx is canceled (or its deadline expires), dispatching
+//     stops, running jobs drain, and the result is ctx.Err() — regardless
+//     of any secondary errors the cancellation provoked in flight;
+//   - otherwise the error of the lowest-index failing job is returned
+//     (wall-clock completion order varies across runs, job index does not).
+//
+// Each job owns its own simulation engine and RNG streams, so campaigns
+// are embarrassingly parallel; callers preserve determinism by writing
+// results into index-addressed slots and flattening in index order
+// afterwards.
+func runParallelCtx(ctx context.Context, n int, job func(ctx context.Context, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
 	var (
-		wg     sync.WaitGroup
 		mu     sync.Mutex
 		errIdx = -1
 		err1   error
 	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, err1 = i, err
+		}
+		mu.Unlock()
+		cancel() // fail fast: stop dispatch, abort in-flight engine loops
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if jctx.Err() != nil {
+				break
+			}
+			if err := job(jctx, i); err != nil {
+				record(i, err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return err1
+	}
+	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := job(i); err != nil {
-					mu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, err1 = i, err
-					}
-					mu.Unlock()
+				if jctx.Err() != nil {
+					continue // drain the channel without starting new work
+				}
+				if err := job(jctx, i); err != nil {
+					record(i, err)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-jctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return err1
+}
+
+// runParallel is runParallelCtx without cancellation: jobs run under
+// context.Background(), so only a job failure stops the campaign early.
+func runParallel(n int, job func(i int) error) error {
+	return runParallelCtx(context.Background(), n, func(_ context.Context, i int) error {
+		return job(i)
+	})
 }

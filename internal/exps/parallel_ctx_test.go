@@ -1,0 +1,110 @@
+package exps
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunParallelFailFast is the regression test for the old behavior of
+// dispatching every remaining job after a failure: job 0 fails immediately,
+// and the executed-job counter must show that the campaign stopped long
+// before the full grid ran. The other jobs sleep briefly so the dispatcher
+// cannot outrun the cancellation even on a fast machine.
+func TestRunParallelFailFast(t *testing.T) {
+	const n = 10000
+	sentinel := errors.New("job 0 exploded")
+	var ran int32
+	err := runParallel(n, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("fail-fast: %d of %d jobs executed after job 0 failed", got, n)
+	}
+}
+
+// Lowest-index contract survives the fail-fast redesign: when several
+// already-running jobs fail, the reported error is the lowest-index one.
+func TestRunParallelLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	start := make(chan struct{})
+	var started atomic.Int32
+	err := runParallel(2, func(i int) error {
+		// Both jobs run concurrently (2 jobs => 2 workers on any
+		// multi-core runner); make them rendezvous so the high index
+		// cannot win by finishing alone, then fail high first.
+		if started.Add(1) == 2 {
+			close(start)
+		}
+		select {
+		case <-start:
+		case <-time.After(2 * time.Second):
+			// Single worker: jobs run serially and never rendezvous; fall
+			// through so index 0 still fails first and wins.
+		}
+		if i == 1 {
+			return errHigh
+		}
+		time.Sleep(10 * time.Millisecond) // high error records first
+		return errLow
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("err = %v, want lowest-index error", err)
+	}
+}
+
+// External cancellation wins over secondary job errors: the result is
+// ctx.Err(), deterministically.
+func TestRunParallelCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	done := make(chan error, 1)
+	go func() {
+		done <- runParallelCtx(ctx, 1000, func(jctx context.Context, i int) error {
+			atomic.AddInt32(&ran, 1)
+			select {
+			case <-jctx.Done():
+				return jctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got >= 1000 {
+		t.Errorf("cancellation should stop dispatch, %d jobs ran", got)
+	}
+}
+
+// A pre-canceled context runs nothing at all.
+func TestRunParallelCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := runParallelCtx(ctx, 50, func(context.Context, int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d jobs ran under a pre-canceled context", ran)
+	}
+}

@@ -36,8 +36,11 @@ func TestRunParallelPropagatesError(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Errorf("err = %v, want sentinel", err)
 	}
-	if ran != 50 {
-		t.Errorf("all jobs should still run, got %d", ran)
+	// Jobs dispatched before the failure recorded may run; fail-fast
+	// guarantees (asserted deterministically in TestRunParallelFailFast)
+	// only that undispatched jobs are skipped after the error.
+	if n := atomic.LoadInt32(&ran); n < 1 || n > 50 {
+		t.Errorf("implausible executed-job count %d", n)
 	}
 }
 

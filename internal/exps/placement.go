@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 
 	"virtover/internal/cloudscale"
@@ -69,6 +70,13 @@ func (r ScenarioResult) MeanTotalTime() float64 { return stats.Mean(r.TotalTimes
 // returns one ScenarioResult per (scenario, policy), VOA first within each
 // scenario.
 func PlacementExperiment(model *core.Model, cfg PlacementConfig) ([]ScenarioResult, error) {
+	return PlacementExperimentContext(context.Background(), model, cfg)
+}
+
+// PlacementExperimentContext is PlacementExperiment with cancellation: the
+// (scenario, policy, repeat) grid stops dispatching on ctx cancel and
+// in-flight runs abort within one engine step.
+func PlacementExperimentContext(ctx context.Context, model *core.Model, cfg PlacementConfig) ([]ScenarioResult, error) {
 	if model == nil {
 		return nil, fmt.Errorf("exps: PlacementExperiment needs a model")
 	}
@@ -92,10 +100,10 @@ func PlacementExperiment(model *core.Model, cfg PlacementConfig) ([]ScenarioResu
 	}
 	type outcome struct{ thr, total float64 }
 	outs := make([]outcome, len(grid))
-	err := runParallel(len(grid), func(i int) error {
+	err := runParallelCtx(ctx, len(grid), func(jctx context.Context, i int) error {
 		c := grid[i]
 		seed := cfg.Seed + int64(c.scenario)*100000 + int64(c.rep)*37
-		thr, total, rerr := runPlacementOnce(model, cfg, c.scenario, policies[c.policyIdx], seed)
+		thr, total, rerr := runPlacementOnce(jctx, model, cfg, c.scenario, policies[c.policyIdx], seed)
 		if rerr != nil {
 			return rerr
 		}
@@ -127,7 +135,7 @@ type vmSpec struct {
 	kind string // "web", "db", "hog", "idle"
 }
 
-func runPlacementOnce(model *core.Model, cfg PlacementConfig, scenario int, policy cloudscale.Policy, seed int64) (throughput, totalTime float64, err error) {
+func runPlacementOnce(ctx context.Context, model *core.Model, cfg PlacementConfig, scenario int, policy cloudscale.Policy, seed int64) (throughput, totalTime float64, err error) {
 	specs := []vmSpec{{"vm1", "web"}, {"vm2", "db"}}
 	for i := 0; i < 3; i++ {
 		kind := "idle"
@@ -140,7 +148,7 @@ func runPlacementOnce(model *core.Model, cfg PlacementConfig, scenario int, poli
 	// CloudScale predicts each VM's demand from its recent utilization
 	// profile before placing it; we profile each VM kind on a dedicated PM.
 	predictor := cloudscale.NewPredictor()
-	if err := profileVMs(specs, cfg, predictor, seed); err != nil {
+	if err := profileVMs(ctx, specs, cfg, predictor, seed); err != nil {
 		return 0, 0, err
 	}
 	demands := make(map[string]units.Vector, len(specs))
@@ -189,14 +197,16 @@ func runPlacementOnce(model *core.Model, cfg PlacementConfig, scenario int, poli
 		}
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+7)
-	e.Advance(cfg.Duration)
+	if err := e.AdvanceContext(ctx, cfg.Duration); err != nil {
+		return 0, 0, err
+	}
 	st := app.Stats()
 	return st.MeanThroughput, st.TotalTime, nil
 }
 
 // profileVMs runs each VM kind alone and feeds the observed utilization to
 // the predictor (CloudScale's online demand characterization).
-func profileVMs(specs []vmSpec, cfg PlacementConfig, pred *cloudscale.Predictor, seed int64) error {
+func profileVMs(ctx context.Context, specs []vmSpec, cfg PlacementConfig, pred *cloudscale.Predictor, seed int64) error {
 	cl := xen.NewCluster()
 	// One PM per VM so profiles are contention-free.
 	var pmList []*xen.PM
@@ -227,7 +237,7 @@ func profileVMs(specs []vmSpec, cfg PlacementConfig, pred *cloudscale.Predictor,
 
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+3)
 	script := monitor.Script{IntervalSteps: 1, Samples: 20, Noise: monitor.DefaultNoise(), Seed: seed + 29}
-	series, err := script.Run(e, pmList)
+	series, err := script.RunContext(ctx, e, pmList)
 	if err != nil {
 		return err
 	}

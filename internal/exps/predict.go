@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,13 @@ func DefaultClientCounts() []int { return []int{300, 400, 500, 600, 700} }
 // predicts the PM utilizations from the measured guest utilizations, and
 // the relative errors |p-m|/m against the measured PM values are recorded.
 func PredictionExperiment(model *core.Model, sets int, clients []int, duration int, seed int64) ([]PredictionResult, error) {
+	return PredictionExperimentContext(context.Background(), model, sets, clients, duration, seed)
+}
+
+// PredictionExperimentContext is PredictionExperiment with cancellation:
+// the per-client-count deployments stop dispatching on ctx cancel and
+// in-flight runs abort within one engine step.
+func PredictionExperimentContext(ctx context.Context, model *core.Model, sets int, clients []int, duration int, seed int64) ([]PredictionResult, error) {
 	if model == nil {
 		return nil, fmt.Errorf("exps: PredictionExperiment needs a model")
 	}
@@ -47,8 +55,8 @@ func PredictionExperiment(model *core.Model, sets int, clients []int, duration i
 	}
 	// One independent deployment per client count: run them in parallel.
 	out := make([]PredictionResult, len(clients))
-	err := runParallel(len(clients), func(ci int) error {
-		res, rerr := runPredictionOnce(model, sets, clients[ci], duration, seed+int64(ci)*7919)
+	err := runParallelCtx(ctx, len(clients), func(jctx context.Context, ci int) error {
+		res, rerr := runPredictionOnce(jctx, model, sets, clients[ci], duration, seed+int64(ci)*7919)
 		if rerr != nil {
 			return rerr
 		}
@@ -61,7 +69,7 @@ func PredictionExperiment(model *core.Model, sets int, clients []int, duration i
 	return out, nil
 }
 
-func runPredictionOnce(model *core.Model, sets, clientCount, duration int, seed int64) (PredictionResult, error) {
+func runPredictionOnce(ctx context.Context, model *core.Model, sets, clientCount, duration int, seed int64) (PredictionResult, error) {
 	cl := xen.NewCluster()
 	pm1 := cl.AddPM("pm1")
 	pm2 := cl.AddPM("pm2")
@@ -85,7 +93,7 @@ func runPredictionOnce(model *core.Model, sets, clientCount, duration int, seed 
 	e.Advance(5) // warm-up: let the closed loop settle
 
 	script := monitor.Script{IntervalSteps: 1, Samples: duration, Noise: monitor.DefaultNoise(), Seed: seed + 555}
-	series, err := script.Run(e, []*xen.PM{pm1, pm2})
+	series, err := script.RunContext(ctx, e, []*xen.PM{pm1, pm2})
 	if err != nil {
 		return PredictionResult{}, err
 	}

@@ -1,6 +1,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,8 +53,17 @@ func PaperReportConfig(seed int64) ReportConfig {
 
 // FullReport runs the complete reproduction — every table, every figure,
 // the fitted model, and (optionally) the extension studies — and renders a
-// markdown report.
+// markdown report. It is FullReportContext under context.Background().
 func FullReport(cfg ReportConfig) (string, error) {
+	return FullReportContext(context.Background(), cfg)
+}
+
+// FullReportContext is FullReport with cancellation. The heavyweight
+// sections (micro-benchmark figures, corpus build + model fit, prediction
+// and placement campaigns) abort within one engine step of ctx cancel; the
+// remaining extension sections check ctx at their boundaries. A canceled
+// report returns "" and ctx.Err().
+func FullReportContext(ctx context.Context, cfg ReportConfig) (string, error) {
 	if cfg.SamplesPerRun <= 0 {
 		cfg.SamplesPerRun = 15
 	}
@@ -63,10 +73,11 @@ func FullReport(cfg ReportConfig) (string, error) {
 	root := cfg.Tracer.Start("report")
 	defer root.End()
 	var sp *obs.Span
-	section := func(name string) {
+	section := func(name string) error {
 		sp.End()
 		sp = root.Start(name)
 		sectionsC.Inc()
+		return ctx.Err()
 	}
 	defer func() { sp.End() }()
 
@@ -75,7 +86,9 @@ func FullReport(cfg ReportConfig) (string, error) {
 	fmt.Fprintf(&b, "Seed %d, %d samples per campaign.\n\n", cfg.Seed, cfg.SamplesPerRun)
 
 	// Tables.
-	section("tables")
+	if err := section("tables"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Tables\n\n```\n")
 	b.WriteString(RenderTableI())
 	b.WriteString("\n")
@@ -85,10 +98,12 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Micro-benchmark figures.
-	section("micro-benchmarks")
+	if err := section("micro-benchmarks"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Micro-benchmark study (Figures 2-5)\n\n```\n")
 	for _, n := range []int{1, 2, 4} {
-		figs, err := MicroFigure(n, cfg.Seed, cfg.SamplesPerRun)
+		figs, err := MicroFigureContext(ctx, n, cfg.Seed, cfg.SamplesPerRun)
 		if err != nil {
 			return "", err
 		}
@@ -98,7 +113,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 			figuresC.Inc()
 		}
 	}
-	figs5, err := Figure5(cfg.Seed, cfg.SamplesPerRun)
+	figs5, err := Figure5Context(ctx, cfg.Seed, cfg.SamplesPerRun)
 	if err != nil {
 		return "", err
 	}
@@ -110,9 +125,11 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Model.
-	section("model-fit")
+	if err := section("model-fit"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Overhead estimation model (Section V)\n\n```\n")
-	model, err := FitModel(cfg.Seed, cfg.SamplesPerRun, core.FitOptions{})
+	model, err := FitModelContext(ctx, cfg.Seed, cfg.SamplesPerRun, core.FitOptions{})
 	if err != nil {
 		return "", err
 	}
@@ -120,11 +137,13 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Prediction experiments.
-	section("prediction")
+	if err := section("prediction"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Trace-driven prediction (Figures 7-9)\n\n")
 	b.WriteString("90th-percentile |p-m|/m errors in percent.\n\n```\n")
 	for fig, sets := range map[int]int{7: 1, 8: 2, 9: 3} {
-		results, err := PredictionExperiment(model, sets, nil, cfg.PredictionDuration, cfg.Seed+int64(fig))
+		results, err := PredictionExperimentContext(ctx, model, sets, nil, cfg.PredictionDuration, cfg.Seed+int64(fig))
 		if err != nil {
 			return "", err
 		}
@@ -139,12 +158,14 @@ func FullReport(cfg ReportConfig) (string, error) {
 	b.WriteString("```\n\n")
 
 	// Placement.
-	section("placement")
+	if err := section("placement"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Overhead-aware provisioning (Figure 10)\n\n```\n")
 	pcfg := DefaultPlacementConfig(cfg.Seed + 41)
 	pcfg.Repeats = cfg.PlacementRepeats
 	pcfg.Duration = cfg.PlacementDuration
-	presults, err := PlacementExperiment(model, pcfg)
+	presults, err := PlacementExperimentContext(ctx, model, pcfg)
 	if err != nil {
 		return "", err
 	}
@@ -160,7 +181,9 @@ func FullReport(cfg ReportConfig) (string, error) {
 	}
 
 	// Extensions.
-	section("extensions")
+	if err := section("extensions"); err != nil {
+		return "", err
+	}
 	b.WriteString("## Extensions beyond the paper\n\n")
 
 	b.WriteString("### Robustness: OLS vs LMS under tool glitches\n\n```\n")
@@ -222,7 +245,7 @@ func FullReport(cfg ReportConfig) (string, error) {
 
 	// Coefficient confidence.
 	b.WriteString("### Coefficient confidence (90% bootstrap)\n\n```\n")
-	single, _, err := TrainingCorpus(cfg.Seed, cfg.SamplesPerRun)
+	single, _, err := trainingCorpusCtx(ctx, cfg.Seed, cfg.SamplesPerRun)
 	if err != nil {
 		return "", err
 	}

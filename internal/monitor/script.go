@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -135,8 +136,18 @@ func (sc Script) Attach(e *xen.Engine, pms []*xen.PM, next sampling.Sink) (func(
 // Run drives the engine and measures the given PMs through the sample
 // pipeline. It returns the raw per-sample series (outer index: sample,
 // inner: PM in cluster order) and advances the engine
-// Samples*IntervalSteps steps.
+// Samples*IntervalSteps steps. It is RunContext under
+// context.Background(), i.e. it cannot be canceled.
 func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
+	return sc.RunContext(context.Background(), e, pms)
+}
+
+// RunContext is Run with cancellation: the engine checks ctx before every
+// step, so a canceled context aborts the campaign within one step and
+// RunContext returns ctx.Err() (no partial series — a canceled campaign
+// yields nil measurements, keeping the "series length == Samples"
+// invariant for every successful return).
+func (sc Script) RunContext(ctx context.Context, e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
 	if sc.Samples <= 0 {
 		return nil, fmt.Errorf("monitor: Samples must be positive, got %d", sc.Samples)
 	}
@@ -151,8 +162,11 @@ func (sc Script) Run(e *xen.Engine, pms []*xen.PM) ([][]Measurement, error) {
 	}
 	defer detach()
 	adv := campaign.Start("advance")
-	e.Advance(sc.Samples * sc.IntervalSteps)
+	err = e.AdvanceContext(ctx, sc.Samples*sc.IntervalSteps)
 	adv.End()
+	if err != nil {
+		return nil, err
+	}
 	collect := campaign.Start("collect")
 	series := col.Series()
 	collect.End()

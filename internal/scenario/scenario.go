@@ -1,11 +1,22 @@
 // Package scenario loads declarative simulation scenarios from JSON:
 // cluster topology (PMs, VMs with configurations) plus per-VM workloads
 // (Table II micro-benchmarks, fixed mixes, or scripted phases). It exists
-// so cmd/xensim users can describe experiments without writing Go.
+// so cmd/xensim users — and the estimation service's /v1/scenario/run
+// endpoint, which reuses this envelope as its request schema — can
+// describe experiments without writing Go.
+//
+// The envelope is versioned: "version" defaults to 1 (the current
+// CurrentVersion) when omitted and is rejected when newer than the code
+// understands, so saved scenario files fail loudly instead of silently
+// dropping fields after a schema change. Decoding is strict — unknown
+// fields are errors — and every validation failure names the offending
+// field by path ("vms[2].workload.kind: unknown kind \"cpuu\"") and wraps
+// ErrBadScenario for errors.Is dispatch.
 //
 // Example:
 //
 //	{
+//	  "version": 1,
 //	  "seed": 7,
 //	  "duration": 120,
 //	  "pms": [{"name": "pm1"}, {"name": "pm2", "memMB": 4096}],
@@ -22,8 +33,12 @@
 package scenario
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 
 	"virtover/internal/monitor"
 	"virtover/internal/units"
@@ -31,12 +46,30 @@ import (
 	"virtover/internal/xen"
 )
 
+// CurrentVersion is the scenario schema version this package reads and
+// writes. Version 1 is the original (and so far only) envelope; files
+// without a "version" field are treated as version 1.
+const CurrentVersion = 1
+
+// ErrBadScenario is wrapped by every scenario decode or validation
+// failure, so callers can route "the scenario is malformed" with
+// errors.Is(err, ErrBadScenario) without string matching. The error text
+// names the offending field by path.
+var ErrBadScenario = errors.New("scenario: invalid scenario")
+
+// badf builds a field-path validation error wrapping ErrBadScenario.
+func badf(path, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrBadScenario, path, fmt.Sprintf(format, args...))
+}
+
 // Scenario is a declarative simulation setup.
 type Scenario struct {
+	// Version is the schema version (CurrentVersion; 0 means "current").
+	Version int `json:"version,omitempty"`
 	// Seed drives the simulation and measurement noise.
 	Seed int64 `json:"seed"`
 	// Duration is the measured seconds (default 120).
-	Duration int      `json:"duration"`
+	Duration int      `json:"duration,omitempty"`
 	PMs      []PMSpec `json:"pms"`
 	VMs      []VMSpec `json:"vms"`
 }
@@ -44,16 +77,16 @@ type Scenario struct {
 // PMSpec declares one physical machine.
 type PMSpec struct {
 	Name  string  `json:"name"`
-	MemMB float64 `json:"memMB"` // default 2048
+	MemMB float64 `json:"memMB,omitempty"` // default 2048
 }
 
 // VMSpec declares one guest.
 type VMSpec struct {
 	Name     string       `json:"name"`
 	PM       string       `json:"pm"`
-	MemMB    float64      `json:"memMB"`  // default 512
-	VCPUs    int          `json:"vcpus"`  // default 1
-	Weight   float64      `json:"weight"` // default 256
+	MemMB    float64      `json:"memMB,omitempty"`  // default 512
+	VCPUs    int          `json:"vcpus,omitempty"`  // default 1
+	Weight   float64      `json:"weight,omitempty"` // default 256
 	Workload WorkloadSpec `json:"workload"`
 }
 
@@ -66,34 +99,44 @@ type VMSpec struct {
 //   - "phases": scripted piecewise-constant phases
 //   - "" or "idle": no workload
 type WorkloadSpec struct {
-	Kind   string  `json:"kind"`
-	Level  float64 `json:"level"`
-	Target string  `json:"target"`
-	Jitter float64 `json:"jitter"`
+	Kind   string  `json:"kind,omitempty"`
+	Level  float64 `json:"level,omitempty"`
+	Target string  `json:"target,omitempty"`
+	Jitter float64 `json:"jitter,omitempty"`
 
-	CPU      float64 `json:"cpu"`
-	MemMB    float64 `json:"memMB"`
-	IOBlocks float64 `json:"ioBlocks"`
-	BWMbps   float64 `json:"bwMbps"`
+	CPU      float64 `json:"cpu,omitempty"`
+	MemMB    float64 `json:"memMB,omitempty"`
+	IOBlocks float64 `json:"ioBlocks,omitempty"`
+	BWMbps   float64 `json:"bwMbps,omitempty"`
 
-	Phases []PhaseSpec `json:"phases"`
+	Phases []PhaseSpec `json:"phases,omitempty"`
 }
 
 // PhaseSpec is one phase of a scripted workload.
 type PhaseSpec struct {
 	Seconds  float64 `json:"seconds"`
-	CPU      float64 `json:"cpu"`
-	MemMB    float64 `json:"memMB"`
-	IOBlocks float64 `json:"ioBlocks"`
-	BWMbps   float64 `json:"bwMbps"`
-	Target   string  `json:"target"`
+	CPU      float64 `json:"cpu,omitempty"`
+	MemMB    float64 `json:"memMB,omitempty"`
+	IOBlocks float64 `json:"ioBlocks,omitempty"`
+	BWMbps   float64 `json:"bwMbps,omitempty"`
+	Target   string  `json:"target,omitempty"`
 }
 
-// Parse decodes and validates a scenario.
+// Parse strictly decodes and validates a scenario: unknown fields,
+// trailing data, a version the code does not understand, and every
+// structural inconsistency are errors wrapping ErrBadScenario, with the
+// offending field named by path.
 func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var s Scenario
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+	if err := dec.Decode(&s); err != nil {
+		return nil, decodeError(err)
+	}
+	// A second Decode distinguishes "one JSON document" from "one document
+	// followed by junk" (io.EOF is the clean case).
+	if err := dec.Decode(new(json.RawMessage)); err == nil {
+		return nil, badf("$", "trailing data after scenario document")
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -101,61 +144,99 @@ func Parse(data []byte) (*Scenario, error) {
 	return &s, nil
 }
 
-// Validate checks structural consistency.
+// decodeError rewrites an encoding/json error as an ErrBadScenario with
+// the most useful location information the stdlib exposes (field name for
+// unknown-field and type errors).
+func decodeError(err error) error {
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) {
+		path := ute.Field
+		if path == "" {
+			path = "$"
+		}
+		return badf(path, "cannot decode %s into %s", ute.Value, ute.Type)
+	}
+	// DisallowUnknownFields surfaces as a plain errorString:
+	//   json: unknown field "xyz"
+	if msg := err.Error(); strings.Contains(msg, "unknown field") {
+		return fmt.Errorf("%w: %s", ErrBadScenario, strings.TrimPrefix(msg, "json: "))
+	}
+	return fmt.Errorf("%w: %v", ErrBadScenario, err)
+}
+
+// Validate checks structural consistency. Every failure wraps
+// ErrBadScenario and names the offending field by path.
 func (s *Scenario) Validate() error {
+	if s.Version != 0 && s.Version != CurrentVersion {
+		return badf("version", "unsupported version %d (current %d)", s.Version, CurrentVersion)
+	}
+	if s.Duration < 0 {
+		return badf("duration", "must be >= 0, got %d", s.Duration)
+	}
 	if len(s.PMs) == 0 {
-		return fmt.Errorf("scenario: at least one PM is required")
+		return badf("pms", "at least one PM is required")
 	}
 	pmNames := map[string]bool{}
 	for i, pm := range s.PMs {
+		path := fmt.Sprintf("pms[%d]", i)
 		if pm.Name == "" {
-			return fmt.Errorf("scenario: pm %d has no name", i)
+			return badf(path+".name", "PM has no name")
 		}
 		if pmNames[pm.Name] {
-			return fmt.Errorf("scenario: duplicate PM %q", pm.Name)
+			return badf(path+".name", "duplicate PM %q", pm.Name)
+		}
+		if pm.MemMB < 0 {
+			return badf(path+".memMB", "must be >= 0, got %g", pm.MemMB)
 		}
 		pmNames[pm.Name] = true
 	}
 	vmNames := map[string]bool{}
 	for i, vm := range s.VMs {
+		path := fmt.Sprintf("vms[%d]", i)
 		if vm.Name == "" {
-			return fmt.Errorf("scenario: vm %d has no name", i)
+			return badf(path+".name", "VM has no name")
 		}
 		if vmNames[vm.Name] {
-			return fmt.Errorf("scenario: duplicate VM %q", vm.Name)
+			return badf(path+".name", "duplicate VM %q", vm.Name)
 		}
 		vmNames[vm.Name] = true
 		if !pmNames[vm.PM] {
-			return fmt.Errorf("scenario: vm %q references unknown PM %q", vm.Name, vm.PM)
+			return badf(path+".pm", "VM %q references unknown PM %q", vm.Name, vm.PM)
 		}
-		if err := vm.Workload.validate(vm.Name); err != nil {
+		if vm.MemMB < 0 {
+			return badf(path+".memMB", "must be >= 0, got %g", vm.MemMB)
+		}
+		if vm.VCPUs < 0 {
+			return badf(path+".vcpus", "must be >= 0, got %d", vm.VCPUs)
+		}
+		if err := vm.Workload.validate(path + ".workload"); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (w *WorkloadSpec) validate(vm string) error {
+func (w *WorkloadSpec) validate(path string) error {
 	switch w.Kind {
 	case "", "idle", "mix":
 		return nil
 	case "cpu", "mem", "io", "bw":
 		if w.Level <= 0 {
-			return fmt.Errorf("scenario: vm %q: %s workload needs a positive level", vm, w.Kind)
+			return badf(path+".level", "%s workload needs a positive level", w.Kind)
 		}
 		return nil
 	case "phases":
 		if len(w.Phases) == 0 {
-			return fmt.Errorf("scenario: vm %q: phases workload needs phases", vm)
+			return badf(path+".phases", "phases workload needs phases")
 		}
 		for i, p := range w.Phases {
 			if p.Seconds <= 0 {
-				return fmt.Errorf("scenario: vm %q phase %d: seconds must be positive", vm, i)
+				return badf(fmt.Sprintf("%s.phases[%d].seconds", path, i), "must be positive, got %g", p.Seconds)
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("scenario: vm %q: unknown workload kind %q", vm, w.Kind)
+		return badf(path+".kind", "unknown kind %q", w.Kind)
 	}
 }
 
@@ -232,8 +313,15 @@ func (s *Scenario) Build() (*xen.Engine, []*xen.PM, error) {
 }
 
 // Run builds the scenario and measures every PM with the paper's script
-// for the scenario duration, returning the raw measurement series.
+// for the scenario duration, returning the raw measurement series. It is
+// RunContext under context.Background().
 func (s *Scenario) Run() ([][]monitor.Measurement, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the simulation aborts within one
+// engine step of ctx cancel and the error is ctx.Err().
+func (s *Scenario) RunContext(ctx context.Context) ([][]monitor.Measurement, error) {
 	e, pms, err := s.Build()
 	if err != nil {
 		return nil, err
@@ -246,5 +334,5 @@ func (s *Scenario) Run() ([][]monitor.Measurement, error) {
 		IntervalSteps: 1, Samples: duration,
 		Noise: monitor.DefaultNoise(), Seed: s.Seed + 999,
 	}
-	return script.Run(e, pms)
+	return script.RunContext(ctx, e, pms)
 }

@@ -1,7 +1,11 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -123,5 +127,98 @@ func TestBuildRejectsInvalid(t *testing.T) {
 	}
 	if !strings.Contains((&Scenario{}).Validate().Error(), "PM") {
 		t.Error("validation message should mention PMs")
+	}
+}
+
+// --- versioned envelope + strict decoding (schema v1) ---
+
+func TestParseVersion(t *testing.T) {
+	if _, err := Parse([]byte(`{"version": 1, "pms": [{"name": "p"}], "vms": []}`)); err != nil {
+		t.Errorf("version 1 should parse: %v", err)
+	}
+	_, err := Parse([]byte(`{"version": 2, "pms": [{"name": "p"}], "vms": []}`))
+	if !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("version 2 err = %v, want ErrBadScenario", err)
+	}
+	if !strings.Contains(err.Error(), "version") || !strings.Contains(err.Error(), "unsupported version 2") {
+		t.Errorf("version error should name the field and version: %v", err)
+	}
+	// Omitted version means current.
+	s, err := Parse([]byte(`{"pms": [{"name": "p"}], "vms": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 0 && s.Version != CurrentVersion {
+		t.Errorf("defaulted version = %d", s.Version)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"pms": [{"name": "p"}], "vms": [], "sede": 9}`))
+	if !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("err = %v, want ErrBadScenario", err)
+	}
+	if !strings.Contains(err.Error(), `"sede"`) {
+		t.Errorf("unknown-field error should name the field: %v", err)
+	}
+	// Nested unknown fields are rejected too.
+	if _, err := Parse([]byte(`{"pms": [{"name": "p"}], "vms": [{"name": "v", "pm": "p", "workload": {"knd": "cpu"}}]}`)); err == nil {
+		t.Error("nested unknown field should be rejected")
+	}
+}
+
+func TestParseFieldPathErrors(t *testing.T) {
+	cases := []struct {
+		js   string
+		want string
+	}{
+		{`{"pms": [{"name": "a"}], "vms": [{"name": "x", "pm": "a", "workload": {}}, {"name": "y", "pm": "a", "workload": {}}, {"name": "v", "pm": "a", "workload": {"kind": "cpuu"}}]}`,
+			`vms[2].workload.kind: unknown kind "cpuu"`},
+		{`{"pms": [{"name": "a"}, {}]}`, "pms[1].name"},
+		{`{"pms": [{"name": "a"}], "vms": [{"name": "v", "pm": "zzz"}]}`, "vms[0].pm"},
+		{`{"pms": [{"name": "a"}], "vms": [{"name": "v", "pm": "a", "workload": {"kind": "io"}}]}`, "vms[0].workload.level"},
+		{`{"pms": [{"name": "a"}], "vms": [{"name": "v", "pm": "a", "workload": {"kind": "phases", "phases": [{"seconds": 5}, {"seconds": 0}]}}]}`,
+			"vms[0].workload.phases[1].seconds"},
+		{`{"duration": -1, "pms": [{"name": "a"}]}`, "duration"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.js))
+		if !errors.Is(err, ErrBadScenario) {
+			t.Errorf("%s: err = %v, want ErrBadScenario", c.want, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q should contain path %q", err, c.want)
+		}
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(`{"pms": [{"name": "p"}], "vms": []} {"more": 1}`)); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("trailing data err = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestExampleScenariosParse(t *testing.T) {
+	for _, name := range []string{"colocation.json", "intrapm.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(data); err != nil {
+			t.Errorf("%s no longer parses under strict decoding: %v", name, err)
+		}
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	s, err := Parse([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"virtover/internal/core"
+	"virtover/internal/exps"
+	"virtover/internal/monitor"
+	"virtover/internal/scenario"
+	"virtover/internal/units"
+)
+
+// The request envelope mirrors the scenario package's contract: every
+// request body carries an optional "version" (default 1), is decoded
+// strictly (unknown fields are errors), and malformed inputs answer 400
+// with a field-naming message. POST /v1/scenario/run accepts the scenario
+// envelope itself — the same JSON document cmd/xensim reads from disk.
+
+// apiVersion is the accepted request-envelope version.
+const apiVersion = 1
+
+// errBadRequest wraps every request-decoding failure (mapped to 400).
+var errBadRequest = errors.New("serve: bad request")
+
+// modelSpec names a fitted model by its training inputs. It is the JSON
+// form of modelKey plus the version field of the shared envelope.
+type modelSpec struct {
+	Version int `json:"version,omitempty"`
+	// Seed drives the training campaigns.
+	Seed int64 `json:"seed"`
+	// Samples is samplesPerRun of the training campaigns (<= 0 selects
+	// the library's fast default).
+	Samples int `json:"samples,omitempty"`
+	// Method is "ols" (default) or "lms".
+	Method string `json:"method,omitempty"`
+	// Ridge is the optional L2 penalty (OLS only).
+	Ridge float64 `json:"ridge,omitempty"`
+}
+
+func (r modelSpec) key() (modelKey, core.FitOptions, error) {
+	if r.Version != 0 && r.Version != apiVersion {
+		return modelKey{}, core.FitOptions{}, fmt.Errorf("%w: version: unsupported version %d (current %d)", errBadRequest, r.Version, apiVersion)
+	}
+	var method core.Method
+	switch strings.ToLower(r.Method) {
+	case "", "ols":
+		method = core.MethodOLS
+	case "lms":
+		method = core.MethodLMS
+	default:
+		return modelKey{}, core.FitOptions{}, fmt.Errorf("%w: method: unknown method %q (want \"ols\" or \"lms\")", errBadRequest, r.Method)
+	}
+	opt := core.FitOptions{Method: method, Ridge: r.Ridge}
+	if err := opt.Validate(); err != nil {
+		return modelKey{}, core.FitOptions{}, err
+	}
+	samples := r.Samples
+	if samples < 0 {
+		samples = 0
+	}
+	return modelKey{Seed: r.Seed, Samples: samples, Method: method, Ridge: r.Ridge}, opt, nil
+}
+
+func (k modelKey) spec() modelSpec {
+	method := "ols"
+	if k.Method == core.MethodLMS {
+		method = "lms"
+	}
+	return modelSpec{Seed: k.Seed, Samples: k.Samples, Method: method, Ridge: k.Ridge}
+}
+
+// vectorJSON is a resource vector with lowercase JSON keys (units.Vector
+// has none).
+type vectorJSON struct {
+	CPU float64 `json:"cpu"`
+	Mem float64 `json:"mem"`
+	IO  float64 `json:"io"`
+	BW  float64 `json:"bw"`
+}
+
+func toVectorJSON(v units.Vector) vectorJSON {
+	return vectorJSON{CPU: v.CPU, Mem: v.Mem, IO: v.IO, BW: v.BW}
+}
+
+type estimateRequest struct {
+	Version int       `json:"version,omitempty"`
+	Model   modelSpec `json:"model"`
+	// Guests are the co-located guests' utilization vectors.
+	Guests []vectorJSON `json:"guests"`
+}
+
+type estimateResponse struct {
+	// Dom0CPU and HypCPU are the predicted overhead components (Eq. 1-3).
+	Dom0CPU float64 `json:"dom0CPU"`
+	HypCPU  float64 `json:"hypCPU"`
+	// PM is the predicted host utilization.
+	PM vectorJSON `json:"pm"`
+	// CacheHit reports whether the model came from the LRU cache.
+	CacheHit bool `json:"cacheHit"`
+}
+
+type measurementJSON struct {
+	PM            string                `json:"pm"`
+	VMs           map[string]vectorJSON `json:"vms"`
+	Dom0          vectorJSON            `json:"dom0"`
+	HypervisorCPU float64               `json:"hypervisorCPU"`
+	Host          vectorJSON            `json:"host"`
+}
+
+type scenarioRunResponse struct {
+	Samples int               `json:"samples"`
+	Average []measurementJSON `json:"average"`
+}
+
+type modelsResponse struct {
+	// Models lists the cached fitted models, most recently used first.
+	Models []modelSpec `json:"models"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/scenario/run", s.handleScenarioRun)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// decodeStrict decodes one JSON document into v, rejecting unknown fields
+// and trailing data, mirroring scenario.Parse.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %s", errBadRequest, strings.TrimPrefix(err.Error(), "json: "))
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after request document", errBadRequest)
+	}
+	return nil
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, scenario.ErrBadScenario),
+		errors.Is(err, core.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads this. 499 follows the nginx
+		// convention for "client closed request".
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	s.m.errs.Inc()
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	s.log.Debug("request failed", "path", r.URL.Path, "status", status, "err", err)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// observe wraps a compute handler with the request counter and the
+// admission-to-response latency histogram.
+func (s *Server) observe(fn func()) {
+	s.m.requests.Inc()
+	if !s.m.reg.Enabled() {
+		fn()
+		return
+	}
+	start := s.m.reg.Now()
+	fn()
+	s.m.latency.Observe(s.m.reg.Now() - start)
+}
+
+// fitForSpec resolves a model spec against the cache, fitting on miss.
+// Must run on a pool worker: a miss executes the full training pipeline.
+func (s *Server) fitForSpec(ctx context.Context, key modelKey, opt core.FitOptions) (*core.Model, bool, error) {
+	if m, ok := s.cache.Get(key); ok {
+		s.m.cacheHits.Inc()
+		return m, true, nil
+	}
+	s.m.cacheMisses.Inc()
+	m, err := exps.FitModelContext(ctx, key.Seed, key.Samples, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Add(key, m)
+	return m, false, nil
+}
+
+// handleFit trains (or recalls) a model and returns it in exactly the
+// bytes core.SaveModel writes, so a served fit is bit-identical to a
+// library fit of the same inputs.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	s.observe(func() {
+		var req modelSpec
+		if err := decodeStrict(r, &req); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		key, opt, err := req.key()
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		var (
+			buf bytes.Buffer
+			hit bool
+			run error
+		)
+		err = s.execute(ctx, func(ctx context.Context) {
+			var m *core.Model
+			if m, hit, run = s.fitForSpec(ctx, key, opt); run == nil {
+				run = core.SaveModel(&buf, m)
+			}
+		})
+		if err == nil {
+			err = run
+		}
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", cacheHeader(hit))
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// handleEstimate fits (or recalls) a model and applies it to the guests'
+// utilization vectors — the paper's placement question as one round trip.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.observe(func() {
+		var req estimateRequest
+		if err := decodeStrict(r, &req); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		if req.Version != 0 && req.Version != apiVersion {
+			s.writeError(w, r, fmt.Errorf("%w: version: unsupported version %d (current %d)", errBadRequest, req.Version, apiVersion))
+			return
+		}
+		if len(req.Guests) == 0 {
+			s.writeError(w, r, fmt.Errorf("%w: guests: at least one guest is required", errBadRequest))
+			return
+		}
+		key, opt, err := req.Model.key()
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		var (
+			resp estimateResponse
+			run  error
+		)
+		err = s.execute(ctx, func(ctx context.Context) {
+			m, hit, ferr := s.fitForSpec(ctx, key, opt)
+			if ferr != nil {
+				run = ferr
+				return
+			}
+			guests := make([]units.Vector, len(req.Guests))
+			for i, g := range req.Guests {
+				guests[i] = units.V(g.CPU, g.Mem, g.IO, g.BW)
+			}
+			p := m.Predict(guests)
+			resp = estimateResponse{
+				Dom0CPU:  p.Dom0CPU,
+				HypCPU:   p.HypCPU,
+				PM:       toVectorJSON(p.PM),
+				CacheHit: hit,
+			}
+		})
+		if err == nil {
+			err = run
+		}
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// handleScenarioRun accepts a scenario envelope (the exact schema of
+// examples/scenarios/*.json), simulates it, and returns the run-averaged
+// measurement per PM.
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
+	s.observe(func() {
+		body, err := readBody(r)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		sc, err := scenario.Parse(body)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		var (
+			resp scenarioRunResponse
+			run  error
+		)
+		err = s.execute(ctx, func(ctx context.Context) {
+			series, rerr := sc.RunContext(ctx)
+			if rerr != nil {
+				run = rerr
+				return
+			}
+			resp.Samples = len(series)
+			for _, m := range monitor.Average(series) {
+				mj := measurementJSON{
+					PM:            m.PM,
+					VMs:           map[string]vectorJSON{},
+					Dom0:          toVectorJSON(m.Dom0),
+					HypervisorCPU: m.HypervisorCPU,
+					Host:          toVectorJSON(m.Host),
+				}
+				for name, v := range m.VMs {
+					mj.VMs[name] = toVectorJSON(v)
+				}
+				resp.Average = append(resp.Average, mj)
+			}
+		})
+		if err == nil {
+			err = run
+		}
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// handleModels lists the cached fitted models (no compute; answers even
+// while the pool is saturated).
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	keys := s.cache.Keys()
+	resp := modelsResponse{Models: make([]modelSpec, len(keys))}
+	for i, k := range keys {
+		resp.Models[i] = k.spec()
+	}
+	writeJSON(w, resp)
+}
+
+// handleMetrics exposes the service registry as Prometheus text. An
+// uninstrumented server answers an empty document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.m.reg.WritePrometheus(w)
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", errBadRequest, err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"virtover/internal/core"
+)
+
+// modelKey identifies one fitted model. Fits are deterministic in these
+// four inputs, so the key is the complete identity of the coefficients;
+// FitOptions.Workers is deliberately excluded — it is a latency knob and
+// the fitted model is bit-for-bit identical at every worker count.
+type modelKey struct {
+	Seed    int64
+	Samples int
+	Method  core.Method
+	Ridge   float64
+}
+
+// modelCache is a mutex-guarded LRU of fitted models keyed by modelKey.
+type modelCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[modelKey]*list.Element
+}
+
+type cacheEntry struct {
+	key   modelKey
+	model *core.Model
+}
+
+func newModelCache(max int) *modelCache {
+	return &modelCache{max: max, order: list.New(), byKey: map[modelKey]*list.Element{}}
+}
+
+// Get returns the cached model for k, promoting it to most recently used.
+func (c *modelCache) Get(k modelKey) (*core.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).model, true
+}
+
+// Add inserts (or refreshes) k, evicting the least recently used entry
+// beyond the size bound.
+func (c *modelCache) Add(k modelKey, m *core.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).model = m
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, model: m})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Keys lists the cached keys, most recently used first.
+func (c *modelCache) Keys() []modelKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]modelKey, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}

@@ -1,0 +1,239 @@
+// Package serve is the concurrent overhead-estimation service: the
+// library's fitting and prediction pipeline behind an HTTP/JSON API, so a
+// fitted virtualization-overhead model can answer placement questions for
+// many clients without each of them re-running the measurement campaigns.
+//
+// Architecture (DESIGN.md §11 has the full walkthrough):
+//
+//	listener -> bounded queue -> worker pool -> engine / fitter -> model cache
+//
+// Every compute endpoint funnels through one bounded task queue drained by
+// a fixed worker pool, so a burst of requests degrades into queueing and
+// then into fast 429 rejections (with Retry-After) instead of unbounded
+// goroutine and memory growth. Fitted models are cached in a keyed LRU —
+// fits are deterministic, so identical (seed, samples, method, ridge)
+// requests are served from memory. Request contexts carry per-request
+// deadlines and flow into the simulation engine, which checks cancellation
+// every step; a disconnected or timed-out client aborts its run within one
+// engine step. Shutdown stops admitting work and drains what is in flight.
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"virtover/internal/obs"
+)
+
+// ErrQueueFull is returned (and mapped to HTTP 429) when the task queue
+// has no room for another request.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// errDraining is mapped to HTTP 503 once Shutdown has begun.
+var errDraining = errors.New("serve: shutting down")
+
+// Options configures a Server. The zero value selects the documented
+// defaults.
+type Options struct {
+	// Workers is the number of concurrent compute workers (default 4).
+	// Each in-flight fit or scenario run occupies one worker.
+	Workers int
+	// Queue is the number of requests that may wait for a worker beyond
+	// those executing (default 16). When the queue is full new compute
+	// requests are rejected with 429 and a Retry-After hint.
+	Queue int
+	// CacheSize bounds the fitted-model LRU cache (default 32 models).
+	CacheSize int
+	// RequestTimeout is the per-request compute deadline (default 30s).
+	// It caps r.Context(), so both client disconnects and slow runs
+	// cancel the underlying simulation.
+	RequestTimeout time.Duration
+	// Obs receives the service metrics (serve_* series) and is exposed on
+	// GET /metrics. Nil disables instrumentation (and /metrics serves an
+	// empty document).
+	Obs *obs.Registry
+	// Log receives request-level diagnostics. Nil discards them.
+	Log *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Queue <= 0 {
+		o.Queue = 16
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 32
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Log == nil {
+		o.Log = slog.New(discardHandler{})
+	}
+	return o
+}
+
+// discardHandler drops every record; it stands in for a nil Options.Log.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// task is one unit of compute admitted to the pool. The worker runs do
+// under the request context and closes done; a canceled context skips the
+// work (the waiting handler has already given up).
+type task struct {
+	ctx  context.Context
+	do   func(ctx context.Context)
+	done chan struct{}
+}
+
+// Server is the estimation service. It implements http.Handler; mount it
+// on an http.Server (see cmd/servd) or an httptest.Server.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	tasks chan *task
+	cache *modelCache
+	log   *slog.Logger
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup // requests admitted past the draining check
+	workers  sync.WaitGroup // worker goroutines
+	stopOnce sync.Once
+	drained  chan struct{} // closed when the pool has fully stopped
+
+	m serveMetrics
+}
+
+// serveMetrics holds the service's instruments. All are nil-safe no-ops
+// when Options.Obs is nil.
+type serveMetrics struct {
+	reg         *obs.Registry
+	requests    *obs.Counter
+	rejected    *obs.Counter
+	errs        *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	inflight    *obs.Gauge
+	queueDepth  *obs.Gauge
+	latency     *obs.Histogram
+}
+
+// New builds the service and starts its worker pool. Call Shutdown to
+// drain and stop the workers.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	reg := opt.Obs
+	s := &Server{
+		opt:     opt,
+		tasks:   make(chan *task, opt.Queue),
+		cache:   newModelCache(opt.CacheSize),
+		log:     opt.Log,
+		drained: make(chan struct{}),
+		m: serveMetrics{
+			reg:         reg,
+			requests:    reg.Counter("serve_requests_total", "API requests received"),
+			rejected:    reg.Counter("serve_requests_rejected_total", "requests rejected with 429 (queue full)"),
+			errs:        reg.Counter("serve_request_errors_total", "requests answered with an error status"),
+			cacheHits:   reg.Counter("serve_model_cache_hits_total", "fit requests served from the model cache"),
+			cacheMisses: reg.Counter("serve_model_cache_misses_total", "fit requests that ran the training pipeline"),
+			inflight:    reg.Gauge("serve_requests_inflight", "requests currently admitted (queued or executing)"),
+			queueDepth:  reg.Gauge("serve_queue_depth", "tasks waiting for a worker"),
+			latency:     reg.Histogram("serve_request_latency_ns", "wall time per compute request, admission to response"),
+		},
+	}
+	s.workers.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// worker drains the task queue. Tasks whose request context is already
+// canceled are skipped: their handler has stopped waiting.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.tasks {
+		s.m.queueDepth.Add(-1)
+		if t.ctx.Err() == nil {
+			t.do(t.ctx)
+		}
+		close(t.done)
+	}
+}
+
+// execute admits one compute closure to the pool and waits for it (or for
+// ctx). It returns ErrQueueFull without blocking when the queue is full,
+// errDraining after Shutdown began, and ctx.Err() when the caller's
+// context ends first — in which case the closure may still run briefly but
+// observes the canceled context and aborts within one engine step.
+func (s *Server) execute(ctx context.Context, do func(ctx context.Context)) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errDraining
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	t := &task{ctx: ctx, do: do, done: make(chan struct{})}
+	select {
+	case s.tasks <- t:
+		s.m.queueDepth.Add(1)
+	default:
+		s.m.rejected.Inc()
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown stops admitting requests, waits for admitted ones to finish
+// (handlers return only after their response is written), then stops the
+// worker pool. It returns ctx.Err() if ctx expires first; the pool keeps
+// draining in the background in that case. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	s.stopOnce.Do(func() {
+		go func() {
+			s.inflight.Wait() // no admitted request remains -> no more sends
+			close(s.tasks)
+			s.workers.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

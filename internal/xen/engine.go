@@ -1,6 +1,8 @@
 package xen
 
 import (
+	"context"
+
 	"virtover/internal/obs"
 	"virtover/internal/sampling"
 	"virtover/internal/simrand"
@@ -160,6 +162,24 @@ func (e *Engine) Advance(n int) {
 	for i := 0; i < n; i++ {
 		e.step()
 	}
+}
+
+// AdvanceContext runs up to n steps, checking ctx before every step. When
+// ctx is canceled (or its deadline expires) the engine stops within one
+// step and returns ctx.Err() unwrapped, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) hold for callers all the way
+// up the facade. Completed steps are not rolled back: the cluster, attached
+// sinks and the engine clock reflect exactly the steps that ran. The check
+// is one atomic load per step, so AdvanceContext with context.Background()
+// costs the same as Advance and stays allocation-free.
+func (e *Engine) AdvanceContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.step()
+	}
+	return nil
 }
 
 // vmFlows captures a VM's routed traffic for one step.

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ctxvet: enforce the context-aware API convention. Any exported Run*/Fit*
+# function added to internal/exps or internal/serve must take a
+# context.Context as its first parameter. The pre-context entry points
+# (thin context.Background() wrappers, part of the compatibility contract
+# in the facade package comment) are allowlisted; everything new must be
+# ctx-first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Exported Run*/Fit* declarations in non-test files, excluding methods
+# (receivers) — "func (x T) RunFoo" is a different namespace.
+decls=$(grep -n -E '^func (Run|Fit)[A-Za-z0-9]*\(' \
+    internal/exps/*.go internal/serve/*.go 2>/dev/null \
+    | grep -v '_test\.go:' || true)
+
+# Compatibility allowlist: context-less wrappers that predate the
+# context API and must keep their signatures forever.
+allow='RunMicro|RunHetero|FitModel'
+
+bad=$(printf '%s\n' "$decls" \
+    | grep -v -E "^[^:]+:[0-9]+:func ($allow)\(" \
+    | grep -v -E '\(ctx context\.Context' || true)
+
+if [ -n "$bad" ]; then
+    echo "ctxvet: exported Run*/Fit* functions must take context.Context first" >&2
+    echo "(or wrap a *Context variant and join the allowlist in scripts/ctxvet.sh):" >&2
+    printf '%s\n' "$bad" >&2
+    exit 1
+fi
+echo "ctxvet: ok"

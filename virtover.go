@@ -27,11 +27,29 @@
 //	pred := model.Predict([]virtover.Vector{{CPU: 50, Mem: 256, IO: 20, BW: 400}})
 //	fmt.Println(pred.PM) // estimated PM utilization incl. Dom0 + hypervisor
 //
+// # Contexts and compatibility
+//
+// Every expensive entry point comes in two forms: a context-aware variant
+// (FitModelContext, RunMicroContext, FullReportContext,
+// Scenario.RunContext) whose first parameter is a context.Context, and the
+// original context-less form, which is a thin wrapper running the same
+// code under context.Background(). The context-less signatures are the
+// compatibility contract: they keep compiling and behaving identically
+// across releases, so existing callers never change. Cancellation is
+// checked before every simulated engine step — canceling a context aborts
+// the run within one step and the returned error satisfies
+// errors.Is(err, ErrCanceled) (or context.DeadlineExceeded for expired
+// deadlines). Failures are classified by the sentinel errors below
+// (ErrBadScenario, ErrBadOptions, ErrQueueFull) and are always wrapped, so
+// errors.Is is the supported test.
+//
 // See examples/ for runnable programs and DESIGN.md for the experiment
-// index.
+// index; DESIGN.md §11 covers the HTTP estimation service (cmd/servd)
+// built on the context-aware API.
 package virtover
 
 import (
+	"context"
 	"io"
 
 	"virtover/internal/cloudscale"
@@ -41,11 +59,38 @@ import (
 	"virtover/internal/rubis"
 	"virtover/internal/sampling"
 	"virtover/internal/scenario"
+	"virtover/internal/serve"
 	"virtover/internal/stats"
 	"virtover/internal/units"
 	"virtover/internal/workload"
 	"virtover/internal/xen"
 )
+
+// ---- Sentinel errors ----
+//
+// Error classification across the library and the estimation service.
+// Every failure path wraps one of these with %w, so errors.Is is the
+// supported way to dispatch on failure kind regardless of the message.
+
+// ErrCanceled reports a run aborted by context cancellation. It is
+// context.Canceled, re-exported so callers of the facade need not import
+// context for the comparison. Deadline expiry yields
+// context.DeadlineExceeded instead.
+var ErrCanceled = context.Canceled
+
+// ErrBadScenario reports a malformed scenario document (unknown fields,
+// unsupported version, or structural inconsistencies). The message names
+// the offending field by path, e.g. `vms[2].workload.kind: unknown kind
+// "cpuu"`.
+var ErrBadScenario = scenario.ErrBadScenario
+
+// ErrBadOptions reports invalid FitOptions (unknown method, negative
+// ridge, ridge with LMS, negative worker counts).
+var ErrBadOptions = core.ErrBadOptions
+
+// ErrQueueFull reports that the estimation service's bounded task queue
+// had no room for a request (HTTP 429 on the wire).
+var ErrQueueFull = serve.ErrQueueFull
 
 // ---- Resource vectors ----
 
@@ -206,6 +251,32 @@ func Train(single, multi []ModelSample, opt FitOptions) (*Model, error) {
 // pipeline. samplesPerRun <= 0 selects a fast default.
 func FitModel(seed int64, samplesPerRun int, opt FitOptions) (*Model, error) {
 	return exps.FitModel(seed, samplesPerRun, opt)
+}
+
+// FitModelContext is FitModel with cancellation: the training campaigns
+// stop dispatching and the running engine aborts within one simulated step
+// of ctx ending; the error then satisfies errors.Is(err, ErrCanceled) (or
+// context.DeadlineExceeded). Fits are deterministic — a completed
+// FitModelContext returns coefficients bit-identical to FitModel's.
+func FitModelContext(ctx context.Context, seed int64, samplesPerRun int, opt FitOptions) (*Model, error) {
+	return exps.FitModelContext(ctx, seed, samplesPerRun, opt)
+}
+
+// MicroScenario describes one micro-benchmark campaign (N identical VMs on
+// one PM at a Table II workload level).
+type MicroScenario = exps.MicroScenario
+
+// RunMicro executes a micro-benchmark campaign, returning the run-averaged
+// measurement and the raw per-sample series.
+func RunMicro(sc MicroScenario) (Measurement, [][]Measurement, error) {
+	return exps.RunMicro(sc)
+}
+
+// RunMicroContext is RunMicro with cancellation (same contract as
+// FitModelContext: abort within one engine step, ErrCanceled via
+// errors.Is).
+func RunMicroContext(ctx context.Context, sc MicroScenario) (Measurement, [][]Measurement, error) {
+	return exps.RunMicroContext(ctx, sc)
 }
 
 // SamplesFromSeries converts a measurement series into model samples.
@@ -511,6 +582,14 @@ func PaperReportConfig(seed int64) ReportConfig { return exps.PaperReportConfig(
 
 // FullReport runs the complete reproduction and renders a markdown report.
 func FullReport(cfg ReportConfig) (string, error) { return exps.FullReport(cfg) }
+
+// FullReportContext is FullReport with cancellation. The heavyweight
+// sections (figures, model fits, prediction and placement experiments)
+// abort within one engine step of ctx ending; the lighter extension
+// sections finish their current section and stop at the next boundary.
+func FullReportContext(ctx context.Context, cfg ReportConfig) (string, error) {
+	return exps.FullReportContext(ctx, cfg)
+}
 
 // ---- Model persistence ----
 

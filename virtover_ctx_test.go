@@ -1,0 +1,55 @@
+package virtover_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"virtover"
+)
+
+// The facade's compatibility contract: context-aware variants propagate
+// cancellation as ErrCanceled through errors.Is, and sentinel errors
+// classify failures without string matching.
+
+func TestFacadeFitModelContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := virtover.FitModelContext(ctx, 1, 5, virtover.FitOptions{}); !errors.Is(err, virtover.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled via errors.Is", err)
+	}
+	if _, _, err := virtover.RunMicroContext(ctx, virtover.MicroScenario{N: 1, Samples: 5}); !errors.Is(err, virtover.ErrCanceled) {
+		t.Errorf("RunMicroContext err = %v, want ErrCanceled", err)
+	}
+	if _, err := virtover.FullReportContext(ctx, virtover.QuickReportConfig(1)); !errors.Is(err, virtover.ErrCanceled) {
+		t.Errorf("FullReportContext err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	if _, err := virtover.ParseScenario([]byte(`{"version": 9, "pms": [{"name": "p"}]}`)); !errors.Is(err, virtover.ErrBadScenario) {
+		t.Errorf("err = %v, want ErrBadScenario", err)
+	}
+	if _, err := virtover.FitModel(1, 5, virtover.FitOptions{Ridge: -1}); !errors.Is(err, virtover.ErrBadOptions) {
+		t.Errorf("err = %v, want ErrBadOptions", err)
+	}
+	bad := virtover.FitOptions{Method: virtover.MethodLMS, Ridge: 0.5}
+	if err := bad.Validate(); !errors.Is(err, virtover.ErrBadOptions) {
+		t.Errorf("Validate = %v, want ErrBadOptions (ridge is OLS-only)", err)
+	}
+}
+
+// Context-aware and context-less fits agree bit for bit.
+func TestFacadeContextFitMatchesPlainFit(t *testing.T) {
+	a, err := virtover.FitModel(9, 3, virtover.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := virtover.FitModelContext(context.Background(), 9, 3, virtover.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("FitModelContext coefficients differ from FitModel")
+	}
+}
