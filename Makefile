@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet ctxvet build test race determinism pipeline obs serve bench
+.PHONY: check vet ctxvet build test race determinism shard-determinism pipeline obs serve bench
 
 # The full pre-commit gate: static checks, build, the race-enabled test
-# suite, the multi-GOMAXPROCS fitting-kernel determinism check, the
+# suite (shuffled to flush test-order dependencies), the multi-GOMAXPROCS
+# fitting-kernel and sharded-engine determinism checks, the
 # sample-pipeline equivalence gate, the observability-layer gate, and the
 # estimation-service gate.
-check: vet ctxvet build race determinism pipeline obs serve
+check: vet ctxvet build race determinism shard-determinism pipeline obs serve
 
 vet:
 	$(GO) vet ./...
@@ -24,12 +25,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # The parallel LMS kernel promises bit-identical fits at every worker
 # count; race-check that contract at several GOMAXPROCS values.
 determinism:
 	$(GO) test -run TestLMSDeterminism -race -cpu 1,2,4 ./internal/stats/
+
+# The sharded engine promises byte-identical traces at every shard count;
+# race-check that contract (sample-level equality in internal/xen, the
+# golden CSV fixture in internal/trace) across the Shards x GOMAXPROCS
+# matrix.
+shard-determinism:
+	$(GO) test -race -cpu 1,2,8 -run 'TestShardDeterminism|TestSetShardsMidRun|TestEngineStateRoundTrip|TestShardedStepAllocationFree' ./internal/xen/
+	$(GO) test -race -cpu 1,2,8 -run TestGoldenTraceDeterminism ./internal/trace/
 
 # Batched-pipeline safety net: the golden-trace fixture (byte-identical CSV
 # through the batched meter + fast writer) and the batch-vs-scalar

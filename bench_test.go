@@ -376,6 +376,33 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
+// A datacenter-scale fleet (10k PMs / 100k VMs, mixed flows) per step, at
+// several shard counts. Noise is off: the pre-draw is inherently serial
+// (one master RNG) and fleet-scale capacity studies run noiseless, so the
+// benchmark isolates the parallel resolution path. Shard counts above the
+// core count cannot speed up (workers time-slice one CPU — on a 1-core CI
+// box all three variants tie); the ≥3x shards8-vs-shards1 target needs
+// real cores, like BenchmarkLMSFitParallel. Steady state must stay at 0
+// allocs/step at every shard count.
+func BenchmarkEngineDatacenter(b *testing.B) {
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			cl := xen.BuildDatacenter(xen.DatacenterSpec{
+				PMs: 10000, VMsPerPM: 10, Seed: 1, FlowEvery: 8})
+			calib := xen.DefaultCalibration()
+			calib.ProcessNoiseRel = 0
+			e := xen.NewEngineWithOptions(cl, calib, 1, xen.EngineOptions{Shards: shards})
+			defer e.Close()
+			e.Advance(2) // build the SoA layout, warm the columns
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Advance(1)
+			}
+		})
+	}
+}
+
 // A paper-sized cluster (7 PMs x 4 guests, cross-PM traffic) per step.
 func BenchmarkEngineBigCluster(b *testing.B) {
 	cl := xen.NewCluster()

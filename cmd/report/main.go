@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 
+	"virtover"
 	"virtover/internal/exps"
 	"virtover/internal/obs"
 	"virtover/internal/obs/cli"
@@ -30,9 +31,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
 		profile = flag.Bool("self-profile", false, "print the run's own metrics and phase timings to stderr afterwards")
+		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped in parallel; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()
+	virtover.SetEngineShards(*shards)
 
 	cfg := exps.PaperReportConfig(*seed)
 	if *quick {

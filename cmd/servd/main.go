@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"virtover"
 	"virtover/internal/obs"
 	"virtover/internal/obs/cli"
 	"virtover/internal/serve"
@@ -43,9 +44,11 @@ func main() {
 		queue   = flag.Int("queue", 16, "requests that may wait beyond the executing ones; full queue answers 429")
 		cache   = flag.Int("cache", 32, "fitted models kept in the LRU cache")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute deadline")
+		shards  = flag.Int("shards", 1, "engine worker shards for scenario simulation (output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()
+	virtover.SetEngineShards(*shards)
 
 	// The service always carries a live registry: its own /metrics endpoint
 	// exposes it even when the pprof debug server (-debug-addr) is off.

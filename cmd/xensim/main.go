@@ -39,9 +39,11 @@ func main() {
 		screens  = flag.Bool("screens", false, "print one synchronized set of tool screens (xentop/top/mpstat/vmstat/ifconfig) instead of a CSV trace")
 		scenFile = flag.String("scenario", "", "run a declarative JSON scenario file instead of the flag-built setup")
 		summary  = flag.Bool("summary", false, "print streaming per-PM summaries (mean/std/p50/p90/p99) instead of the CSV trace")
+		shards   = flag.Int("shards", 1, "engine worker shards (PMs stepped in parallel; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()
+	virtover.SetEngineShards(*shards)
 
 	reg, stopDebug := app.StartDebug()
 	defer stopDebug()
@@ -115,6 +117,7 @@ func printScreens(vms int, kindName string, level int, seed int64) {
 		vm.SetSource(workload.NewLevel(kind, level, workload.Options{JitterRel: 0.01, Seed: seed + int64(i)}))
 	}
 	e := virtover.NewEngine(cl, virtover.DefaultCalibration(), seed)
+	defer e.Close()
 	e.Advance(3)
 	fmt.Print(monitor.RenderSnapshotScreens(e, pm, monitor.DefaultNoise(), seed+9))
 }

@@ -78,6 +78,7 @@ func runAdmissionOnce(model *core.Model, cfg AdmissionConfig, policy cloudscale.
 	cl := xen.NewCluster()
 	pm := cl.AddPM("pm1")
 	e := xen.NewEngine(cl, calib, cfg.Seed+1)
+	defer e.Close()
 
 	// Saturation accounting rides the engine's ground-truth sample stream:
 	// a stat sink tracks the host-CPU mean, a filtered counter the

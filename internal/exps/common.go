@@ -157,6 +157,7 @@ func RunMicroContext(ctx context.Context, sc MicroScenario) (monitor.Measurement
 		noise = *sc.Noise
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), sc.Seed)
+	defer e.Close()
 	reg := observability(sc.Obs)
 	e.Instrument(reg)
 	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: noise, Seed: sc.Seed + 1000, Obs: reg}

@@ -84,6 +84,7 @@ func RunHetero(sc HeteroScenario) ([]core.ConfigSample, error) {
 		vm.SetSource(workload.Combine(parts...))
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), sc.Seed)
+	defer e.Close()
 	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: monitor.DefaultNoise(), Seed: sc.Seed + 1000}
 	series, err := script.Run(e, []*xen.PM{pm})
 	if err != nil {

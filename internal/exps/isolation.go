@@ -34,6 +34,7 @@ func runToolScenario(src xen.Source, samples int, seed int64) ([]core.Sample, er
 	vm := cl.AddVM(pm, "vm1", 512)
 	vm.SetSource(src)
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
+	defer e.Close()
 	script := monitor.Script{IntervalSteps: 1, Samples: samples, Noise: monitor.DefaultNoise(), Seed: seed + 1000}
 	series, err := script.Run(e, []*xen.PM{pm})
 	if err != nil {

@@ -77,6 +77,7 @@ func MitigationExperiment(model *core.Model, cfg MitigationConfig) (MitigationRe
 
 	calib := xen.DefaultCalibration()
 	e := xen.NewEngine(cl, calib, cfg.Seed)
+	defer e.Close()
 
 	var controller *cloudscale.HotspotController
 	if cfg.Controller {

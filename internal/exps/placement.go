@@ -197,6 +197,7 @@ func runPlacementOnce(ctx context.Context, model *core.Model, cfg PlacementConfi
 		}
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+7)
+	defer e.Close()
 	if err := e.AdvanceContext(ctx, cfg.Duration); err != nil {
 		return 0, 0, err
 	}
@@ -236,6 +237,7 @@ func profileVMs(ctx context.Context, specs []vmSpec, cfg PlacementConfig, pred *
 	dbVM.SetSource(app.DBSource())
 
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed+3)
+	defer e.Close()
 	script := monitor.Script{IntervalSteps: 1, Samples: 20, Noise: monitor.DefaultNoise(), Seed: seed + 29}
 	series, err := script.RunContext(ctx, e, pmList)
 	if err != nil {

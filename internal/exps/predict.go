@@ -90,6 +90,7 @@ func runPredictionOnce(ctx context.Context, model *core.Model, sets, clientCount
 		db.SetSource(app.DBSource())
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
+	defer e.Close()
 	e.Advance(5) // warm-up: let the closed loop settle
 
 	script := monitor.Script{IntervalSteps: 1, Samples: duration, Noise: monitor.DefaultNoise(), Seed: seed + 555}
@@ -193,6 +194,7 @@ func RecordRUBiSTrace(sets, clientCount, duration int, seed int64) ([][]monitor.
 		db.SetSource(app.DBSource())
 	}
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
+	defer e.Close()
 	e.Advance(5)
 	script := monitor.Script{IntervalSteps: 1, Samples: duration, Noise: monitor.DefaultNoise(), Seed: seed + 555}
 	return script.Run(e, []*xen.PM{pm1, pm2})

@@ -116,6 +116,7 @@ func runScalingOnce(cfg ScalingConfig, policy ScalingPolicy) (ScalingResult, err
 		return xen.Demand{CPU: demandAt(t)}
 	}))
 	e := xen.NewEngine(cl, xen.DefaultCalibration(), cfg.Seed)
+	defer e.Close()
 	// Attach the measurement pipeline once; the control loop advances the
 	// engine a step at a time and polls the collector for the latest row.
 	col := monitor.NewCollector()

@@ -33,6 +33,13 @@
 //     when a filter drops part of the group;
 //   - the batch slice is reused by its producer: sinks must not retain it
 //     (copy the samples out if they outlive Consume/ConsumeBatch).
+//
+// Producers may assemble a batch in parallel — the sharded engine fills
+// disjoint pre-sliced segments of its step batch from several goroutines —
+// but delivery is always a single ConsumeBatch call per step on the
+// stepping goroutine, after assembly completes. Sinks therefore never see
+// concurrency, partial assembly, or an order that depends on the
+// producer's parallelism.
 package sampling
 
 import (

@@ -286,6 +286,9 @@ func flowsFor(mbps float64, target string) []xen.Flow {
 }
 
 // Build constructs the cluster and an engine. PM order follows the spec.
+// The engine picks up the process-default shard count (xen.SetDefaultShards,
+// the cmd/ -shards flag); when that exceeds 1 the caller should Close the
+// engine once done to stop its worker pool.
 func (s *Scenario) Build() (*xen.Engine, []*xen.PM, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
@@ -326,6 +329,7 @@ func (s *Scenario) RunContext(ctx context.Context) ([][]monitor.Measurement, err
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	duration := s.Duration
 	if duration <= 0 {
 		duration = 120

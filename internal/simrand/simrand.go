@@ -10,16 +10,71 @@ package simrand
 
 import "math/rand"
 
+// countingSource wraps the stdlib generator and counts raw draws at the
+// rand.Source64 level. Every distribution method of rand.Rand bottoms out
+// in Int63/Uint64 calls on its source, so (seed, draws) is a complete,
+// serializable description of the generator's state: re-seeding and
+// replaying draws raw reads restores it exactly. The wrapper is a pure
+// pass-through — the emitted stream is bit-identical to using the
+// underlying source directly.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// State is a serializable snapshot of a Source: the seed it was created
+// with and the number of raw draws consumed since. Restore rebuilds the
+// exact generator state from it (see Source.State).
+type State struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
 // Source is a seeded random source with the distributions the simulator
 // needs. It is not safe for concurrent use; give each goroutine its own
 // Source via Split.
 type Source struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	cnt  *countingSource
+	seed int64
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	cnt := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{rng: rand.New(cnt), cnt: cnt, seed: seed}
+}
+
+// State captures the source's current state for later Restore. The
+// snapshot is O(1); Restore replays the recorded number of raw draws, so
+// restoring a long-lived source costs time linear in its history.
+func (s *Source) State() State {
+	return State{Seed: s.seed, Draws: s.cnt.draws}
+}
+
+// Restore rebuilds a Source in exactly the state captured by State: the
+// restored source emits the same continuation stream, bit for bit.
+func Restore(st State) *Source {
+	s := New(st.Seed)
+	for s.cnt.draws < st.Draws {
+		s.cnt.Int63()
+	}
+	return s
 }
 
 // Split derives an independent child source. The child's stream is a pure
@@ -47,6 +102,11 @@ func (s *Source) Normal(mean, sigma float64) float64 {
 	}
 	return mean + sigma*s.rng.NormFloat64()
 }
+
+// NormFloat64 returns a standard-normal sample. It consumes the stream
+// exactly as Normal and Jitter do, so callers may pre-draw a batch of
+// normals and apply them later without changing the sequence.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
 
 // Jitter returns x perturbed by multiplicative Gaussian noise:
 // x * (1 + N(0, rel)). rel <= 0 returns x unchanged.

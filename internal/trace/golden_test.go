@@ -15,9 +15,9 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden trace fixtures")
 
 // goldenScenario runs a fixed two-PM mixed-workload campaign through the
-// live sample pipeline (engine → Decimate → Meter → CSVSink) and returns
-// the recorded CSV bytes.
-func goldenScenario() []byte {
+// live sample pipeline (engine → Decimate → Meter → CSVSink) with the
+// given engine shard count and returns the recorded CSV bytes.
+func goldenScenario(shards int) []byte {
 	cl := xen.NewCluster()
 	p1 := cl.AddPM("pm1")
 	p2 := cl.AddPM("pm2")
@@ -36,7 +36,8 @@ func goldenScenario() []byte {
 	mk(p1, "vm-b", 25, 60, 0, 0)
 	mk(p2, "vm-c", 55, 200, 50, 12000)
 
-	e := xen.NewEngine(cl, xen.DefaultCalibration(), 42)
+	e := xen.NewEngineWithOptions(cl, xen.DefaultCalibration(), 42, xen.EngineOptions{Shards: shards})
+	defer e.Close()
 	var buf bytes.Buffer
 	sink := trace.NewCSVSink(&buf)
 	sc := monitor.Script{IntervalSteps: 2, Samples: 8, Noise: monitor.DefaultNoise(), Seed: 7}
@@ -54,11 +55,19 @@ func goldenScenario() []byte {
 
 // TestGoldenTraceDeterminism proves the refactored pipeline preserves
 // simulation semantics: the same seed and scenario produce byte-identical
-// CSV, both within a process and against the recorded fixture.
+// CSV — within a process, against the recorded fixture, and at every
+// engine shard count (the sharded step's merge-order contract). Run under
+// -cpu 1,2,8 (make shard-determinism) this covers the Shards × GOMAXPROCS
+// matrix end to end.
 func TestGoldenTraceDeterminism(t *testing.T) {
-	got := goldenScenario()
-	if again := goldenScenario(); !bytes.Equal(got, again) {
+	got := goldenScenario(1)
+	if again := goldenScenario(1); !bytes.Equal(got, again) {
 		t.Fatal("two identical runs produced different trace bytes")
+	}
+	for _, shards := range []int{2, 8} {
+		if sharded := goldenScenario(shards); !bytes.Equal(got, sharded) {
+			t.Fatalf("Shards=%d trace differs from the serial trace", shards)
+		}
 	}
 
 	path := filepath.Join("testdata", "golden_trace.csv")

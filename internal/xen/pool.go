@@ -1,0 +1,161 @@
+package xen
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EngineOptions configures engine construction beyond the required
+// cluster/calibration/seed triple.
+type EngineOptions struct {
+	// Shards is the number of worker-pool partitions one cluster's PMs are
+	// stepped across. 1 (or less) runs the classic single-goroutine step.
+	// The effective count is capped at the number of PMs. Output is
+	// bit-identical at every shard count — sharding is purely a throughput
+	// knob (see DESIGN.md §12 for the merge-order contract).
+	Shards int
+}
+
+// defaultShards is the process-wide default shard count applied by
+// NewEngine; 0 means 1. Set via SetDefaultShards (the cmd/ `-shards` flag).
+var defaultShards atomic.Int32
+
+// SetDefaultShards sets the shard count NewEngine gives new engines.
+// Values below 1 reset to the serial default. Existing engines are
+// unaffected; use (*Engine).SetShards for those.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards.Store(int32(n))
+}
+
+// DefaultShards returns the process-wide default shard count.
+func DefaultShards() int {
+	if n := defaultShards.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// Phase identifiers for shardPool dispatch. Workers switch on a plain int
+// instead of a stored closure so a steady-state step allocates nothing.
+const (
+	phaseDemand  = iota // demand collection + flow reset + sender lists
+	phaseResolve        // cross-PM exchange, then per-PM resolution
+	phaseEmit           // fill the step batch segments
+)
+
+// shardPool is the engine's persistent worker pool. It exists only while
+// the effective shard count exceeds 1. The calling goroutine always
+// executes shard 0 itself; workers 0..n-2 execute shards 1..n-1. Workers
+// park on a per-worker buffered channel between phases, so dispatching a
+// phase is n-1 channel sends and a WaitGroup — no goroutine creation, no
+// allocation.
+//
+// Memory ordering: the dispatcher writes pool.phase (and all shared step
+// state) before the channel sends, and workers' writes complete before
+// wg.Done; the send→receive and Done→Wait edges give every phase a full
+// happens-before barrier against its neighbours.
+type shardPool struct {
+	e     *Engine
+	n     int // shard count; len(wake) == n-1
+	phase int // written by dispatcher before waking workers
+	wake  []chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newShardPool(e *Engine, n int) *shardPool {
+	p := &shardPool{e: e, n: n, wake: make([]chan struct{}, n-1), stop: make(chan struct{})}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *shardPool) worker(i int) {
+	shard := i + 1
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake[i]:
+			switch p.phase {
+			case phaseDemand:
+				p.e.phaseDemand(shard)
+			case phaseResolve:
+				p.e.phaseExchange(shard)
+				p.e.phaseResolve(shard)
+			case phaseEmit:
+				p.e.phaseEmit(shard)
+			}
+			p.wg.Done()
+		}
+	}
+}
+
+// begin wakes the workers for one phase. The caller then runs shard 0's
+// share itself (possibly after other serial work it wants overlapped with
+// the workers — the engine pre-draws process noise here) and calls wait.
+func (p *shardPool) begin(phase int) {
+	p.phase = phase
+	p.wg.Add(p.n - 1)
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+}
+
+// wait blocks until every worker finished the phase begun last.
+func (p *shardPool) wait() { p.wg.Wait() }
+
+// close terminates the workers. The pool must be idle (between steps).
+func (p *shardPool) close() { close(p.stop) }
+
+// SetShards changes the engine's shard count for subsequent steps. The
+// layout is re-partitioned (and the worker pool resized) lazily on the
+// next step. Values below 1 select the serial step. Output is unaffected.
+func (e *Engine) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.shards = n
+}
+
+// Shards returns the configured shard count (not capped at the PM count).
+func (e *Engine) Shards() int {
+	if e.shards < 1 {
+		return 1
+	}
+	return e.shards
+}
+
+// Close stops the engine's worker pool, if one is running. The engine
+// remains usable — the next sharded step starts a fresh pool — so Close is
+// safe to defer at creation and call again later. Engines stepped serially
+// never start a pool, and for them Close is a no-op.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// ensurePool sizes the worker pool to the effective shard count.
+func (e *Engine) ensurePool(eff int) {
+	if eff <= 1 {
+		if e.pool != nil {
+			e.pool.close()
+			e.pool = nil
+		}
+		return
+	}
+	if e.pool != nil {
+		if e.pool.n == eff {
+			return
+		}
+		e.pool.close()
+	}
+	e.pool = newShardPool(e, eff)
+}

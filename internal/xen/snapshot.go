@@ -1,6 +1,11 @@
 package xen
 
-import "virtover/internal/units"
+import (
+	"fmt"
+
+	"virtover/internal/simrand"
+	"virtover/internal/units"
+)
 
 // Snapshot is a point-in-time ground-truth reading of one PM and its
 // domains. Monitor tools consume snapshots and add their own access
@@ -52,4 +57,125 @@ func (s Snapshot) GuestSum() units.Vector {
 		t = t.Add(v)
 	}
 	return t
+}
+
+// VMState is one guest's dynamic state in an EngineState.
+type VMState struct {
+	Name   string       `json:"name"`
+	PM     string       `json:"pm"`
+	CPUCap float64      `json:"cpu_cap,omitempty"` // credit-scheduler cap (0 = uncapped)
+	Util   units.Vector `json:"util"`
+}
+
+// PMState is one PM's dynamic state in an EngineState.
+type PMState struct {
+	Name          string       `json:"name"`
+	Dom0          units.Vector `json:"dom0"`
+	HypervisorCPU float64      `json:"hypervisor_cpu"`
+	Host          units.Vector `json:"host"`
+}
+
+// MigrationState is one in-flight live migration in an EngineState.
+type MigrationState struct {
+	VM          string  `json:"vm"`
+	To          string  `json:"to"`
+	RemainingKb float64 `json:"remaining_kb"`
+}
+
+// EngineState is a serializable snapshot of everything the engine mutates
+// while stepping: the clock, the process-noise RNG, each guest's placement,
+// scheduler cap and last utilization, each PM's last readings, and the
+// in-flight migrations. Static configuration — topology names, memory and
+// VCPU shapes, weights, workload sources, the Calibration — is NOT captured;
+// RestoreState expects a cluster built the same way the captured one was.
+//
+// Capturing then restoring onto such a cluster replays the exact
+// continuation: with pure (t-based) workload sources, every subsequent
+// step and emitted sample is bit-identical to the uninterrupted run, at
+// any shard count (the shard count itself is not part of the state).
+// Stateful sources carry history outside the engine and must be restored
+// by the caller alongside it.
+type EngineState struct {
+	Now        float64          `json:"now"`
+	RNG        simrand.State    `json:"rng"`
+	VMs        []VMState        `json:"vms"`
+	PMs        []PMState        `json:"pms"`
+	Migrations []MigrationState `json:"migrations,omitempty"`
+}
+
+// CaptureState snapshots the engine's dynamic state. Call it between
+// Advance calls (never from inside a sink).
+func (e *Engine) CaptureState() EngineState {
+	cl := e.Cluster
+	st := EngineState{Now: e.now, RNG: e.rng.State()}
+	st.PMs = make([]PMState, 0, len(cl.PMs))
+	for _, pm := range cl.PMs {
+		st.PMs = append(st.PMs, PMState{
+			Name: pm.Name, Dom0: pm.dom0Util, HypervisorCPU: pm.hypCPU, Host: pm.pmUtil})
+		for _, vm := range pm.VMs {
+			st.VMs = append(st.VMs, VMState{
+				Name: vm.Name, PM: pm.Name, CPUCap: vm.capCPU, Util: vm.util})
+		}
+	}
+	if len(e.migrations) > 0 {
+		st.Migrations = make([]MigrationState, 0, len(e.migrations))
+		for _, m := range e.migrations {
+			st.Migrations = append(st.Migrations, MigrationState{
+				VM: m.vm.Name, To: m.dst.Name, RemainingKb: m.remainingKb})
+		}
+	}
+	return st
+}
+
+// RestoreState rewinds the engine (and its cluster) to a captured state:
+// guests are moved back to their captured PMs, caps and last readings are
+// reinstated, in-flight migrations resume at their remaining copy volume,
+// and the RNG continues the captured stream. The cluster must contain
+// every VM and PM the state names; extras are left untouched. On error the
+// engine may be partially restored and should be discarded.
+func (e *Engine) RestoreState(st EngineState) error {
+	cl := e.Cluster
+	for _, vs := range st.VMs {
+		vm, ok := cl.LookupVM(vs.Name)
+		if !ok {
+			return fmt.Errorf("xen: RestoreState: unknown VM %q", vs.Name)
+		}
+		pm, ok := cl.LookupPM(vs.PM)
+		if !ok {
+			return fmt.Errorf("xen: RestoreState: unknown PM %q", vs.PM)
+		}
+		if vm.pm != pm {
+			if err := cl.MigrateVM(vs.Name, pm); err != nil {
+				return fmt.Errorf("xen: RestoreState: %w", err)
+			}
+		}
+		vm.capCPU = vs.CPUCap
+		vm.util = vs.Util
+	}
+	for _, ps := range st.PMs {
+		pm, ok := cl.LookupPM(ps.Name)
+		if !ok {
+			return fmt.Errorf("xen: RestoreState: unknown PM %q", ps.Name)
+		}
+		pm.dom0Util = ps.Dom0
+		pm.hypCPU = ps.HypervisorCPU
+		pm.pmUtil = ps.Host
+	}
+	e.migrations = e.migrations[:0]
+	for _, ms := range st.Migrations {
+		vm, ok := cl.LookupVM(ms.VM)
+		if !ok {
+			return fmt.Errorf("xen: RestoreState: unknown migrating VM %q", ms.VM)
+		}
+		dst, ok := cl.LookupPM(ms.To)
+		if !ok {
+			return fmt.Errorf("xen: RestoreState: unknown migration target %q", ms.To)
+		}
+		e.migrations = append(e.migrations, &liveMigration{
+			vm: vm, dst: dst, remainingKb: ms.RemainingKb})
+	}
+	e.obs.migActive.Set(int64(len(e.migrations)))
+	e.now = st.Now
+	e.rng = simrand.Restore(st.RNG)
+	return nil
 }

@@ -108,6 +108,11 @@ func (p *PM) PMUtil() units.Vector { return p.pmUtil }
 // dense integer IDs assigned at construction; the engine's scratch arenas
 // and the sampling pipeline address domains by those IDs instead of
 // pointer-keyed maps.
+//
+// Topology must change through the Cluster methods (AddPM, AddVMConfig,
+// RemoveVM, MigrateVM): each bumps an internal generation counter that
+// tells attached engines to rebuild their struct-of-arrays layout before
+// the next step.
 type Cluster struct {
 	PMs []*PM
 
@@ -115,12 +120,22 @@ type Cluster struct {
 	// IDs are never reused, so references by ID stay unambiguous.
 	vms     []*VM
 	vmIndex map[string]*VM
+	pmIndex map[string]*PM
+
+	// gen counts topology mutations; engines compare it against the
+	// generation their SoA layout was built from.
+	gen uint64
 }
 
 // NewCluster creates an empty cluster.
 func NewCluster() *Cluster {
-	return &Cluster{vmIndex: make(map[string]*VM)}
+	return &Cluster{vmIndex: make(map[string]*VM), pmIndex: make(map[string]*PM)}
 }
+
+// Generation returns the topology mutation counter. It increases on every
+// AddPM/AddVMConfig/RemoveVM/MigrateVM; equal values mean an unchanged
+// topology.
+func (c *Cluster) Generation() uint64 { return c.gen }
 
 // NumVMIDs returns the size of the VM ID space (one past the highest ID
 // ever assigned, including retired IDs). Engines size their scratch arenas
@@ -139,14 +154,20 @@ func (c *Cluster) VMByID(id int) *VM {
 // AddPM creates a PM with the testbed's memory capacity (2 GB) and adds it
 // to the cluster. PM names must be unique.
 func (c *Cluster) AddPM(name string) *PM {
-	for _, p := range c.PMs {
-		if p.Name == name {
-			panic(fmt.Sprintf("xen: duplicate PM name %q", name))
-		}
+	if _, dup := c.pmIndex[name]; dup {
+		panic(fmt.Sprintf("xen: duplicate PM name %q", name))
 	}
 	pm := &PM{Name: name, MemCapMB: 2048, id: len(c.PMs)}
 	c.PMs = append(c.PMs, pm)
+	c.pmIndex[name] = pm
+	c.gen++
 	return pm
+}
+
+// LookupPM resolves a PM by name; ok is false for unknown names.
+func (c *Cluster) LookupPM(name string) (*PM, bool) {
+	p, ok := c.pmIndex[name]
+	return p, ok
 }
 
 // DefaultWeight is Xen's default credit-scheduler domain weight.
@@ -177,6 +198,7 @@ func (c *Cluster) AddVMConfig(pm *PM, name string, memCapMB float64, vcpus int, 
 	c.vms = append(c.vms, vm)
 	pm.VMs = append(pm.VMs, vm)
 	c.vmIndex[name] = vm
+	c.gen++
 	return vm
 }
 
@@ -203,6 +225,7 @@ func (c *Cluster) RemoveVM(name string) {
 		}
 	}
 	vm.pm = nil
+	c.gen++
 }
 
 // MigrateVM moves a VM to another PM (placement experiments use this).
@@ -223,5 +246,6 @@ func (c *Cluster) MigrateVM(name string, dst *PM) error {
 	}
 	dst.VMs = append(dst.VMs, vm)
 	vm.pm = dst
+	c.gen++
 	return nil
 }

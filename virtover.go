@@ -145,10 +145,38 @@ type WorkloadSource = xen.Source
 // NewCluster creates an empty cluster.
 func NewCluster() *Cluster { return xen.NewCluster() }
 
-// NewEngine creates a simulation engine with 1-second steps.
+// EngineOptions configures engine construction (shard count of the
+// stepping pool; output is bit-identical at every value).
+type EngineOptions = xen.EngineOptions
+
+// NewEngine creates a simulation engine with 1-second steps. Its shard
+// count is the process default (see SetEngineShards).
 func NewEngine(c *Cluster, calib Calibration, seed int64) *Engine {
 	return xen.NewEngine(c, calib, seed)
 }
+
+// NewEngineWithOptions creates a simulation engine with explicit options.
+func NewEngineWithOptions(c *Cluster, calib Calibration, seed int64, opts EngineOptions) *Engine {
+	return xen.NewEngineWithOptions(c, calib, seed, opts)
+}
+
+// SetEngineShards sets the process-wide default shard count applied to
+// engines created afterwards (the cmd/ `-shards` flag). Sharding splits
+// one cluster's PMs across a persistent worker pool; traces stay
+// byte-identical at any value, so it is purely a throughput knob for
+// datacenter-scale fleets. Values below 1 restore the serial default.
+func SetEngineShards(n int) { xen.SetDefaultShards(n) }
+
+// BuildDatacenter generates a synthetic datacenter-scale cluster for
+// capacity studies and benchmarks.
+func BuildDatacenter(spec DatacenterSpec) *Cluster { return xen.BuildDatacenter(spec) }
+
+// DatacenterSpec shapes a synthetic fleet for BuildDatacenter.
+type DatacenterSpec = xen.DatacenterSpec
+
+// EngineState is a serializable snapshot of an engine's dynamic state;
+// see (*Engine).CaptureState and RestoreState.
+type EngineState = xen.EngineState
 
 // DefaultCalibration returns the constants calibrated against the paper's
 // XenServer 6.2 testbed.
