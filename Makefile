@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet ctxvet build test race determinism shard-determinism pipeline obs serve bench
+.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism pipeline obs serve bench bench-compare
 
 # The full pre-commit gate: static checks, build, the race-enabled test
 # suite (shuffled to flush test-order dependencies), the multi-GOMAXPROCS
-# fitting-kernel and sharded-engine determinism checks, the
-# sample-pipeline equivalence gate, the observability-layer gate, and the
-# estimation-service gate.
-check: vet ctxvet build race determinism shard-determinism pipeline obs serve
+# fitting-kernel, sharded-engine and sharded-monitoring determinism
+# checks, the sample-pipeline equivalence gate, the observability-layer
+# gate, and the estimation-service gate.
+check: vet ctxvet build race determinism shard-determinism meter-determinism pipeline obs serve
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,14 @@ shard-determinism:
 	$(GO) test -race -cpu 1,2,8 -run 'TestShardDeterminism|TestSetShardsMidRun|TestEngineStateRoundTrip|TestShardedStepAllocationFree' ./internal/xen/
 	$(GO) test -race -cpu 1,2,8 -run TestGoldenTraceDeterminism ./internal/trace/
 
+# The sharded monitoring pipeline promises byte-identical measured output
+# at every shard count: the full-chain equivalence test, the sharded-sink
+# contract units, and the golden metered-campaign fixture (shards {1,2,8}),
+# race-checked across the GOMAXPROCS matrix.
+meter-determinism:
+	$(GO) test -race -cpu 1,2,8 -run 'TestShardedPipelineMatchesSerial|TestShardedMeterActuallyShards|TestShardedIrregularSegmentsDefer|TestMeteredCampaignGolden' ./internal/monitor/
+	$(GO) test -race -cpu 1,2,8 -run 'TestStatAndCDFSharded|TestFilterSharded|TestDecimatorSharded|TestShardedFanout|TestAsyncFanoutConcurrentProducers' ./internal/sampling/
+
 # Batched-pipeline safety net: the golden-trace fixture (byte-identical CSV
 # through the batched meter + fast writer) and the batch-vs-scalar
 # equivalence property test, both under the race detector.
@@ -66,3 +74,13 @@ serve:
 # BENCH_stats.json so the next PR has a perf trajectory to compare against.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
+
+# Re-run the metering-path benchmarks and diff them against the committed
+# BENCH_stats.json baseline: a >20% ns/op regression in any metering
+# benchmark fails the target. Comparable numbers need a comparable
+# machine, so an _env mismatch with the committed baseline skips the diff
+# (benchjson prints SKIPPED) instead of reporting machine noise as a
+# regression.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold 20 -skip-env-mismatch BENCH_stats.json /tmp/bench_new.json

@@ -431,6 +431,12 @@ func BenchmarkEngineBigCluster(b *testing.B) {
 // benchCampaignCluster builds the paper-sized 7 PM x 4 guest cluster used
 // by the campaign-step benchmarks.
 func benchCampaignCluster() *xen.Engine {
+	return benchCampaignClusterSharded(0)
+}
+
+// benchCampaignClusterSharded is benchCampaignCluster with an explicit
+// engine shard count (0 = serial default).
+func benchCampaignClusterSharded(shards int) *xen.Engine {
 	cl := xen.NewCluster()
 	for p := 0; p < 7; p++ {
 		pm := cl.AddPM(string(rune('A' + p)))
@@ -446,7 +452,7 @@ func benchCampaignCluster() *xen.Engine {
 			vm.SetSource(workload.Const(d))
 		}
 	}
-	return xen.NewEngine(cl, xen.DefaultCalibration(), 1)
+	return xen.NewEngineWithOptions(cl, xen.DefaultCalibration(), 1, xen.EngineOptions{Shards: shards})
 }
 
 // A paper-sized measurement campaign per step: the big cluster with the
@@ -476,20 +482,62 @@ func BenchmarkEngineCampaignStep(b *testing.B) {
 // The same campaign step terminating in a Collector, which retains every
 // measurement (maps and rows per PM per step) — the memory-for-history
 // trade the Collector documents. Kept separate so the steady-state number
-// above stays a pure pipeline cost.
+// above stays a pure pipeline cost. Sharded variants run the meter's
+// parallel kernels with shard-affine PM groups (output is byte-identical —
+// make meter-determinism proves it); on a single-CPU box the workers
+// time-slice one core, so shards8 tracking shards1 closely, not beating
+// it, is the expected shape there.
 func BenchmarkCampaignStepMetered(b *testing.B) {
-	e := benchCampaignCluster()
-	col := monitor.NewCollector()
-	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
-	detach, err := script.Attach(e, nil, col)
-	if err != nil {
-		b.Fatal(err)
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			e := benchCampaignClusterSharded(shards)
+			defer e.Close()
+			col := monitor.NewCollector()
+			script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+			detach, err := script.Attach(e, nil, col)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer detach()
+			e.Advance(10) // settle instruments, scratch, sizing hints
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Advance(1)
+			}
+		})
 	}
-	defer detach()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Advance(1)
+}
+
+// Metering at datacenter scale: a 2000-PM fleet with the full sample
+// pipeline terminating in the O(1)-memory StreamAggregator, at several
+// shard counts. Engine emission and the meter's tool kernels both run on
+// the shard workers (the PM groups a shard steps are the groups it
+// meters), so this is the headline number for the sharded monitoring
+// path; the unmetered fleet cost is BenchmarkEngineDatacenter.
+func BenchmarkEngineDatacenterMetered(b *testing.B) {
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			cl := xen.BuildDatacenter(xen.DatacenterSpec{
+				PMs: 2000, VMsPerPM: 5, Seed: 1, FlowEvery: 8})
+			calib := xen.DefaultCalibration()
+			calib.ProcessNoiseRel = 0
+			e := xen.NewEngineWithOptions(cl, calib, 1, xen.EngineOptions{Shards: shards})
+			defer e.Close()
+			agg := monitor.NewStreamAggregator()
+			script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+			detach, err := script.Attach(e, nil, agg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer detach()
+			e.Advance(6) // SoA layout, instruments, P2 estimators (buffer 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Advance(1)
+			}
+		})
 	}
 }
 

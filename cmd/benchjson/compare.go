@@ -25,12 +25,44 @@ func readBenchFile(path string) (benchFile, error) {
 	return f, nil
 }
 
+// envMismatch compares the two files' "_env" pseudo-entries and returns a
+// description of the first differing key, or "" when the environments
+// match. A file without an _env entry (a pre-stamping baseline) matches
+// anything — there is nothing to contradict.
+func envMismatch(oldF, newF benchFile) string {
+	oldEnv, newEnv := oldF[envEntry], newF[envEntry]
+	if oldEnv == nil || newEnv == nil {
+		return ""
+	}
+	keys := map[string]bool{}
+	for k := range oldEnv {
+		keys[k] = true
+	}
+	for k := range newEnv {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if oldEnv[k] != newEnv[k] {
+			return fmt.Sprintf("%s %g vs %g", k, oldEnv[k], newEnv[k])
+		}
+	}
+	return ""
+}
+
 // compareFiles diffs two benchjson files and writes a per-benchmark ns/op
 // delta table to w. It returns the names of benchmarks whose ns/op
 // regressed by more than thresholdPct percent. Benchmarks present in only
 // one file are listed but never count as regressions (the suite grew or
-// shrank; neither is a perf fault).
-func compareFiles(oldPath, newPath string, thresholdPct float64, w io.Writer) ([]string, error) {
+// shrank; neither is a perf fault). Files recorded under different
+// parallelism environments (per their _env entries) are refused — the
+// delta would measure the machines, not the code — unless skipEnvMismatch
+// is set, which reports the skip on w and succeeds without diffing.
+func compareFiles(oldPath, newPath string, thresholdPct float64, skipEnvMismatch bool, w io.Writer) ([]string, error) {
 	oldF, err := readBenchFile(oldPath)
 	if err != nil {
 		return nil, err
@@ -39,6 +71,14 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, w io.Writer) ([
 	if err != nil {
 		return nil, err
 	}
+	if diff := envMismatch(oldF, newF); diff != "" {
+		if skipEnvMismatch {
+			fmt.Fprintf(w, "SKIPPED: environments differ (%s); no comparison performed\n", diff)
+			return nil, nil
+		}
+		return nil, fmt.Errorf("refusing to compare: %s and %s were recorded under different environments (%s); re-record the baseline on this machine or pass -skip-env-mismatch",
+			oldPath, newPath, diff)
+	}
 	names := map[string]bool{}
 	for n := range oldF {
 		names[n] = true
@@ -46,6 +86,8 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, w io.Writer) ([
 	for n := range newF {
 		names[n] = true
 	}
+	delete(names, envEntry) // metadata, not a benchmark
+
 	sorted := make([]string, 0, len(names))
 	for n := range names {
 		sorted = append(sorted, n)

@@ -32,7 +32,7 @@ func TestCompareFiles(t *testing.T) {
 	}`)
 
 	var out strings.Builder
-	regressed, err := compareFiles(oldPath, newPath, 20, &out)
+	regressed, err := compareFiles(oldPath, newPath, 20, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCompareFiles(t *testing.T) {
 		t.Errorf("want exactly one REGRESSED mark:\n%s", text)
 	}
 	// ...but is flagged when the threshold is tightened below it.
-	regressed, err = compareFiles(oldPath, newPath, 4, &out)
+	regressed, err = compareFiles(oldPath, newPath, 4, false, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +64,95 @@ func TestCompareFilesErrors(t *testing.T) {
 	good := writeJSON(t, dir, "good.json", `{"BenchmarkA": {"ns/op": 1}}`)
 	bad := writeJSON(t, dir, "bad.json", `{not json`)
 	var out strings.Builder
-	if _, err := compareFiles(good, filepath.Join(dir, "missing.json"), 20, &out); err == nil {
+	if _, err := compareFiles(good, filepath.Join(dir, "missing.json"), 20, false, &out); err == nil {
 		t.Error("missing file: want error")
 	}
-	if _, err := compareFiles(good, bad, 20, &out); err == nil {
+	if _, err := compareFiles(good, bad, 20, false, &out); err == nil {
 		t.Error("malformed JSON: want error")
+	}
+}
+
+func TestCompareFilesEnvMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeJSON(t, dir, "old.json", `{
+		"_env":       {"gomaxprocs": 8, "numcpu": 8},
+		"BenchmarkA": {"ns/op": 1000}
+	}`)
+	newPath := writeJSON(t, dir, "new.json", `{
+		"_env":       {"gomaxprocs": 1, "numcpu": 1},
+		"BenchmarkA": {"ns/op": 5000}
+	}`)
+
+	// Different environments: refuse outright (the 5x "regression" is the
+	// machine, not the code)...
+	var out strings.Builder
+	if _, err := compareFiles(oldPath, newPath, 20, false, &out); err == nil {
+		t.Fatal("env mismatch: want refusal error")
+	}
+
+	// ...unless skipping is requested, which succeeds WITHOUT diffing.
+	out.Reset()
+	regressed, err := compareFiles(oldPath, newPath, 20, true, &out)
+	if err != nil {
+		t.Fatalf("skip-env-mismatch: %v", err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("skipped comparison reported regressions: %v", regressed)
+	}
+	if !strings.Contains(out.String(), "SKIPPED") {
+		t.Errorf("skip output missing SKIPPED marker:\n%s", out.String())
+	}
+
+	// Matching environments diff normally, with _env excluded from the
+	// delta table.
+	samePath := writeJSON(t, dir, "same.json", `{
+		"_env":       {"gomaxprocs": 8, "numcpu": 8},
+		"BenchmarkA": {"ns/op": 1100}
+	}`)
+	out.Reset()
+	regressed, err = compareFiles(oldPath, samePath, 20, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("regressed = %v, want none at +10%%", regressed)
+	}
+	if strings.Contains(out.String(), "_env") {
+		t.Errorf("_env leaked into the delta table:\n%s", out.String())
+	}
+
+	// A baseline from before env stamping (no _env entry) compares against
+	// anything — there is nothing to contradict.
+	legacy := writeJSON(t, dir, "legacy.json", `{"BenchmarkA": {"ns/op": 1000}}`)
+	if _, err := compareFiles(legacy, newPath, 20, false, &out); err != nil {
+		t.Errorf("legacy baseline without _env: %v", err)
+	}
+}
+
+func TestParseBenchLineEnvMetrics(t *testing.T) {
+	m, name := parseBenchLine("BenchmarkCampaignStepMetered/shards8-4   500   22703 ns/op   4069 B/op   15 allocs/op")
+	if name != "BenchmarkCampaignStepMetered/shards8" {
+		t.Fatalf("name = %q", name)
+	}
+	if m["gomaxprocs"] != 4 {
+		t.Errorf("gomaxprocs = %v, want 4 (from the -4 suffix)", m["gomaxprocs"])
+	}
+	if m["shards"] != 8 {
+		t.Errorf("shards = %v, want 8 (from the /shards8 component)", m["shards"])
+	}
+	if m["ns/op"] != 22703 || m["allocs/op"] != 15 {
+		t.Errorf("metrics = %v", m)
+	}
+
+	// Unsharded, unsuffixed lines carry neither pseudo-metric.
+	m, name = parseBenchLine("BenchmarkWaterFill   100   250 ns/op")
+	if name != "BenchmarkWaterFill" {
+		t.Fatalf("name = %q", name)
+	}
+	if _, ok := m["gomaxprocs"]; ok {
+		t.Error("unsuffixed line must not carry gomaxprocs")
+	}
+	if _, ok := m["shards"]; ok {
+		t.Error("unsharded line must not carry shards")
 	}
 }

@@ -2,7 +2,11 @@
 // perf-trajectory file. It reads benchmark output on stdin, echoes it
 // unchanged to stdout (so make bench stays readable), and writes one JSON
 // object mapping each benchmark name to its reported metrics — ns/op,
-// B/op, allocs/op and any custom b.ReportMetric units.
+// B/op, allocs/op and any custom b.ReportMetric units — plus the
+// parallelism environment: each entry carries the line's GOMAXPROCS
+// suffix ("gomaxprocs") and, for sharded sub-benchmarks, the shard count
+// ("shards"), and a top-level "_env" pseudo-entry records the recording
+// machine's GOMAXPROCS and CPU count.
 //
 // Usage:
 //
@@ -13,7 +17,11 @@
 // gives successive PRs a recorded baseline to diff against instead of
 // re-running historical commits; -compare does that diff, printing the
 // per-benchmark ns/op delta and exiting non-zero when any benchmark
-// regressed past -threshold percent.
+// regressed past -threshold percent. Files recorded under different
+// parallelism environments (per their "_env" entries) refuse to diff —
+// cross-machine ns/op deltas are noise, not regressions; pass
+// -skip-env-mismatch to turn that refusal into a no-op success (for CI
+// fleets with heterogeneous runners).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,17 +40,23 @@ import (
 
 var app = cli.New("benchjson")
 
+// envEntry is the name of the pseudo-benchmark entry recording the
+// environment. The leading underscore sorts it first and can never clash
+// with a real benchmark (those start with "Benchmark").
+const envEntry = "_env"
+
 func main() {
 	out := flag.String("out", "BENCH_stats.json", "output JSON path")
 	compare := flag.Bool("compare", false, "compare two benchjson files given as positional args (old.json new.json)")
 	threshold := flag.Float64("threshold", 20, "with -compare, the ns/op regression percentage that fails the run")
+	skipEnvMismatch := flag.Bool("skip-env-mismatch", false, "with -compare, succeed without diffing when the files' _env entries differ instead of failing")
 	app.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			app.Fatal("usage: benchjson -compare old.json new.json")
 		}
-		regressed, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		regressed, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, *skipEnvMismatch, os.Stdout)
 		app.Check(err)
 		if len(regressed) > 0 {
 			app.Fatalf("%d benchmark(s) regressed more than %.0f%% in ns/op: %s",
@@ -64,6 +79,10 @@ func main() {
 	if len(results) == 0 {
 		app.Fatal("no benchmark lines found on stdin")
 	}
+	results[envEntry] = map[string]float64{
+		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+		"numcpu":     float64(runtime.NumCPU()),
+	}
 	f, err := os.Create(*out)
 	app.Check(err)
 	enc := json.NewEncoder(f)
@@ -83,7 +102,11 @@ func main() {
 //	BenchmarkLMSFitParallel/w4-8   500   2501234 ns/op   32984 B/op   15 allocs/op
 //
 // returning the metric map and the benchmark name with the trailing
-// -GOMAXPROCS suffix stripped, or (nil, "") for non-benchmark lines.
+// -GOMAXPROCS suffix stripped, or (nil, "") for non-benchmark lines. The
+// stripped GOMAXPROCS is kept as the entry's "gomaxprocs" metric, and a
+// "/shardsN" name component (the sharded benchmarks' convention) as its
+// "shards" metric, so every recorded number names the parallelism it was
+// measured under.
 func parseBenchLine(line string) (map[string]float64, string) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -93,8 +116,10 @@ func parseBenchLine(line string) (map[string]float64, string) {
 		return nil, "" // second column must be the iteration count
 	}
 	name := fields[0]
+	gomaxprocs := 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			gomaxprocs = n
 			name = name[:i]
 		}
 	}
@@ -108,6 +133,16 @@ func parseBenchLine(line string) (map[string]float64, string) {
 	}
 	if len(m) == 0 {
 		return nil, ""
+	}
+	if gomaxprocs > 0 {
+		m["gomaxprocs"] = float64(gomaxprocs)
+	}
+	for _, part := range strings.Split(name, "/") {
+		if rest, ok := strings.CutPrefix(part, "shards"); ok {
+			if n, err := strconv.Atoi(rest); err == nil {
+				m["shards"] = float64(n)
+			}
+		}
 	}
 	return m, name
 }

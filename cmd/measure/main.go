@@ -30,7 +30,7 @@ func main() {
 		samples = flag.Int("samples", 120, "samples per measurement campaign (paper: 120)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		plot    = flag.Bool("plot", false, "draw ASCII charts instead of numeric tables")
-		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped in parallel; output is identical at any value)")
+		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()

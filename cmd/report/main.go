@@ -31,7 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
 		profile = flag.Bool("self-profile", false, "print the run's own metrics and phase timings to stderr afterwards")
-		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped in parallel; output is identical at any value)")
+		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()

@@ -39,7 +39,7 @@ func main() {
 		screens  = flag.Bool("screens", false, "print one synchronized set of tool screens (xentop/top/mpstat/vmstat/ifconfig) instead of a CSV trace")
 		scenFile = flag.String("scenario", "", "run a declarative JSON scenario file instead of the flag-built setup")
 		summary  = flag.Bool("summary", false, "print streaming per-PM summaries (mean/std/p50/p90/p99) instead of the CSV trace")
-		shards   = flag.Int("shards", 1, "engine worker shards (PMs stepped in parallel; output is identical at any value)")
+		shards   = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()

@@ -88,6 +88,21 @@ func (h *HotspotSink) Consume(s sampling.Sample) { h.col.Consume(s) }
 // one dispatch from the batched pipeline.
 func (h *HotspotSink) ConsumeBatch(batch []sampling.Sample) { h.col.ConsumeBatch(batch) }
 
+// BeginShardStep implements sampling.ShardedBatchSink by delegating to the
+// wrapped collector: shard workers assemble their own PMs' rows in
+// parallel and the merge keeps Series (and hence Drain) identical.
+func (h *HotspotSink) BeginShardStep(shape sampling.ShardShape) bool {
+	return h.col.BeginShardStep(shape)
+}
+
+// ConsumeShard implements sampling.ShardedBatchSink.
+func (h *HotspotSink) ConsumeShard(shard int, seg []sampling.Sample) {
+	h.col.ConsumeShard(shard, seg)
+}
+
+// FinishShardStep implements sampling.ShardedBatchSink.
+func (h *HotspotSink) FinishShardStep() { h.col.FinishShardStep() }
+
 // Drain runs the controller over every step completed since the previous
 // Drain and returns the accumulated migration recommendations. Call it
 // between engine Advance calls, apply the actions, and keep advancing.

@@ -14,8 +14,19 @@ import (
 // campaigns (hours of 1 Hz samples) use it instead of retaining the full
 // series. It is a sampling.Sink: attach it (behind a Meter) to the engine
 // to aggregate live, or feed it recorded measurements via Observe.
+//
+// It also implements sampling.ShardedBatchSink: since sharded segments are
+// PM-disjoint, each pmAgg is touched by exactly one worker and the
+// estimators fold in place with no synchronization. Only samples for PMs
+// without an estimator bundle yet (the first step of a campaign, or a PM
+// added mid-run) are staged per shard and folded at the merge, in shard
+// order — so estimator creation order, and every order-sensitive fold,
+// matches the serial path exactly.
 type StreamAggregator struct {
 	pms map[string]*pmAgg
+
+	pend   [][]sampling.Sample // per-shard samples awaiting a new pmAgg
+	shards int
 }
 
 // MetricSummary is the exported snapshot of one metric's stream.
@@ -94,6 +105,67 @@ func (a *StreamAggregator) ConsumeBatch(batch []sampling.Sample) {
 			agg.pmIO.Add(s.Util.IO)
 			agg.pmBW.Add(s.Util.BW)
 		}
+	}
+}
+
+// BeginShardStep implements sampling.ShardedBatchSink.
+func (a *StreamAggregator) BeginShardStep(shape sampling.ShardShape) bool {
+	if len(a.pend) < shape.Shards {
+		pend := make([][]sampling.Sample, shape.Shards)
+		copy(pend, a.pend)
+		a.pend = pend
+	}
+	a.shards = shape.Shards
+	for s := 0; s < shape.Shards; s++ {
+		a.pend[s] = a.pend[s][:0]
+	}
+	return true
+}
+
+// ConsumeShard implements sampling.ShardedBatchSink: known PMs fold into
+// their estimators right on the worker (the map is only read here —
+// estimator creation is deferred to the merge); unknown PMs are staged.
+func (a *StreamAggregator) ConsumeShard(shard int, seg []sampling.Sample) {
+	var agg *pmAgg
+	var pm string
+	known := false
+	for i := range seg {
+		s := &seg[i]
+		if s.Kind == sampling.KindGuest {
+			continue
+		}
+		if !known || s.PM != pm {
+			pm = s.PM
+			agg = a.pms[pm]
+			known = true
+		}
+		if agg == nil {
+			a.pend[shard] = append(a.pend[shard], *s)
+			continue
+		}
+		switch s.Kind {
+		case sampling.KindDom0:
+			agg.dom0CPU.Add(s.Util.CPU)
+		case sampling.KindHypervisor:
+			agg.hypCPU.Add(s.Util.CPU)
+		case sampling.KindHost:
+			agg.pmCPU.Add(s.Util.CPU)
+			agg.pmMem.Add(s.Util.Mem)
+			agg.pmIO.Add(s.Util.IO)
+			agg.pmBW.Add(s.Util.BW)
+		}
+	}
+}
+
+// FinishShardStep implements sampling.ShardedBatchSink: staged samples of
+// newly seen PMs replay through the scalar path in shard order, creating
+// their estimators in PM order exactly as the serial step would.
+func (a *StreamAggregator) FinishShardStep() {
+	for s := 0; s < a.shards; s++ {
+		for i := range a.pend[s] {
+			a.Consume(a.pend[s][i])
+		}
+		a.pend[s] = a.pend[s][:0]
 	}
 }
 

@@ -29,6 +29,17 @@ import (
 // emitted through one reusable output batch — a single downstream dispatch
 // per group. The scalar Consume path buffers a group and then runs the
 // identical measurement code, so both paths produce bit-identical streams.
+//
+// The Meter also implements sampling.ShardedBatchSink: a sharded engine
+// hands each worker's PM-disjoint batch segment straight to the meter on
+// that worker (DESIGN.md §13), which runs the tool emulation there against
+// per-shard scratch. This is deterministic by construction — each PM's
+// noise streams come from its own instruments, a PM belongs to exactly one
+// shard per step, and within a shard groups are measured in segment order
+// — so the merged output is bit-identical to the serial path. Segments
+// with irregular grouping (a filter split a PM group) are deferred whole
+// to the serial merge, where the scalar state machine replays them in
+// shard order.
 type Meter struct {
 	Noise NoiseProfile
 	Seed  int64
@@ -48,25 +59,74 @@ type Meter struct {
 	started bool
 	open    bool // a partial group is buffered
 
-	// Per-group scratch, reused across groups (grown, never shrunk).
-	order    []int // sorted-name permutation
-	gx       []DomainReading
-	gt       []TopReading
-	measured []units.Vector
-	out      []sampling.Sample // reusable measured-output batch
+	// ser is the serial paths' scratch; shs holds one scratch per shard
+	// for sharded steps (grown, never shrunk).
+	ser    meterScratch
+	shs    []meterScratch
+	shSeg  [][]sampling.Sample // deferred segments awaiting the serial merge
+	shards int                 // shard count of the in-flight sharded step
+	shOn   bool                // Next accepted sharded delivery this step
 
-	nb sampling.BatchSink // batch view of Next, resolved on first use
+	nb     sampling.BatchSink         // batch view of Next, resolved on first use
+	nss    sampling.ShardedBatchSink  // sharded view of Next (nil if none)
+	nssRes bool
 
 	// Self-observability instruments (nil-safe no-ops until Instrument).
 	groups       *obs.Counter
 	groupSamples *obs.Histogram
+	shardSteps   *obs.Counter
+	deferredSegs *obs.Counter
+	shardsGauge  *obs.Gauge
 }
 
-// Instrument registers the meter's metrics: measured PM groups and the
-// size of each measured output batch. A nil registry is a no-op.
+// meterScratch is the per-group working storage of the tool emulation: the
+// screen permutation, per-tool readings, and the measured output batch.
+// The serial paths own one; every shard of a sharded step owns its own, so
+// workers measure concurrently without sharing.
+type meterScratch struct {
+	order    []int // sorted-name permutation
+	gx       []DomainReading
+	gt       []TopReading
+	measured []units.Vector
+	out      []sampling.Sample // measured-output batch
+	groupEnd []int             // end offsets of measured groups within out
+}
+
+// reset truncates the output batch for a fresh group (serial path) or step
+// (sharded path); capacities are kept.
+func (sc *meterScratch) reset() {
+	sc.out = sc.out[:0]
+	sc.groupEnd = sc.groupEnd[:0]
+}
+
+// growSort refills sc.order with 0..n-1 and stable-insertion-sorts it by
+// guest name — screen order. No closures, no allocation.
+func (sc *meterScratch) growSort(guests []sampling.Sample) []int {
+	n := len(guests)
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+	}
+	order := sc.order[:n]
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && guests[order[j]].Domain < guests[order[j-1]].Domain; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Instrument registers the meter's metrics: measured PM groups, the size
+// of each measured group, and the sharded path's step/deferral counters.
+// A nil registry is a no-op.
 func (m *Meter) Instrument(reg *obs.Registry) {
 	m.groups = reg.Counter("meter_groups_total", "PM groups measured by the tool emulation")
 	m.groupSamples = reg.Histogram("meter_group_samples", "samples per measured PM group batch")
+	m.shardSteps = reg.Counter("meter_sharded_steps_total", "steps measured through the sharded parallel path")
+	m.deferredSegs = reg.Counter("meter_deferred_segments_total", "shard segments with irregular grouping deferred to the serial merge")
+	m.shardsGauge = reg.Gauge("meter_shards", "shard count of the last sharded metering step")
 }
 
 // instruments bundles one tool set per monitored PM.
@@ -115,7 +175,13 @@ func (m *Meter) nextBatch() sampling.BatchSink {
 // Consume implements sampling.Sink. Guest, Dom0 and hypervisor samples are
 // buffered; the group's host sample triggers the synchronized multi-tool
 // reading and forwards the measured group downstream in pipeline order.
-func (m *Meter) Consume(s sampling.Sample) {
+func (m *Meter) Consume(s sampling.Sample) { m.consume(s, &m.ser, true) }
+
+// consume is the scalar state machine. With dispatch set, a completed
+// group is measured into a freshly reset sc and forwarded downstream; with
+// it clear (the sharded merge's deferred-segment replay), measured groups
+// accumulate in sc for the caller to deliver.
+func (m *Meter) consume(s sampling.Sample, sc *meterScratch, dispatch bool) {
 	if !m.started || s.PMID != m.curPM || s.Time != m.curTime {
 		m.started = true
 		m.curPM, m.curTime = s.PMID, s.Time
@@ -133,7 +199,13 @@ func (m *Meter) Consume(s sampling.Sample) {
 		m.hyp = s
 		m.open = true
 	case sampling.KindHost:
-		m.measureGroup(m.guests, m.dom0, m.hyp, s)
+		if dispatch {
+			sc.reset()
+		}
+		m.measureGroupInto(sc, m.guests, m.dom0, m.hyp, s)
+		if dispatch {
+			m.nextBatch().ConsumeBatch(sc.out)
+		}
 		m.guests = m.guests[:0]
 		m.open = false
 	}
@@ -150,7 +222,9 @@ func (m *Meter) ConsumeBatch(batch []sampling.Sample) {
 		if !m.open {
 			if guests, adv, ok := scanGroup(batch[i:]); ok {
 				g := batch[i:]
-				m.measureGroup(guests, g[len(guests)], g[len(guests)+1], g[len(guests)+2])
+				m.ser.reset()
+				m.measureGroupInto(&m.ser, guests, g[len(guests)], g[len(guests)+1], g[len(guests)+2])
+				m.nextBatch().ConsumeBatch(m.ser.out)
 				// Keep the scalar state machine in sync so a following
 				// partial group is handled correctly.
 				m.started = true
@@ -162,6 +236,102 @@ func (m *Meter) ConsumeBatch(batch []sampling.Sample) {
 		}
 		m.Consume(batch[i])
 		i++
+	}
+}
+
+// BeginShardStep implements sampling.ShardedBatchSink. The meter accepts
+// every sharded step unless a partial group is buffered from an earlier
+// scalar batch (then it stays on the serial path until the group
+// resolves). Instrument and scratch tables are pre-sized here, on the
+// stepping goroutine, so workers only ever touch disjoint entries.
+func (m *Meter) BeginShardStep(shape sampling.ShardShape) bool {
+	if m.open {
+		return false
+	}
+	for shape.MaxPMID >= len(m.ins) {
+		m.ins = append(m.ins, nil)
+	}
+	if len(m.shs) < shape.Shards {
+		shs := make([]meterScratch, shape.Shards)
+		copy(shs, m.shs)
+		m.shs = shs
+		segs := make([][]sampling.Sample, shape.Shards)
+		copy(segs, m.shSeg)
+		m.shSeg = segs
+	}
+	m.shards = shape.Shards
+	for s := 0; s < shape.Shards; s++ {
+		m.shs[s].reset()
+		m.shSeg[s] = nil
+	}
+	if !m.nssRes {
+		m.nss, _ = sampling.AsShardedBatch(m.Next)
+		m.nssRes = true
+	}
+	m.shOn = m.nss != nil && m.nss.BeginShardStep(shape)
+	m.shardSteps.Inc()
+	m.shardsGauge.Set(int64(shape.Shards))
+	return true
+}
+
+// ConsumeShard implements sampling.ShardedBatchSink: the worker measures
+// its segment's PM groups into the shard's own scratch. Determinism needs
+// no coordination — noise comes from per-PM instruments, and the segment's
+// PMs belong to no other shard. A segment that is not a run of complete
+// canonical groups is deferred whole to FinishShardStep (the filter-split
+// case), keeping the exactly-once forwarding contract downstream.
+func (m *Meter) ConsumeShard(shard int, seg []sampling.Sample) {
+	sc := &m.shs[shard]
+	if !canonicalSegment(seg) {
+		m.shSeg[shard] = seg
+		return
+	}
+	i := 0
+	for i < len(seg) {
+		guests, adv, _ := scanGroup(seg[i:])
+		g := seg[i:]
+		m.measureGroupInto(sc, guests, g[len(guests)], g[len(guests)+1], g[len(guests)+2])
+		i += adv
+	}
+	if m.shOn {
+		m.nss.ConsumeShard(shard, sc.out)
+	}
+}
+
+// FinishShardStep implements sampling.ShardedBatchSink: deferred segments
+// replay through the scalar machine in ascending shard order (drawing the
+// exact same per-PM noise sequences the parallel path would have), then
+// the measured stream is released downstream — by closing the sharded
+// handoff when Next accepted it, or by dispatching each measured group as
+// its own batch in shard order (today's per-group granularity) otherwise.
+func (m *Meter) FinishShardStep() {
+	for s := 0; s < m.shards; s++ {
+		seg := m.shSeg[s]
+		if seg == nil {
+			continue
+		}
+		m.deferredSegs.Inc()
+		sc := &m.shs[s]
+		for i := range seg {
+			m.consume(seg[i], sc, false)
+		}
+		if m.shOn {
+			m.nss.ConsumeShard(s, sc.out)
+		}
+		m.shSeg[s] = nil
+	}
+	if m.shOn {
+		m.nss.FinishShardStep()
+		return
+	}
+	nb := m.nextBatch()
+	for s := 0; s < m.shards; s++ {
+		sc := &m.shs[s]
+		start := 0
+		for _, end := range sc.groupEnd {
+			nb.ConsumeBatch(sc.out[start:end])
+			start = end
+		}
 	}
 }
 
@@ -190,41 +360,40 @@ func scanGroup(b []sampling.Sample) (guests []sampling.Sample, adv int, ok bool)
 	return b[:n], n + 3, true
 }
 
-// growSort refills m.order with 0..n-1 and stable-insertion-sorts it by
-// guest name — screen order. No closures, no allocation.
-func (m *Meter) growSort(guests []sampling.Sample) []int {
-	n := len(guests)
-	if cap(m.order) < n {
-		m.order = make([]int, n)
-	}
-	order := m.order[:n]
-	for i := range order {
-		order[i] = i
-	}
-	for i := 1; i < n; i++ {
-		for j := i; j > 0 && guests[order[j]].Domain < guests[order[j-1]].Domain; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+// canonicalSegment reports whether seg is exactly a run of complete
+// canonical PM groups — the shape a shard's batch segment has when no
+// filter split a group. An empty segment is canonical.
+func canonicalSegment(seg []sampling.Sample) bool {
+	i := 0
+	for i < len(seg) {
+		_, adv, ok := scanGroup(seg[i:])
+		if !ok {
+			return false
 		}
+		i += adv
 	}
-	return order
+	return true
 }
 
-// measureGroup runs the tools over one PM group and forwards the measured
-// samples (guests in arrival order, then Dom0, hypervisor, host) as a
-// single downstream batch.
-func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.Sample) {
+// measureGroupInto runs the tools over one PM group and appends the
+// measured samples (guests in arrival order, then Dom0, hypervisor, host)
+// to sc.out, recording the group boundary in sc.groupEnd. Safe to call
+// concurrently for different PMs with different sc — all shared Meter
+// state it touches is the pre-sized instrument table (disjoint per-PM
+// entries) and the atomic obs instruments.
+func (m *Meter) measureGroupInto(sc *meterScratch, guests []sampling.Sample, dom0, hyp, host sampling.Sample) {
 	in := m.instrumentsFor(host.PMID)
 	n := len(guests)
 
 	// Noise draws happen per tool in screen order; guests appear on a
 	// screen in sorted-name order regardless of arena order.
-	order := m.growSort(guests)
-	if cap(m.gx) < n {
-		m.gx = make([]DomainReading, n)
-		m.gt = make([]TopReading, n)
-		m.measured = make([]units.Vector, n)
+	order := sc.growSort(guests)
+	if cap(sc.gx) < n {
+		sc.gx = make([]DomainReading, n)
+		sc.gt = make([]TopReading, n)
+		sc.measured = make([]units.Vector, n)
 	}
-	gx, gt, measured := m.gx[:n], m.gt[:n], m.measured[:n]
+	gx, gt, measured := sc.gx[:n], sc.gt[:n], sc.measured[:n]
 
 	// xentop screen: Dom0 row, then the guests.
 	dom0x := in.xentop.ReadDomain(sampling.LabelDom0, dom0.Util)
@@ -250,7 +419,8 @@ func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.
 	}
 	dom0V := units.V(dom0x.CPU, dom0Mem, dom0x.IO, dom0x.BW)
 
-	out := m.out[:0]
+	out := sc.out
+	base := len(out)
 	for i := range guests {
 		g := guests[i]
 		g.Util = measured[i]
@@ -267,10 +437,10 @@ func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.
 		hostBW,
 	)
 	out = append(out, host)
-	m.out = out
+	sc.out = out
+	sc.groupEnd = append(sc.groupEnd, len(out))
 	m.groups.Inc()
-	m.groupSamples.Observe(int64(len(out)))
-	m.nextBatch().ConsumeBatch(out)
+	m.groupSamples.Observe(int64(len(out) - base))
 }
 
 // Collector assembles measured samples back into per-step Measurement rows
@@ -278,40 +448,78 @@ func (m *Meter) measureGroup(guests []sampling.Sample, dom0, hyp, host sampling.
 // ([][]Measurement). A row is completed by its PM's host sample; rows are
 // grouped into steps by sample time. It retains everything it sees, so its
 // allocations grow with the series — long campaigns that only need
-// summaries should use StreamAggregator instead.
+// summaries should use StreamAggregator instead. The steady-state cost per
+// step is one map per PM (sized by the largest guest count seen) plus one
+// row slice (sized by the widest row seen).
+//
+// Collector also implements sampling.ShardedBatchSink: shard workers
+// assemble their own PMs' rows in parallel and the merge concatenates them
+// in shard order, which is PM order — Series output is identical to the
+// serial path.
 type Collector struct {
 	series  [][]Measurement
 	row     []Measurement
-	cur     *Measurement
+	cur     Measurement
+	open    bool
 	curTime float64
 	started bool
+
+	guestHint int // largest VMs-per-row seen; pre-sizes the next map
+	rowHint   int // widest completed row seen; pre-sizes the next row
+
+	shs    []colShard
+	shards int
+	shTime float64
+}
+
+// colShard is one shard's partial state of a sharded collection step.
+type colShard struct {
+	rows []Measurement
+	def  []sampling.Sample // deferred irregular segment
+	saw  bool              // shard delivered at least one sample
+	maxG int               // largest guest count seen (folded into guestHint)
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
+// flushRow closes the current step's row into the series.
+func (c *Collector) flushRow() {
+	if n := len(c.row); n > c.rowHint {
+		c.rowHint = n
+	}
+	c.series = append(c.series, c.row)
+	c.row = nil
+}
+
 // Consume implements sampling.Sink.
 func (c *Collector) Consume(s sampling.Sample) {
 	if c.started && s.Time != c.curTime {
-		c.series = append(c.series, c.row)
-		c.row = nil
+		c.flushRow()
 	}
 	c.started = true
 	c.curTime = s.Time
-	if c.cur == nil {
-		c.cur = &Measurement{Time: s.Time, PM: s.PM, VMs: make(map[string]units.Vector)}
+	if !c.open {
+		c.cur = Measurement{Time: s.Time, PM: s.PM, VMs: make(map[string]units.Vector, c.guestHint)}
+		c.open = true
 	}
 	switch s.Kind {
 	case sampling.KindGuest:
 		c.cur.VMs[s.Domain] = s.Util
+		if n := len(c.cur.VMs); n > c.guestHint {
+			c.guestHint = n
+		}
 	case sampling.KindDom0:
 		c.cur.Dom0 = s.Util
 	case sampling.KindHypervisor:
 		c.cur.HypervisorCPU = s.Util.CPU
 	case sampling.KindHost:
 		c.cur.Host = s.Util
-		c.row = append(c.row, *c.cur)
-		c.cur = nil
+		if c.row == nil && c.rowHint > 0 {
+			c.row = make([]Measurement, 0, c.rowHint)
+		}
+		c.row = append(c.row, c.cur)
+		c.open = false
 	}
 }
 
@@ -319,6 +527,109 @@ func (c *Collector) Consume(s sampling.Sample) {
 func (c *Collector) ConsumeBatch(batch []sampling.Sample) {
 	for i := range batch {
 		c.Consume(batch[i])
+	}
+}
+
+// BeginShardStep implements sampling.ShardedBatchSink. The collector
+// declines while a partially assembled row is buffered (a filter split a
+// group across steps) — the serial fallback continues it correctly.
+func (c *Collector) BeginShardStep(shape sampling.ShardShape) bool {
+	if c.open {
+		return false
+	}
+	if len(c.shs) < shape.Shards {
+		shs := make([]colShard, shape.Shards)
+		copy(shs, c.shs)
+		c.shs = shs
+	}
+	c.shards = shape.Shards
+	c.shTime = shape.Time
+	for s := 0; s < shape.Shards; s++ {
+		sh := &c.shs[s]
+		sh.rows = sh.rows[:0]
+		sh.def = nil
+		sh.saw = false
+	}
+	return true
+}
+
+// ConsumeShard implements sampling.ShardedBatchSink: the worker assembles
+// its segment's complete PM groups into per-shard rows. Irregular segments
+// are deferred whole to the merge.
+func (c *Collector) ConsumeShard(shard int, seg []sampling.Sample) {
+	if len(seg) == 0 {
+		return
+	}
+	sh := &c.shs[shard]
+	sh.saw = true
+	if !canonicalSegment(seg) {
+		sh.def = seg
+		return
+	}
+	hint := c.guestHint // stable during the concurrent phase
+	i := 0
+	for i < len(seg) {
+		guests, adv, _ := scanGroup(seg[i:])
+		g := seg[i:]
+		m := Measurement{Time: g[0].Time, PM: g[0].PM,
+			VMs: make(map[string]units.Vector, hint)}
+		for k := range guests {
+			m.VMs[guests[k].Domain] = guests[k].Util
+		}
+		m.Dom0 = g[len(guests)].Util
+		m.HypervisorCPU = g[len(guests)+1].Util.CPU
+		m.Host = g[len(guests)+2].Util
+		if len(guests) > sh.maxG {
+			sh.maxG = len(guests)
+		}
+		sh.rows = append(sh.rows, m)
+		i += adv
+	}
+}
+
+// FinishShardStep implements sampling.ShardedBatchSink: replays deferred
+// segments through the scalar machine and concatenates every shard's rows
+// in shard order — PM order — into the step's row, reproducing the serial
+// collection exactly (including the step-boundary flush, which happens
+// only if the step actually delivered samples, as in the scalar path).
+func (c *Collector) FinishShardStep() {
+	any := false
+	for s := 0; s < c.shards; s++ {
+		if c.shs[s].saw {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	if c.started && c.shTime != c.curTime {
+		c.flushRow()
+	}
+	c.started = true
+	c.curTime = c.shTime
+	for s := 0; s < c.shards; s++ {
+		sh := &c.shs[s]
+		if sh.maxG > c.guestHint {
+			c.guestHint = sh.maxG
+		}
+		if sh.def != nil {
+			// Replay through the scalar machine with the step row swapped
+			// for the shard's rows, so replayed rows land in shard order.
+			save := c.row
+			c.row = sh.rows
+			for i := range sh.def {
+				c.Consume(sh.def[i])
+			}
+			sh.rows, c.row = c.row, save
+			sh.def = nil
+		}
+		if len(sh.rows) > 0 {
+			if c.row == nil && c.rowHint > 0 {
+				c.row = make([]Measurement, 0, c.rowHint)
+			}
+			c.row = append(c.row, sh.rows...)
+		}
 	}
 }
 

@@ -113,7 +113,7 @@ func (sc Script) Attach(e *xen.Engine, pms []*xen.PM, next sampling.Sink) (func(
 		for _, pm := range pms {
 			keep[pm.ID()] = true
 		}
-		sink = sampling.Filter{
+		sink = &sampling.Filter{
 			Keep:    func(s sampling.Sample) bool { return keep[s.PMID] },
 			Next:    sink,
 			Kept:    sc.Obs.Counter("pipeline_filter_kept_samples_total", "samples passed by the monitored-PM filter"),

@@ -1,0 +1,258 @@
+package monitor
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"virtover/internal/obs"
+	"virtover/internal/sampling"
+	"virtover/internal/units"
+	"virtover/internal/xen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden metered-campaign fixtures")
+
+// shardedCampaignCluster builds a 9-PM fleet with uneven guest counts
+// (including an idle PM and a single-guest PM) and time-varying noisy
+// workloads — enough shape that every shard boundary cuts between PMs with
+// different group sizes.
+func shardedCampaignCluster() (*xen.Cluster, []*xen.PM, xen.Calibration) {
+	cl := xen.NewCluster()
+	var pms []*xen.PM
+	load := func(base, amp, phase float64) xen.Source {
+		return xen.SourceFunc(func(t float64) xen.Demand {
+			return xen.Demand{
+				CPU:      base + amp*math.Sin(t/7+phase),
+				MemMB:    120 + 15*math.Cos(t/11+phase),
+				IOBlocks: 25 + 8*math.Sin(t/5+phase),
+				Flows:    []xen.Flow{{Kbps: 400 + 150*math.Cos(t/13+phase)}},
+			}
+		})
+	}
+	for p := 0; p < 9; p++ {
+		pm := cl.AddPM(fmt.Sprintf("pm%02d", p))
+		pms = append(pms, pm)
+		guests := p % 4 // 0..3 guests; pm00/pm04/pm08 idle
+		for g := 0; g < guests; g++ {
+			vm := cl.AddVM(pm, fmt.Sprintf("vm%02d-%d", p, g), 512)
+			vm.SetSource(load(25+5*float64(g), 12, float64(p*3+g)))
+		}
+	}
+	calib := xen.DefaultCalibration()
+	calib.ProcessNoiseRel = 0.01
+	return cl, pms, calib
+}
+
+// meteredRun drives the full measurement chain — engine → Decimate →
+// [Filter] → Meter → ShardedFanout{Collector, StreamAggregator, StatSink,
+// CDFSink, CSV-ish recorder} — at the given engine shard count and returns
+// every terminal's observable state.
+type meteredRunResult struct {
+	series   [][]Measurement
+	aggTable string
+	statSum  sampling.Summary
+	cdf      []float64
+	recorded []sampling.Sample
+}
+
+// recordCopySink is a strictly-serial BatchSink standing in for the CSV
+// trace writer: it copies every batch it is fed, in order.
+type recordCopySink struct{ samples []sampling.Sample }
+
+func (r *recordCopySink) Consume(s sampling.Sample) { r.samples = append(r.samples, s) }
+func (r *recordCopySink) ConsumeBatch(batch []sampling.Sample) {
+	r.samples = append(r.samples, batch...)
+}
+
+func meteredRun(t *testing.T, shards int, monitorSubset bool, reg *obs.Registry) meteredRunResult {
+	t.Helper()
+	cl, pms, calib := shardedCampaignCluster()
+	e := xen.NewEngineWithOptions(cl, calib, 11, xen.EngineOptions{Shards: shards})
+	defer e.Close()
+
+	col := NewCollector()
+	agg := NewStreamAggregator()
+	stat := sampling.NewStatSink(sampling.SelectKind(sampling.KindHost, units.CPU))
+	cdf := sampling.NewCDFSink(sampling.SelectKind(sampling.KindDom0, units.CPU))
+	rec := &recordCopySink{}
+	fan := sampling.NewShardedFanout(col, agg, stat, cdf, rec)
+
+	sc := Script{IntervalSteps: 2, Samples: 15, Noise: DefaultNoise(), Seed: 23, Obs: reg}
+	monitored := pms
+	if monitorSubset {
+		monitored = []*xen.PM{pms[1], pms[3], pms[6], pms[7]}
+	}
+	detach, err := sc.Attach(e, monitored, fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Advance(sc.Samples * sc.IntervalSteps)
+	detach()
+
+	return meteredRunResult{
+		series:   col.Series(),
+		aggTable: agg.Render(),
+		statSum:  stat.Summary(),
+		cdf:      append([]float64(nil), cdf.Values()...),
+		recorded: rec.samples,
+	}
+}
+
+// TestShardedPipelineMatchesSerial is the tentpole's safety net: the whole
+// measurement chain — meter, collector, stream aggregator, stat and CDF
+// sinks, and a strictly-serial recorder behind a ShardedFanout — must
+// produce bit-identical observable state at every engine shard count, with
+// and without a monitored-PM filter in the chain.
+func TestShardedPipelineMatchesSerial(t *testing.T) {
+	for _, subset := range []bool{false, true} {
+		name := "all-pms"
+		if subset {
+			name = "filtered-pms"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := meteredRun(t, 1, subset, nil)
+			if len(base.series) == 0 || len(base.recorded) == 0 {
+				t.Fatal("serial campaign produced no output")
+			}
+			for _, shards := range []int{2, 3, 8} {
+				got := meteredRun(t, shards, subset, nil)
+				if !reflect.DeepEqual(base.series, got.series) {
+					t.Errorf("shards=%d: collector series differs from serial", shards)
+				}
+				if base.aggTable != got.aggTable {
+					t.Errorf("shards=%d: aggregator table differs from serial", shards)
+				}
+				if base.statSum != got.statSum {
+					t.Errorf("shards=%d: host-CPU stat summary differs from serial", shards)
+				}
+				if !reflect.DeepEqual(base.cdf, got.cdf) {
+					t.Errorf("shards=%d: Dom0-CPU CDF values differ from serial", shards)
+				}
+				if !reflect.DeepEqual(base.recorded, got.recorded) {
+					t.Errorf("shards=%d: serial recorder stream differs from serial", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMeterActuallyShards proves the parallel path runs (rather
+// than silently falling back to the merged-batch path) and that engine
+// segments never defer: every kept step goes through the sharded meter
+// with zero irregular segments when all PMs are monitored.
+func TestShardedMeterActuallyShards(t *testing.T) {
+	reg := obs.NewRegistry()
+	meteredRun(t, 8, false, reg)
+	shardedSteps := reg.Counter("meter_sharded_steps_total", "").Value()
+	if shardedSteps == 0 {
+		t.Fatal("sharded engine never drove the meter's sharded path")
+	}
+	if deferred := reg.Counter("meter_deferred_segments_total", "").Value(); deferred != 0 {
+		t.Fatalf("engine segments deferred %d times; want 0 (canonical groups)", deferred)
+	}
+	if groups := reg.Counter("meter_groups_total", "").Value(); groups == 0 {
+		t.Fatal("no PM groups measured")
+	}
+
+	// A filtered run may split groups; the deferral path must then engage
+	// without changing output (output equality is covered above).
+	reg2 := obs.NewRegistry()
+	meteredRun(t, 8, true, reg2)
+	if reg2.Counter("meter_sharded_steps_total", "").Value() == 0 {
+		t.Fatal("filtered sharded run never drove the meter's sharded path")
+	}
+}
+
+// TestShardedIrregularSegmentsDefer drives the meter's ConsumeShard with a
+// hand-built non-canonical segment — a filter dropped pm0's Dom0 row, so
+// shard 0's (still PM-disjoint) segment is not a run of complete canonical
+// groups — and checks the serial merge produces the exact serial stream.
+func TestShardedIrregularSegmentsDefer(t *testing.T) {
+	mk := func(pm int, t float64, dom0 bool) []sampling.Sample {
+		name := fmt.Sprintf("pm%d", pm)
+		out := []sampling.Sample{
+			{Time: t, PMID: pm, PM: name, VMID: 0, Domain: "g0", Kind: sampling.KindGuest, Util: units.V(30, 100, 10, 200)},
+		}
+		if dom0 {
+			out = append(out, sampling.Sample{Time: t, PMID: pm, PM: name, VMID: -1, Domain: sampling.LabelDom0, Kind: sampling.KindDom0, Util: units.V(8, 512, 0, 0)})
+		}
+		return append(out,
+			sampling.Sample{Time: t, PMID: pm, PM: name, VMID: -1, Domain: sampling.LabelHypervisor, Kind: sampling.KindHypervisor, Util: units.V(3, 0, 0, 0)},
+			sampling.Sample{Time: t, PMID: pm, PM: name, VMID: -1, Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: units.V(41, 612, 10, 200)},
+		)
+	}
+	batch := append(append([]sampling.Sample{}, mk(0, 1, false)...), mk(1, 1, true)...)
+
+	serial := &recordCopySink{}
+	ms := NewMeter(DefaultNoise(), 77, serial)
+	ms.ConsumeBatch(batch)
+
+	sharded := &recordCopySink{}
+	mp := NewMeter(DefaultNoise(), 77, sharded)
+	if !mp.BeginShardStep(sampling.ShardShape{Shards: 2, Time: 1, MaxPMID: 1}) {
+		t.Fatal("meter declined a clean sharded step")
+	}
+	// pm0's Dom0-less segment defers; pm1's complete group measures in place.
+	mp.ConsumeShard(0, batch[:3])
+	mp.ConsumeShard(1, batch[3:])
+	mp.FinishShardStep()
+
+	if !reflect.DeepEqual(serial.samples, sharded.samples) {
+		t.Fatalf("deferred merge differs from serial:\n serial: %+v\n sharded: %+v",
+			serial.samples, sharded.samples)
+	}
+}
+
+// goldenMeteredCSV renders the measured stream of the fixture campaign as
+// trace-style CSV lines (fixed formatting, no float ambiguity) so the
+// fixture is human-diffable and byte-stable.
+func goldenMeteredCSV(recorded []sampling.Sample) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("time,pm,domain,kind,cpu,mem,io,bw\n")
+	for _, s := range recorded {
+		fmt.Fprintf(&buf, "%.3f,%s,%s,%s,%.6f,%.6f,%.6f,%.6f\n",
+			s.Time, s.PM, s.Domain, s.Kind, s.Util.CPU, s.Util.Mem, s.Util.IO, s.Util.BW)
+	}
+	return buf.Bytes()
+}
+
+// TestMeteredCampaignGolden is the meter-determinism gate (make
+// meter-determinism runs it under -cpu 1,2,8): the metered campaign's
+// measured stream must be byte-identical to the committed fixture at
+// shards {1,2,8}. Record with -update.
+func TestMeteredCampaignGolden(t *testing.T) {
+	runs := map[int][]byte{}
+	for _, shards := range []int{1, 2, 8} {
+		res := meteredRun(t, shards, false, nil)
+		runs[shards] = goldenMeteredCSV(res.recorded)
+	}
+	for _, shards := range []int{2, 8} {
+		if !bytes.Equal(runs[1], runs[shards]) {
+			t.Fatalf("shards=%d metered stream differs from serial", shards)
+		}
+	}
+
+	path := filepath.Join("testdata", "metered_campaign.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, runs[1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run `go test ./internal/monitor -run MeteredCampaignGolden -update`): %v", err)
+	}
+	if !bytes.Equal(runs[1], want) {
+		t.Fatalf("metered stream differs from golden fixture (%d vs %d bytes); if intentional, re-record with -update",
+			len(runs[1]), len(want))
+	}
+}

@@ -35,11 +35,14 @@
 //     (copy the samples out if they outlive Consume/ConsumeBatch).
 //
 // Producers may assemble a batch in parallel — the sharded engine fills
-// disjoint pre-sliced segments of its step batch from several goroutines —
-// but delivery is always a single ConsumeBatch call per step on the
-// stepping goroutine, after assembly completes. Sinks therefore never see
-// concurrency, partial assembly, or an order that depends on the
-// producer's parallelism.
+// disjoint pre-sliced segments of its step batch from several goroutines.
+// For plain BatchSinks delivery is still a single ConsumeBatch call per
+// step on the stepping goroutine, after assembly completes: those sinks
+// never see concurrency, partial assembly, or an order that depends on the
+// producer's parallelism. Sinks that additionally implement
+// ShardedBatchSink (sharded.go) opt into receiving the PM-disjoint
+// segments concurrently, bracketed by a Begin/Finish pair whose ordered
+// merge reproduces the serial result bit for bit.
 package sampling
 
 import (
@@ -184,6 +187,11 @@ type Filter struct {
 
 	Kept    *obs.Counter
 	Dropped *obs.Counter
+
+	// Sharded-delivery state (pointer-receiver methods in sharded.go).
+	nss    ShardedBatchSink
+	nssRes bool
+	shBuf  [][]Sample
 }
 
 // Consume implements Sink.
@@ -248,6 +256,8 @@ type Decimator struct {
 	every   int
 	next    Sink
 	nb      BatchSink
+	nss     ShardedBatchSink // sharded view of next (sharded.go)
+	nssRes  bool
 	step    int
 	curTime float64
 	started bool

@@ -101,6 +101,10 @@ func (t *Stat) Summary() Summary {
 type StatSink struct {
 	sel  Selector
 	stat *Stat
+
+	// Per-shard staging buffers for sharded delivery (sharded.go).
+	shv    [][]float64
+	shards int
 }
 
 // NewStatSink builds a stat sink over sel.
@@ -134,6 +138,10 @@ func (s *StatSink) Summary() Summary { return s.stat.Summary() }
 type CDFSink struct {
 	sel    Selector
 	values []float64
+
+	// Per-shard staging buffers for sharded delivery (sharded.go).
+	shv    [][]float64
+	shards int
 }
 
 // NewCDFSink builds a CDF sink over sel.

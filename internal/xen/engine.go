@@ -33,6 +33,9 @@ type Engine struct {
 	migrations []*liveMigration
 	sinks      []sampling.Sink
 	bsinks     []sampling.BatchSink
+	ssinks     []sampling.ShardedBatchSink // nil where the sink has no sharded path
+	ssinkOn    []bool                      // sink accepted the current sharded step
+	shardStep  bool                        // this step delivers shard segments from phaseEmit
 	lay        layout
 	pool       *shardPool
 	sc         scratch
@@ -196,12 +199,22 @@ func (e *Engine) Now() float64 { return e.now }
 // implements sampling.BatchSink, falling back to a per-sample adapter
 // otherwise (resolved here, once, at attach time). The batch slice is the
 // engine's: sinks must not retain it across calls.
+//
+// A sink that also implements sampling.ShardedBatchSink and the engine is
+// stepping with Shards > 1 gets the sharded protocol instead: each worker
+// hands its own PM range's batch segment to the sink right after filling it
+// (the shard that steps a PM also meters it), and the sink merges the
+// per-shard partials in shard order at the end of the step — same bytes,
+// parallel wall clock. Sinks without the interface (or declining a step)
+// still receive the single merged ConsumeBatch.
 func (e *Engine) AttachSink(s sampling.Sink) {
 	if s == nil {
 		return
 	}
 	e.sinks = append(e.sinks, s)
 	e.bsinks = append(e.bsinks, sampling.AsBatch(s))
+	ss, _ := sampling.AsShardedBatch(s)
+	e.ssinks = append(e.ssinks, ss)
 }
 
 // DetachSink unsubscribes a previously attached sink (compared by
@@ -211,6 +224,7 @@ func (e *Engine) DetachSink(s sampling.Sink) {
 		if k == s {
 			e.sinks = append(e.sinks[:i], e.sinks[i+1:]...)
 			e.bsinks = append(e.bsinks[:i], e.bsinks[i+1:]...)
+			e.ssinks = append(e.ssinks[:i], e.ssinks[i+1:]...)
 			return
 		}
 	}
@@ -351,13 +365,20 @@ func (e *Engine) step() {
 		e.ensureLayout()
 		e.sc.batch = e.sc.batch[:e.lay.nBatch]
 		if e.pool != nil {
+			e.shardStep = e.beginShardedSinks()
 			e.pool.begin(phaseEmit)
 			e.phaseEmit(0)
 			e.pool.wait()
+			if e.shardStep {
+				e.dispatchMixed()
+			} else {
+				e.dispatch()
+			}
 		} else {
+			e.shardStep = false
 			e.phaseEmit(0)
+			e.dispatch()
 		}
-		e.dispatch()
 	}
 	e.obs.steps.Inc()
 	if instr {
@@ -674,7 +695,10 @@ func (e *Engine) resolvePM(p int) {
 // phaseEmit fills shard s's pre-sliced segment of the step batch (arena
 // order: per PM the guests, then Domain-0, hypervisor, host). Segments are
 // disjoint by construction, so shards write concurrently; the assembled
-// batch is identical to the serial append order at any shard count.
+// batch is identical to the serial append order at any shard count. On a
+// sharded-sink step the worker then hands its freshly filled segment to
+// every accepting sink while the columns are still cache-hot — the
+// affinity invariant: the shard that stepped a PM range also meters it.
 func (e *Engine) phaseEmit(s int) {
 	t := e.now
 	l := &e.lay
@@ -695,6 +719,70 @@ func (e *Engine) phaseEmit(s int) {
 			Util: units.V(pm.hypCPU, 0, 0, 0)}
 		b[off+2] = sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
 			Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: pm.pmUtil}
+	}
+	if !e.shardStep {
+		return
+	}
+	lo, hi := l.shardLo[s], l.shardHi[s]
+	var seg []sampling.Sample
+	if lo < hi {
+		start := int(l.batchOff[lo])
+		end := l.nBatch
+		if int(hi) < len(l.batchOff) {
+			end = int(l.batchOff[hi])
+		}
+		seg = b[start:end]
+	}
+	for i, on := range e.ssinkOn {
+		if on {
+			e.ssinks[i].ConsumeShard(s, seg)
+		}
+	}
+}
+
+// beginShardedSinks opens the sharded step on every sink with a sharded
+// path, recording which accepted. It runs on the stepping goroutine before
+// the emit phase is dispatched, so the ssinkOn writes happen-before every
+// worker's ConsumeShard reads.
+func (e *Engine) beginShardedSinks() bool {
+	if cap(e.ssinkOn) < len(e.ssinks) {
+		e.ssinkOn = make([]bool, len(e.ssinks))
+	}
+	e.ssinkOn = e.ssinkOn[:len(e.ssinks)]
+	shape := sampling.ShardShape{
+		Shards:  e.lay.shards,
+		Time:    e.now,
+		MaxPMID: len(e.Cluster.PMs) - 1,
+	}
+	any := false
+	for i, ss := range e.ssinks {
+		on := ss != nil && ss.BeginShardStep(shape)
+		e.ssinkOn[i] = on
+		any = any || on
+	}
+	return any
+}
+
+// dispatchMixed finishes a sharded-sink step: in attach order, sinks that
+// accepted sharded delivery merge their per-shard partials, everyone else
+// gets the single merged batch — exactly dispatch() for them.
+func (e *Engine) dispatchMixed() {
+	b := e.sc.batch
+	e.obs.batchSamples.Observe(int64(len(b)))
+	instr := e.obs.reg.Enabled()
+	for i, k := range e.bsinks {
+		var d0 int64
+		if instr {
+			d0 = e.obs.reg.Now()
+		}
+		if e.ssinkOn[i] {
+			e.ssinks[i].FinishShardStep()
+		} else {
+			k.ConsumeBatch(b)
+		}
+		if instr {
+			e.obs.dispatchNanos.Observe(e.obs.reg.Now() - d0)
+		}
 	}
 }
 

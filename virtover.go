@@ -665,6 +665,30 @@ func AsBatch(s Sink) BatchSink { return sampling.AsBatch(s) }
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc = sampling.SinkFunc
 
+// ShardedBatchSink is the opt-in contract for sinks that consume a sharded
+// engine's step as concurrent PM-disjoint segments with a deterministic
+// ordered merge (BeginShardStep / ConsumeShard / FinishShardStep). The
+// built-in pipeline stages — SampleFilter (as a pointer), Decimate's
+// decimator, StatSink, CDF sinks, SampleCollector, StreamAggregator —
+// implement it; serial sinks keep working unchanged via the merged-batch
+// fallback. See DESIGN.md §13 for the protocol and the rules for writing
+// one.
+type ShardedBatchSink = sampling.ShardedBatchSink
+
+// ShardShape describes one sharded step to a ShardedBatchSink.
+type ShardShape = sampling.ShardShape
+
+// AsShardedBatch returns a sink's sharded path, if it has one.
+func AsShardedBatch(s Sink) (ShardedBatchSink, bool) { return sampling.AsShardedBatch(s) }
+
+// ShardedFanout delivers to several sinks like Fanout while propagating
+// sharded delivery to the members that support it; the rest are fed the
+// same stream serially at the merge.
+type ShardedFanout = sampling.ShardedFanout
+
+// NewShardedFanout builds a ShardedFanout over the given sinks.
+func NewShardedFanout(sinks ...Sink) *ShardedFanout { return sampling.NewShardedFanout(sinks...) }
+
 // SampleKind distinguishes guest, Domain-0, hypervisor and host samples.
 type SampleKind = sampling.Kind
 
