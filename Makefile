@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism pipeline obs serve bench bench-compare
+.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism fork-determinism pipeline obs serve bench bench-compare
 
 # The full pre-commit gate: static checks, build, the race-enabled test
 # suite (shuffled to flush test-order dependencies), the multi-GOMAXPROCS
-# fitting-kernel, sharded-engine and sharded-monitoring determinism
-# checks, the sample-pipeline equivalence gate, the observability-layer
-# gate, and the estimation-service gate.
-check: vet ctxvet build race determinism shard-determinism meter-determinism pipeline obs serve
+# fitting-kernel, sharded-engine, sharded-monitoring and warm-start-fork
+# determinism checks, the sample-pipeline equivalence gate, the
+# observability-layer gate, and the estimation-service gate.
+check: vet ctxvet build race determinism shard-determinism meter-determinism fork-determinism pipeline obs serve
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,15 @@ meter-determinism:
 	$(GO) test -race -cpu 1,2,8 -run 'TestShardedPipelineMatchesSerial|TestShardedMeterActuallyShards|TestShardedIrregularSegmentsDefer|TestMeteredCampaignGolden' ./internal/monitor/
 	$(GO) test -race -cpu 1,2,8 -run 'TestStatAndCDFSharded|TestFilterSharded|TestDecimatorSharded|TestShardedFanout|TestAsyncFanoutConcurrentProducers' ./internal/sampling/
 
+# Warm-start forking gate: a cell forked from a warmed prefix emits a
+# measured trace byte-identical to the same cell simulated from scratch, at
+# every shard count, race-checked across the GOMAXPROCS matrix — plus the
+# zero-alloc restore bound, the prefix-cache singleflight, and the
+# campaign-level equivalence proofs (prediction and micro grids).
+fork-determinism:
+	$(GO) test -race -cpu 1,2,8 -run 'TestForkedRunEquivalence|TestForkStateHashStable|TestRestoreStateIntoAllocs|TestForkCacheLRU|TestForkCacheSingleflight|TestForkCacheBuildErrorNotCached' ./internal/xen/
+	$(GO) test -race -cpu 1,2,8 -run 'TestPredictionForkedEquivalence|TestRunMicroWarmupForkedEquivalence|TestRunForkGridCtxSharing' ./internal/exps/
+
 # Batched-pipeline safety net: the golden-trace fixture (byte-identical CSV
 # through the batched meter + fast writer) and the batch-vs-scalar
 # equivalence property test, both under the race detector.
@@ -73,7 +82,7 @@ serve:
 # kernels) with allocation reporting; the parsed results land in
 # BENCH_stats.json so the next PR has a perf trajectory to compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
 
 # Re-run the metering-path benchmarks and diff them against the committed
 # BENCH_stats.json baseline: a >20% ns/op regression in any metering
@@ -82,5 +91,5 @@ bench:
 # (benchjson prints SKIPPED) instead of reporting machine noise as a
 # regression.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold 20 -skip-env-mismatch BENCH_stats.json /tmp/bench_new.json

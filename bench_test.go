@@ -541,6 +541,82 @@ func BenchmarkEngineDatacenterMetered(b *testing.B) {
 	}
 }
 
+// warmStartBuild deterministically constructs the warm-start benchmark's
+// world: 4 PMs x 4 jittered guests (stateful sources, so their RNG streams
+// travel with forks as Aux).
+func warmStartBuild() (xen.ForkBuild, error) {
+	cl := xen.NewCluster()
+	b := xen.ForkBuild{Cluster: cl}
+	kinds := []workload.Kind{workload.CPU, workload.IO, workload.BW, workload.CPU}
+	pms := make([]*xen.PM, 4)
+	for p := 0; p < 4; p++ {
+		pm := cl.AddPM(string(rune('A' + p)))
+		pms[p] = pm
+		for v := 0; v < 4; v++ {
+			idx := p*4 + v
+			vm := cl.AddVM(pm, string(rune('A'+p))+string(rune('a'+v)), 512)
+			levels := workload.Levels(kinds[v])
+			src := workload.New(kinds[v], levels[idx%len(levels)],
+				workload.Options{JitterRel: 0.05, Seed: int64(idx)})
+			vm.SetSource(src)
+			if f, ok := src.(xen.Forkable); ok {
+				b.Aux = append(b.Aux, f)
+			}
+		}
+	}
+	b.Data = pms
+	return b, nil
+}
+
+// A 16-cell campaign grid over one shared warmed prefix: every cell
+// re-simulates the same 600-step settle phase and then measures 10 samples
+// with its own script seed — the shape of every figure sweep in the paper.
+// "scratch" warms each cell from step zero (the historical path); "fork"
+// builds the prefix once per grid and stamps the 16 cells out of the
+// captured state. Both emit byte-identical traces (make fork-determinism);
+// the fork path's target is >= 1.5x the scratch grid.
+func BenchmarkCampaignWarmStart(b *testing.B) {
+	const warmup, cells, samples = 600, 16, 10
+	calib := xen.DefaultCalibration()
+	runCell := func(e *xen.Engine, pms []*xen.PM, cell int) {
+		script := monitor.Script{IntervalSteps: 1, Samples: samples,
+			Noise: monitor.DefaultNoise(), Seed: int64(1000 + cell)}
+		if _, err := script.Run(e, pms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for cell := 0; cell < cells; cell++ {
+				bd, err := warmStartBuild()
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := xen.NewEngine(bd.Cluster, calib, 7)
+				e.Advance(warmup)
+				runCell(e, bd.Data.([]*xen.PM), cell)
+				e.Close()
+			}
+		}
+	})
+	b.Run("fork", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src, err := xen.NewForkSource(warmStartBuild, calib, 7, warmup)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for cell := 0; cell < cells; cell++ {
+				e, data, err := src.Fork()
+				if err != nil {
+					b.Fatal(err)
+				}
+				runCell(e, data.([]*xen.PM), cell)
+				e.Close()
+			}
+		}
+	})
+}
+
 // The Meter alone: one 4-guest PM group measured per iteration, fed
 // through the batch path the engine uses.
 func BenchmarkMeter(b *testing.B) {

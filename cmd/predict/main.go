@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		traceFile = flag.String("trace", "", "replay a recorded trace CSV (from cmd/xensim) instead of simulating")
 		plot      = flag.Bool("plot", false, "draw ASCII CDF charts instead of numeric tables")
 		modelFile = flag.String("model", "", "load a fitted model JSON (from cmd/fitmodel -out) instead of training")
+		warmup    = flag.Int("warmup", 0, "settle steps before each measured run (0 selects the default 5, negative disables); the warmed prefix is built once and forked per client count")
 	)
 	app.Parse()
 
@@ -68,7 +70,9 @@ func main() {
 		return
 	}
 	fmt.Printf("running %d RUBiS set(s), clients 300..700, %d s each...\n\n", sets, *duration)
-	results, err := virtover.PredictionExperiment(model, sets, nil, *duration, *seed+99)
+	results, err := virtover.PredictionExperimentOpts(context.Background(), model, virtover.PredictionOptions{
+		Sets: sets, Duration: *duration, Seed: *seed + 99, WarmupSteps: *warmup,
+	})
 	app.Check(err)
 	for _, f := range virtover.PredictionFigures(fmt.Sprint(*fig), results, 8, 17) {
 		if *plot {

@@ -32,6 +32,7 @@ func main() {
 		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
 		profile = flag.Bool("self-profile", false, "print the run's own metrics and phase timings to stderr afterwards")
 		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
+		warmup  = flag.Int("warmup", 0, "settle steps before each prediction run (0 selects the default 5, negative disables)")
 	)
 	app.DebugAddrFlag()
 	app.Parse()
@@ -42,6 +43,7 @@ func main() {
 		cfg = exps.QuickReportConfig(*seed)
 	}
 	cfg.Extensions = !*noExt
+	cfg.WarmupSteps = *warmup
 
 	reg, stopDebug := app.StartDebug()
 	defer stopDebug()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	servd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
-//	      [-timeout D] [-debug-addr HOST:PORT]
+//	      [-fork-cache N] [-timeout D] [-debug-addr HOST:PORT]
 //
 // Endpoints:
 //
@@ -43,6 +43,7 @@ func main() {
 		workers = flag.Int("workers", 4, "concurrent compute workers")
 		queue   = flag.Int("queue", 16, "requests that may wait beyond the executing ones; full queue answers 429")
 		cache   = flag.Int("cache", 32, "fitted models kept in the LRU cache")
+		forks   = flag.Int("fork-cache", 16, "warmed scenario prefixes kept for /v1/scenario/run forking")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute deadline")
 		shards  = flag.Int("shards", 1, "engine worker shards for scenario simulation (output is identical at any value)")
 	)
@@ -62,6 +63,7 @@ func main() {
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheSize:      *cache,
+		ForkCacheSize:  *forks,
 		RequestTimeout: *timeout,
 		Obs:            reg,
 		Log:            app.Log,

@@ -1,0 +1,179 @@
+package exps
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/xen"
+)
+
+func TestPlanPrefixGroups(t *testing.T) {
+	groups := planPrefixGroups([]string{"a", "b", "a", "c", "b", "a"})
+	want := [][]int{{0, 2, 5}, {1, 4}, {3}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	if g := planPrefixGroups(nil); len(g) != 0 {
+		t.Fatalf("empty input produced %v", g)
+	}
+}
+
+// TestPredictionForkedEquivalence is the campaign-level determinism proof:
+// the forked prediction experiment produces results byte-identical to a
+// from-scratch run that builds and settles inline, exactly like the
+// pre-fork code path did.
+func TestPredictionForkedEquivalence(t *testing.T) {
+	m := fittedModel(t)
+	const sets, clients, duration, seed = 2, 350, 25, 4242
+
+	// From-scratch replica of the historical path: build, settle, measure.
+	b, err := rubisBuild(sets, clients, seed)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := xen.NewEngine(b.Cluster, xen.DefaultCalibration(), seed)
+	e.Advance(DefaultWarmupSteps)
+	want, err := measurePrediction(context.Background(), m, e, b.Data.(*rubisDeployment), clients, duration, seed)
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forked path, twice: cold (build + capture) and warm (cache hit).
+	for pass, label := range []string{"cold", "warm"} {
+		res, err := PredictionExperimentOpts(context.Background(), m, PredictionOptions{
+			Sets: sets, Clients: []int{clients}, Duration: duration, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("%s pass: %v", label, err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("%s pass: %d results", label, len(res))
+		}
+		if !reflect.DeepEqual(res[0], want) {
+			t.Fatalf("forked prediction (%s pass %d) diverges from from-scratch run", label, pass)
+		}
+	}
+	// The second pass must have found the prefix in the cache.
+	key := rubisPrefixCell(sets, clients, DefaultWarmupSteps, seed).Key
+	if _, ok := prefixCache.Get(key); !ok {
+		t.Fatalf("prefix %q not cached after the experiment", key)
+	}
+}
+
+// TestRunMicroWarmupForkedEquivalence: a warmed micro run forked from the
+// prefix cache matches the same scenario settled inline.
+func TestRunMicroWarmupForkedEquivalence(t *testing.T) {
+	sc := MicroScenario{N: 2, Kind: 0, LevelIdx: 2, Samples: 12, Seed: 910, WarmupSteps: 4}
+
+	b, err := microBuild(sc)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := xen.NewEngine(b.Cluster, xen.DefaultCalibration(), sc.Seed)
+	e.Advance(sc.WarmupSteps)
+	script := monitor.Script{IntervalSteps: 1, Samples: sc.Samples, Noise: monitor.DefaultNoise(), Seed: sc.Seed + 1000}
+	wantSeries, err := script.Run(e, []*xen.PM{b.Data.(*xen.PM)})
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 0; pass < 2; pass++ { // cold build, then cache hit
+		_, series, err := RunMicro(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(series, wantSeries) {
+			t.Fatalf("pass %d: warmed micro series diverges from inline settle", pass)
+		}
+	}
+	if _, ok := prefixCache.Get(microPrefixCell(sc, sc.WarmupSteps).Key); !ok {
+		t.Fatal("micro prefix not cached")
+	}
+}
+
+// TestRunMicroWarmupDefaultUnchanged: the zero value keeps the historical
+// no-warm-up behavior bit-for-bit.
+func TestRunMicroWarmupDefaultUnchanged(t *testing.T) {
+	base := MicroScenario{N: 1, Kind: 0, LevelIdx: 1, Samples: 8, Seed: 77}
+	_, s1, err := RunMicro(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := base
+	neg.WarmupSteps = -3 // negative also disables the warm-up
+	_, s2, err := RunMicro(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("WarmupSteps<0 diverges from the zero-value default")
+	}
+}
+
+// TestRunForkGridCtxSharing: cells with equal keys share one prefix build.
+func TestRunForkGridCtxSharing(t *testing.T) {
+	cellFor := func(key string) prefixCell {
+		return prefixCell{
+			Key: key, Seed: 1, Warmup: 2,
+			Build: func() (xen.ForkBuild, error) {
+				cl := xen.NewCluster()
+				pm := cl.AddPM("p")
+				cl.AddVM(pm, "v", 128)
+				return xen.ForkBuild{Cluster: cl, Data: key}, nil
+			},
+		}
+	}
+	cells := []prefixCell{
+		cellFor("share|t1"), cellFor("share|t1"), cellFor("share|t1"), cellFor("share|t2"),
+	}
+	ran := make([]bool, len(cells))
+	err := runForkGridCtx(context.Background(), cells, func(_ context.Context, i int, e *xen.Engine, data any) error {
+		if e.Now() == 0 {
+			t.Errorf("cell %d: engine not warmed", i)
+		}
+		if data.(string) != cells[i].Key {
+			t.Errorf("cell %d: wrong payload %v", i, data)
+		}
+		ran[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("cell %d never ran", i)
+		}
+	}
+	// Both unique keys cached; the three share|t1 cells share one source.
+	s1, ok1 := prefixCache.Get("share|t1")
+	s2, ok2 := prefixCache.Get("share|t2")
+	if !ok1 || !ok2 {
+		t.Fatal("unique prefixes not cached")
+	}
+	if s1 == s2 {
+		t.Fatal("distinct keys share a source")
+	}
+}
+
+// TestRunForkGridCtxBuildError: a failing prefix build aborts the grid
+// with that error.
+func TestRunForkGridCtxBuildError(t *testing.T) {
+	boom := errors.New("boom")
+	cells := []prefixCell{{
+		Key: "err|unique", Seed: 1, Warmup: 1,
+		Build: func() (xen.ForkBuild, error) { return xen.ForkBuild{}, boom },
+	}}
+	err := runForkGridCtx(context.Background(), cells, func(context.Context, int, *xen.Engine, any) error {
+		t.Fatal("run called despite build failure")
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -34,17 +34,23 @@ func MicroFigureContext(ctx context.Context, n int, seed int64, samples int) ([]
 		figNum = fmt.Sprintf("2[N=%d]", n)
 	}
 	sweep := func(kind workload.Kind) ([]monitor.Measurement, []float64, error) {
+		// Ladder cells are independent simulations: fan them out and fold
+		// back in level order (identical output to the old serial sweep).
 		levels := workload.Levels(kind)
 		ms := make([]monitor.Measurement, len(levels))
-		for i := range levels {
-			m, _, err := RunMicroContext(ctx, MicroScenario{
+		err := runParallelCtx(ctx, len(levels), func(jctx context.Context, i int) error {
+			m, _, rerr := RunMicroContext(jctx, MicroScenario{
 				N: n, Kind: kind, LevelIdx: i, Samples: samples,
 				Seed: seed + int64(kind)*10000 + int64(i),
 			})
-			if err != nil {
-				return nil, nil, err
+			if rerr != nil {
+				return rerr
 			}
 			ms[i] = m
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 		return ms, levels, nil
 	}
@@ -144,15 +150,19 @@ func Figure5(seed int64, samples int) ([]Figure, error) {
 func Figure5Context(ctx context.Context, seed int64, samples int) ([]Figure, error) {
 	levels := workload.Levels(workload.BW)
 	ms := make([]monitor.Measurement, len(levels))
-	for i := range levels {
-		m, _, err := RunMicroContext(ctx, MicroScenario{
+	err := runParallelCtx(ctx, len(levels), func(jctx context.Context, i int) error {
+		m, _, rerr := RunMicroContext(jctx, MicroScenario{
 			N: 2, Kind: workload.BW, LevelIdx: i, Samples: samples,
 			Seed: seed + int64(i), IntraPMTarget: true,
 		})
-		if err != nil {
-			return nil, err
+		if rerr != nil {
+			return rerr
 		}
 		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	vm1 := func(m monitor.Measurement) units.Vector { return m.VMs["vm1"] }
 	return []Figure{

@@ -16,8 +16,12 @@ var obsReg atomic.Pointer[obs.Registry]
 // SetObservability installs reg as the package-wide registry used by
 // experiment runs that were not given one explicitly. Pass nil to disable.
 // Safe for concurrent use; campaigns already running keep the registry
-// they resolved at start.
-func SetObservability(reg *obs.Registry) { obsReg.Store(reg) }
+// they resolved at start. The warm-prefix cache's fork_hits/misses/bytes
+// metrics land on the same registry.
+func SetObservability(reg *obs.Registry) {
+	obsReg.Store(reg)
+	prefixCache.Instrument(reg)
+}
 
 // observability resolves an explicit registry against the package default.
 func observability(explicit *obs.Registry) *obs.Registry {

@@ -26,6 +26,31 @@ type PredictionResult struct {
 // DefaultClientCounts is the paper's RUBiS load ladder.
 func DefaultClientCounts() []int { return []int{300, 400, 500, 600, 700} }
 
+// DefaultWarmupSteps is the historical settle phase of the trace-driven
+// runs: five engine steps for the closed loop to reach steady state before
+// the monitor script attaches. It was an inline constant before the
+// WarmupSteps option existed, so option structs treat 0 as this value.
+const DefaultWarmupSteps = 5
+
+// PredictionOptions parameterizes PredictionExperimentOpts. The zero
+// value of every field selects the historical default, so existing traces
+// and goldens are preserved.
+type PredictionOptions struct {
+	// Sets is the number of independent RUBiS applications (1-3 for
+	// Figures 7-9). Required, >= 1.
+	Sets int
+	// Clients is the client-count ladder; nil selects DefaultClientCounts.
+	Clients []int
+	// Duration is the measured seconds per client count; < 1 selects the
+	// paper's 600.
+	Duration int
+	// Seed drives the deployment, workloads and measurement noise.
+	Seed int64
+	// WarmupSteps is the settle phase before measurement: 0 selects
+	// DefaultWarmupSteps, negative disables the warm-up.
+	WarmupSteps int
+}
+
 // PredictionExperiment reproduces the trace-driven evaluation of Section
 // VI-A: `sets` independent RUBiS applications, each with its web tier on
 // PM1 and its DB tier on PM2 (Figure 6 topology; sets = 1, 2, 3 yield
@@ -41,22 +66,42 @@ func PredictionExperiment(model *core.Model, sets int, clients []int, duration i
 // the per-client-count deployments stop dispatching on ctx cancel and
 // in-flight runs abort within one engine step.
 func PredictionExperimentContext(ctx context.Context, model *core.Model, sets int, clients []int, duration int, seed int64) ([]PredictionResult, error) {
+	return PredictionExperimentOpts(ctx, model, PredictionOptions{
+		Sets: sets, Clients: clients, Duration: duration, Seed: seed,
+	})
+}
+
+// PredictionExperimentOpts is the options-struct form of the experiment,
+// and the one that exposes WarmupSteps. Each client count's deployment
+// prefix (Figure 6 topology + RUBiS apps + warm-up) is built at most once
+// via the warm-prefix cache and forked into the measured run, so repeated
+// experiments over the same deployment skip construction and settle
+// entirely; forked runs are byte-identical to from-scratch ones.
+func PredictionExperimentOpts(ctx context.Context, model *core.Model, opt PredictionOptions) ([]PredictionResult, error) {
 	if model == nil {
 		return nil, fmt.Errorf("exps: PredictionExperiment needs a model")
 	}
-	if sets < 1 {
-		return nil, fmt.Errorf("exps: sets must be >= 1, got %d", sets)
+	if opt.Sets < 1 {
+		return nil, fmt.Errorf("exps: sets must be >= 1, got %d", opt.Sets)
 	}
-	if duration < 1 {
-		duration = 600 // the paper's 10-minute interval
+	if opt.Duration < 1 {
+		opt.Duration = 600 // the paper's 10-minute interval
 	}
-	if len(clients) == 0 {
-		clients = DefaultClientCounts()
+	if len(opt.Clients) == 0 {
+		opt.Clients = DefaultClientCounts()
 	}
-	// One independent deployment per client count: run them in parallel.
-	out := make([]PredictionResult, len(clients))
-	err := runParallelCtx(ctx, len(clients), func(jctx context.Context, ci int) error {
-		res, rerr := runPredictionOnce(jctx, model, sets, clients[ci], duration, seed+int64(ci)*7919)
+	warmup := effectiveWarmup(opt.WarmupSteps, DefaultWarmupSteps)
+	// One independent deployment per client count: a grid of
+	// single-cell prefix groups, forked and measured in parallel.
+	cells := make([]prefixCell, len(opt.Clients))
+	for ci, clientCount := range opt.Clients {
+		seed := opt.Seed + int64(ci)*7919
+		cells[ci] = rubisPrefixCell(opt.Sets, clientCount, warmup, seed)
+	}
+	out := make([]PredictionResult, len(opt.Clients))
+	err := runForkGridCtx(ctx, cells, func(jctx context.Context, ci int, e *xen.Engine, data any) error {
+		d := data.(*rubisDeployment)
+		res, rerr := measurePrediction(jctx, model, e, d, opt.Clients[ci], opt.Duration, cells[ci].Seed)
 		if rerr != nil {
 			return rerr
 		}
@@ -69,32 +114,59 @@ func PredictionExperimentContext(ctx context.Context, model *core.Model, sets in
 	return out, nil
 }
 
-func runPredictionOnce(ctx context.Context, model *core.Model, sets, clientCount, duration int, seed int64) (PredictionResult, error) {
-	cl := xen.NewCluster()
-	pm1 := cl.AddPM("pm1")
-	pm2 := cl.AddPM("pm2")
-	for i := 0; i < sets; i++ {
-		webName := fmt.Sprintf("web%d", i+1)
-		dbName := fmt.Sprintf("db%d", i+1)
-		web := cl.AddVM(pm1, webName, 256)
-		db := cl.AddVM(pm2, dbName, 256)
-		app := rubis.New(rubis.Config{
-			Profile: rubis.DefaultProfile(),
-			Clients: rubis.ConstClients(float64(clientCount)),
-			WebVM:   webName,
-			DBVM:    dbName,
-			Seed:    seed + int64(i)*101,
-		})
-		app.BindVMs(web, db)
-		web.SetSource(app.WebSource())
-		db.SetSource(app.DBSource())
-	}
-	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
-	defer e.Close()
-	e.Advance(5) // warm-up: let the closed loop settle
+// rubisDeployment is the builder payload of a Figure 6 prefix: the two PM
+// handles the monitor script measures.
+type rubisDeployment struct {
+	pm1, pm2 *xen.PM
+}
 
+// rubisBuild returns the deterministic builder of the Figure 6 deployment:
+// `sets` RUBiS pairs, web tiers on PM1, DB tiers on PM2. The apps are
+// closed-loop (stateful), so they ride the fork as Aux.
+func rubisBuild(sets, clientCount int, seed int64) func() (xen.ForkBuild, error) {
+	return func() (xen.ForkBuild, error) {
+		cl := xen.NewCluster()
+		pm1 := cl.AddPM("pm1")
+		pm2 := cl.AddPM("pm2")
+		b := xen.ForkBuild{Cluster: cl, Data: &rubisDeployment{pm1: pm1, pm2: pm2}}
+		for i := 0; i < sets; i++ {
+			webName := fmt.Sprintf("web%d", i+1)
+			dbName := fmt.Sprintf("db%d", i+1)
+			web := cl.AddVM(pm1, webName, 256)
+			db := cl.AddVM(pm2, dbName, 256)
+			app := rubis.New(rubis.Config{
+				Profile: rubis.DefaultProfile(),
+				Clients: rubis.ConstClients(float64(clientCount)),
+				WebVM:   webName,
+				DBVM:    dbName,
+				Seed:    seed + int64(i)*101,
+			})
+			app.BindVMs(web, db)
+			web.SetSource(app.WebSource())
+			db.SetSource(app.DBSource())
+			b.Aux = append(b.Aux, app)
+		}
+		return b, nil
+	}
+}
+
+// rubisPrefixCell content-addresses one Figure 6 deployment prefix. The
+// key covers everything the warmed state depends on — topology shape,
+// workload parameters, warm-up length, seed — and nothing the measured
+// phase owns (duration, monitor noise); shard count is deliberately
+// excluded (traces are identical at every value).
+func rubisPrefixCell(sets, clientCount, warmup int, seed int64) prefixCell {
+	return prefixCell{
+		Key:    fmt.Sprintf("rubis|v1|sets=%d|clients=%d|warmup=%d|seed=%d", sets, clientCount, warmup, seed),
+		Seed:   seed,
+		Warmup: warmup,
+		Build:  rubisBuild(sets, clientCount, seed),
+	}
+}
+
+func measurePrediction(ctx context.Context, model *core.Model, e *xen.Engine, d *rubisDeployment, clientCount, duration int, seed int64) (PredictionResult, error) {
 	script := monitor.Script{IntervalSteps: 1, Samples: duration, Noise: monitor.DefaultNoise(), Seed: seed + 555}
-	series, err := script.RunContext(ctx, e, []*xen.PM{pm1, pm2})
+	series, err := script.RunContext(ctx, e, []*xen.PM{d.pm1, d.pm2})
 	if err != nil {
 		return PredictionResult{}, err
 	}
@@ -166,7 +238,9 @@ func EvaluateSeries(model *core.Model, series [][]monitor.Measurement) (map[stri
 // RecordRUBiSTrace runs the Figure 6 deployment (sets of RUBiS pairs, web
 // tiers on PM1, DB tiers on PM2) at a fixed client count and returns the
 // raw measurement series, for writing to a trace file and replaying
-// offline.
+// offline. It shares its deployment prefix with the prediction experiment
+// (same content address), so recording a trace after — or before —
+// predicting over the same deployment warms up only once.
 func RecordRUBiSTrace(sets, clientCount, duration int, seed int64) ([][]monitor.Measurement, error) {
 	if sets < 1 {
 		return nil, fmt.Errorf("exps: RecordRUBiSTrace needs sets >= 1")
@@ -174,30 +248,21 @@ func RecordRUBiSTrace(sets, clientCount, duration int, seed int64) ([][]monitor.
 	if duration < 1 {
 		duration = 120
 	}
-	cl := xen.NewCluster()
-	pm1 := cl.AddPM("pm1")
-	pm2 := cl.AddPM("pm2")
-	for i := 0; i < sets; i++ {
-		webName := fmt.Sprintf("web%d", i+1)
-		dbName := fmt.Sprintf("db%d", i+1)
-		web := cl.AddVM(pm1, webName, 256)
-		db := cl.AddVM(pm2, dbName, 256)
-		app := rubis.New(rubis.Config{
-			Profile: rubis.DefaultProfile(),
-			Clients: rubis.ConstClients(float64(clientCount)),
-			WebVM:   webName,
-			DBVM:    dbName,
-			Seed:    seed + int64(i)*101,
-		})
-		app.BindVMs(web, db)
-		web.SetSource(app.WebSource())
-		db.SetSource(app.DBSource())
+	cell := rubisPrefixCell(sets, clientCount, DefaultWarmupSteps, seed)
+	src, _, err := prefixCache.GetOrBuild(cell.Key, func() (*xen.ForkSource, error) {
+		return xen.NewForkSource(cell.Build, xen.DefaultCalibration(), cell.Seed, cell.Warmup)
+	})
+	if err != nil {
+		return nil, err
 	}
-	e := xen.NewEngine(cl, xen.DefaultCalibration(), seed)
+	e, data, err := src.Fork()
+	if err != nil {
+		return nil, err
+	}
 	defer e.Close()
-	e.Advance(5)
+	d := data.(*rubisDeployment)
 	script := monitor.Script{IntervalSteps: 1, Samples: duration, Noise: monitor.DefaultNoise(), Seed: seed + 555}
-	return script.Run(e, []*xen.PM{pm1, pm2})
+	return script.Run(e, []*xen.PM{d.pm1, d.pm2})
 }
 
 // PredictionFigures turns experiment results into the four CDF panels of

@@ -22,6 +22,11 @@ type ReportConfig struct {
 	PlacementRepeats int
 	// PlacementDuration is the seconds per Figure 10 run.
 	PlacementDuration int
+	// WarmupSteps is the settle phase of the trace-driven prediction runs:
+	// 0 selects DefaultWarmupSteps (the historical five), negative
+	// disables it. Warmed prefixes are cached and forked, so repeated
+	// reports re-settle nothing.
+	WarmupSteps int
 	// Extensions includes the beyond-the-paper studies.
 	Extensions bool
 	// Obs, when non-nil, counts report progress (sections, figures) on
@@ -143,7 +148,10 @@ func FullReportContext(ctx context.Context, cfg ReportConfig) (string, error) {
 	b.WriteString("## Trace-driven prediction (Figures 7-9)\n\n")
 	b.WriteString("90th-percentile |p-m|/m errors in percent.\n\n```\n")
 	for fig, sets := range map[int]int{7: 1, 8: 2, 9: 3} {
-		results, err := PredictionExperimentContext(ctx, model, sets, nil, cfg.PredictionDuration, cfg.Seed+int64(fig))
+		results, err := PredictionExperimentOpts(ctx, model, PredictionOptions{
+			Sets: sets, Duration: cfg.PredictionDuration,
+			Seed: cfg.Seed + int64(fig), WarmupSteps: cfg.WarmupSteps,
+		})
 		if err != nil {
 			return "", err
 		}

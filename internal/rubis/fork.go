@@ -1,0 +1,51 @@
+package rubis
+
+import (
+	"virtover/internal/simrand"
+	"virtover/internal/xen"
+)
+
+// An App is closed-loop: its jitter RNG and throughput accounting evolve
+// as the engine steps, outside the engine's own EngineState. Implementing
+// xen.Forkable lets the warm-start fork layer carry that state across a
+// snapshot: ForkState captures it after the prefix warm-up,
+// RestoreForkState rewinds a freshly built App (same Config, same Seed) to
+// the identical point, so a forked run's demand stream continues bit-for-bit.
+var _ xen.Forkable = (*App)(nil)
+
+// appForkState is the App state outside the engine: the jitter RNG
+// position, the starvation-feedback demands from the last step, and the
+// cumulative throughput accounting.
+type appForkState struct {
+	rng              simrand.State
+	lastWebCPUDemand float64
+	lastDBCPUDemand  float64
+	offeredReqs      float64
+	servedReqs       float64
+	steps            int
+}
+
+// ForkState implements xen.Forkable.
+func (a *App) ForkState() any {
+	return appForkState{
+		rng:              a.rng.State(),
+		lastWebCPUDemand: a.lastWebCPUDemand,
+		lastDBCPUDemand:  a.lastDBCPUDemand,
+		offeredReqs:      a.offeredReqs,
+		servedReqs:       a.servedReqs,
+		steps:            a.steps,
+	}
+}
+
+// RestoreForkState implements xen.Forkable. It accepts only values
+// produced by ForkState and panics on anything else (a fork-layer wiring
+// bug, not a runtime condition).
+func (a *App) RestoreForkState(v any) {
+	st := v.(appForkState)
+	a.rng.SetState(st.rng)
+	a.lastWebCPUDemand = st.lastWebCPUDemand
+	a.lastDBCPUDemand = st.lastDBCPUDemand
+	a.offeredReqs = st.offeredReqs
+	a.servedReqs = st.servedReqs
+	a.steps = st.steps
+}

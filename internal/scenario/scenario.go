@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"virtover/internal/monitor"
@@ -69,9 +70,14 @@ type Scenario struct {
 	// Seed drives the simulation and measurement noise.
 	Seed int64 `json:"seed"`
 	// Duration is the measured seconds (default 120).
-	Duration int      `json:"duration,omitempty"`
-	PMs      []PMSpec `json:"pms"`
-	VMs      []VMSpec `json:"vms"`
+	Duration int `json:"duration,omitempty"`
+	// WarmupSteps runs a settle phase before measurement begins. The
+	// warmed state is a pure function of everything except Duration, so
+	// services fork repeated runs of the same scenario from a cached
+	// prefix (see PrefixKey) instead of re-settling.
+	WarmupSteps int      `json:"warmupSteps,omitempty"`
+	PMs         []PMSpec `json:"pms"`
+	VMs         []VMSpec `json:"vms"`
 }
 
 // PMSpec declares one physical machine.
@@ -172,6 +178,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Duration < 0 {
 		return badf("duration", "must be >= 0, got %d", s.Duration)
+	}
+	if s.WarmupSteps < 0 {
+		return badf("warmupSteps", "must be >= 0, got %d", s.WarmupSteps)
 	}
 	if len(s.PMs) == 0 {
 		return badf("pms", "at least one PM is required")
@@ -290,8 +299,22 @@ func flowsFor(mbps float64, target string) []xen.Flow {
 // the cmd/ -shards flag); when that exceeds 1 the caller should Close the
 // engine once done to stop its worker pool.
 func (s *Scenario) Build() (*xen.Engine, []*xen.PM, error) {
-	if err := s.Validate(); err != nil {
+	b, err := s.ForkBuild()
+	if err != nil {
 		return nil, nil, err
+	}
+	return xen.NewEngine(b.Cluster, xen.DefaultCalibration(), s.Seed), b.Data.([]*xen.PM), nil
+}
+
+// ForkBuild constructs the scenario's world in the warm-start fork layer's
+// terms: the cluster, the stateful (jittered) workload sources as Aux, and
+// the spec-ordered PM list as Data. The construction is deterministic —
+// two calls build identical worlds — which is what lets xen.NewForkSource
+// warm the scenario once and fork every subsequent run from the captured
+// state.
+func (s *Scenario) ForkBuild() (xen.ForkBuild, error) {
+	if err := s.Validate(); err != nil {
+		return xen.ForkBuild{}, err
 	}
 	cl := xen.NewCluster()
 	pms := make([]*xen.PM, len(s.PMs))
@@ -304,15 +327,41 @@ func (s *Scenario) Build() (*xen.Engine, []*xen.PM, error) {
 		pms[i] = pm
 		byName[spec.Name] = pm
 	}
+	b := xen.ForkBuild{Cluster: cl, Data: pms}
 	for i, spec := range s.VMs {
 		mem := spec.MemMB
 		if mem <= 0 {
 			mem = 512
 		}
 		vm := cl.AddVMConfig(byName[spec.PM], spec.Name, mem, spec.VCPUs, spec.Weight)
-		vm.SetSource(spec.Workload.buildSource(s.Seed + int64(i)*101))
+		src := spec.Workload.buildSource(s.Seed + int64(i)*101)
+		vm.SetSource(src)
+		if f, ok := src.(xen.Forkable); ok {
+			b.Aux = append(b.Aux, f)
+		}
 	}
-	return xen.NewEngine(cl, xen.DefaultCalibration(), s.Seed), pms, nil
+	return b, nil
+}
+
+// PrefixKey content-addresses the scenario's warmed prefix: a digest of
+// every field the settled state depends on — schema version, seed,
+// warm-up length, topology and workloads — excluding Duration, which only
+// scales the measured phase. Two scenarios with equal keys fork from the
+// same cached state; any topology or workload edit, seed change or schema
+// version bump changes the key, so stale prefixes can never be served.
+func (s *Scenario) PrefixKey() string {
+	c := *s
+	c.Version = CurrentVersion // 0 means "current": normalize
+	c.Duration = 0
+	blob, err := json.Marshal(&c)
+	if err != nil {
+		// Scenario is plain data; Marshal cannot fail. Keep a defensive
+		// unshareable key anyway.
+		return fmt.Sprintf("scenario|unhashable|%p", s)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return fmt.Sprintf("scenario|v%d|%016x", CurrentVersion, h.Sum64())
 }
 
 // Run builds the scenario and measures every PM with the paper's script
@@ -323,13 +372,26 @@ func (s *Scenario) Run() ([][]monitor.Measurement, error) {
 }
 
 // RunContext is Run with cancellation: the simulation aborts within one
-// engine step of ctx cancel and the error is ctx.Err().
+// engine step of ctx cancel and the error is ctx.Err(). WarmupSteps, when
+// set, settle the world before the script attaches; the serve layer runs
+// the same measured phase from a forked prefix and its trace is
+// byte-identical to this one.
 func (s *Scenario) RunContext(ctx context.Context) ([][]monitor.Measurement, error) {
 	e, pms, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
 	defer e.Close()
+	if s.WarmupSteps > 0 {
+		if err := e.AdvanceContext(ctx, s.WarmupSteps); err != nil {
+			return nil, err
+		}
+	}
+	return s.measure(ctx, e, pms)
+}
+
+// measure runs the scenario's measured phase on an already-settled engine.
+func (s *Scenario) measure(ctx context.Context, e *xen.Engine, pms []*xen.PM) ([][]monitor.Measurement, error) {
 	duration := s.Duration
 	if duration <= 0 {
 		duration = 120
@@ -339,4 +401,16 @@ func (s *Scenario) RunContext(ctx context.Context) ([][]monitor.Measurement, err
 		Noise: monitor.DefaultNoise(), Seed: s.Seed + 999,
 	}
 	return script.RunContext(ctx, e, pms)
+}
+
+// RunForked runs the measured phase on a warmed engine forked from src
+// (built from this scenario's ForkBuild with its WarmupSteps). The trace
+// is byte-identical to RunContext on the same scenario.
+func (s *Scenario) RunForked(ctx context.Context, src *xen.ForkSource) ([][]monitor.Measurement, error) {
+	e, data, err := src.Fork()
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return s.measure(ctx, e, data.([]*xen.PM))
 }

@@ -14,6 +14,7 @@ import (
 	"virtover/internal/monitor"
 	"virtover/internal/scenario"
 	"virtover/internal/units"
+	"virtover/internal/xen"
 )
 
 // The request envelope mirrors the scenario package's contract: every
@@ -217,6 +218,67 @@ func (s *Server) fitForSpec(ctx context.Context, key modelKey, opt core.FitOptio
 	return m, false, nil
 }
 
+// fitCall is one in-flight fit that concurrent identical requests wait on
+// instead of occupying their own worker slots.
+type fitCall struct {
+	done  chan struct{}
+	model *core.Model
+	err   error
+}
+
+// fitModel resolves a model with singleflight collapsing: a cached model
+// answers immediately; otherwise the first caller for a key becomes the
+// leader, runs the fit on the worker pool, and every concurrent identical
+// request waits on that one run — before execute, so a burst of N equal
+// fits consumes one worker slot, not N. Waiters share the leader's result
+// (or error; failed fits are not cached, so the next request retries) and
+// report hit=true: their model came from memory, not their own fit. The
+// serve_coalesced counter counts the waiters.
+func (s *Server) fitModel(ctx context.Context, key modelKey, opt core.FitOptions) (*core.Model, bool, error) {
+	if m, ok := s.cache.Get(key); ok {
+		s.m.cacheHits.Inc()
+		return m, true, nil
+	}
+	s.fitMu.Lock()
+	if c, ok := s.fits[key]; ok {
+		s.fitMu.Unlock()
+		s.m.coalesced.Inc()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		return c.model, true, nil
+	}
+	c := &fitCall{done: make(chan struct{})}
+	s.fits[key] = c
+	s.fitMu.Unlock()
+
+	var (
+		m   *core.Model
+		hit bool
+		run error
+	)
+	err := s.execute(ctx, func(ctx context.Context) {
+		m, hit, run = s.fitForSpec(ctx, key, opt)
+	})
+	if err == nil {
+		err = run
+	}
+	c.model, c.err = m, err
+	s.fitMu.Lock()
+	delete(s.fits, key)
+	s.fitMu.Unlock()
+	close(c.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, hit, nil
+}
+
 // handleFit trains (or recalls) a model and returns it in exactly the
 // bytes core.SaveModel writes, so a served fit is bit-identical to a
 // library fit of the same inputs.
@@ -234,21 +296,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
-		var (
-			buf bytes.Buffer
-			hit bool
-			run error
-		)
-		err = s.execute(ctx, func(ctx context.Context) {
-			var m *core.Model
-			if m, hit, run = s.fitForSpec(ctx, key, opt); run == nil {
-				run = core.SaveModel(&buf, m)
-			}
-		})
-		if err == nil {
-			err = run
-		}
+		m, hit, err := s.fitModel(ctx, key, opt)
 		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		// Serialization is cheap; only the fit itself runs on the pool.
+		var buf bytes.Buffer
+		if err := core.SaveModel(&buf, m); err != nil {
 			s.writeError(w, r, err)
 			return
 		}
@@ -289,36 +344,23 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
-		var (
-			resp estimateResponse
-			run  error
-		)
-		err = s.execute(ctx, func(ctx context.Context) {
-			m, hit, ferr := s.fitForSpec(ctx, key, opt)
-			if ferr != nil {
-				run = ferr
-				return
-			}
-			guests := make([]units.Vector, len(req.Guests))
-			for i, g := range req.Guests {
-				guests[i] = units.V(g.CPU, g.Mem, g.IO, g.BW)
-			}
-			p := m.Predict(guests)
-			resp = estimateResponse{
-				Dom0CPU:  p.Dom0CPU,
-				HypCPU:   p.HypCPU,
-				PM:       toVectorJSON(p.PM),
-				CacheHit: hit,
-			}
-		})
-		if err == nil {
-			err = run
-		}
+		m, hit, err := s.fitModel(ctx, key, opt)
 		if err != nil {
 			s.writeError(w, r, err)
 			return
 		}
-		writeJSON(w, resp)
+		guests := make([]units.Vector, len(req.Guests))
+		for i, g := range req.Guests {
+			guests[i] = units.V(g.CPU, g.Mem, g.IO, g.BW)
+		}
+		// Predict is a handful of dot products — no pool slot needed.
+		p := m.Predict(guests)
+		writeJSON(w, estimateResponse{
+			Dom0CPU:  p.Dom0CPU,
+			HypCPU:   p.HypCPU,
+			PM:       toVectorJSON(p.PM),
+			CacheHit: hit,
+		})
 	})
 }
 
@@ -344,7 +386,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 			run  error
 		)
 		err = s.execute(ctx, func(ctx context.Context) {
-			series, rerr := sc.RunContext(ctx)
+			series, rerr := s.runScenario(ctx, sc)
 			if rerr != nil {
 				run = rerr
 				return
@@ -373,6 +415,25 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, resp)
 	})
+}
+
+// runScenario executes a scenario on a pool worker. A scenario with a
+// warm-up settles once per prefix: the warmed snapshot is cached under
+// scenario.PrefixKey (topology, workloads, seed, warmupSteps — everything
+// but duration) and every later run of the same prefix forks its measured
+// phase from it. The forked trace is byte-identical to RunContext's, so
+// the response does not depend on the cache's state.
+func (s *Server) runScenario(ctx context.Context, sc *scenario.Scenario) ([][]monitor.Measurement, error) {
+	if sc.WarmupSteps <= 0 {
+		return sc.RunContext(ctx)
+	}
+	src, _, err := s.forks.GetOrBuild(sc.PrefixKey(), func() (*xen.ForkSource, error) {
+		return xen.NewForkSource(sc.ForkBuild, xen.DefaultCalibration(), sc.Seed, sc.WarmupSteps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sc.RunForked(ctx, src)
 }
 
 // handleModels lists the cached fitted models (no compute; answers even

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"virtover/internal/obs"
+	"virtover/internal/xen"
 )
 
 // ErrQueueFull is returned (and mapped to HTTP 429) when the task queue
@@ -48,6 +49,11 @@ type Options struct {
 	Queue int
 	// CacheSize bounds the fitted-model LRU cache (default 32 models).
 	CacheSize int
+	// ForkCacheSize bounds the warmed-scenario prefix cache (default 16
+	// sources). A scenario with warmupSteps settles once; repeated
+	// /v1/scenario/run requests for the same prefix (PrefixKey) fork their
+	// measured phase from the cached snapshot instead of re-settling.
+	ForkCacheSize int
 	// RequestTimeout is the per-request compute deadline (default 30s).
 	// It caps r.Context(), so both client disconnects and slow runs
 	// cancel the underlying simulation.
@@ -69,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize <= 0 {
 		o.CacheSize = 32
+	}
+	if o.ForkCacheSize <= 0 {
+		o.ForkCacheSize = 16
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
@@ -103,7 +112,11 @@ type Server struct {
 	mux   *http.ServeMux
 	tasks chan *task
 	cache *modelCache
+	forks *xen.ForkCache
 	log   *slog.Logger
+
+	fitMu sync.Mutex
+	fits  map[modelKey]*fitCall // in-flight fits, keyed like the cache
 
 	mu       sync.Mutex
 	draining bool
@@ -124,6 +137,7 @@ type serveMetrics struct {
 	errs        *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	coalesced   *obs.Counter
 	inflight    *obs.Gauge
 	queueDepth  *obs.Gauge
 	latency     *obs.Histogram
@@ -138,6 +152,8 @@ func New(opt Options) *Server {
 		opt:     opt,
 		tasks:   make(chan *task, opt.Queue),
 		cache:   newModelCache(opt.CacheSize),
+		forks:   xen.NewForkCache(opt.ForkCacheSize),
+		fits:    map[modelKey]*fitCall{},
 		log:     opt.Log,
 		drained: make(chan struct{}),
 		m: serveMetrics{
@@ -147,10 +163,14 @@ func New(opt Options) *Server {
 			errs:        reg.Counter("serve_request_errors_total", "requests answered with an error status"),
 			cacheHits:   reg.Counter("serve_model_cache_hits_total", "fit requests served from the model cache"),
 			cacheMisses: reg.Counter("serve_model_cache_misses_total", "fit requests that ran the training pipeline"),
+			coalesced:   reg.Counter("serve_coalesced_total", "identical concurrent fits collapsed onto one in-flight run"),
 			inflight:    reg.Gauge("serve_requests_inflight", "requests currently admitted (queued or executing)"),
 			queueDepth:  reg.Gauge("serve_queue_depth", "tasks waiting for a worker"),
 			latency:     reg.Histogram("serve_request_latency_ns", "wall time per compute request, admission to response"),
 		},
+	}
+	if reg != nil {
+		s.forks.Instrument(reg) // fork_* series alongside the serve_* ones
 	}
 	s.workers.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {

@@ -15,7 +15,9 @@ import (
 
 	"virtover/internal/core"
 	"virtover/internal/exps"
+	"virtover/internal/monitor"
 	"virtover/internal/obs"
+	"virtover/internal/scenario"
 )
 
 const fitSpec = `{"seed": 11, "samples": 2, "method": "ols"}`
@@ -384,6 +386,146 @@ func TestServeScenarioRun(t *testing.T) {
 	web := run.Average[0].VMs["web"]
 	if web.CPU < 30 || web.CPU > 50 {
 		t.Errorf("web CPU = %.2f, want ~40", web.CPU)
+	}
+}
+
+// TestServeFitCoalescing: 24 concurrent identical /v1/fit requests run
+// exactly one fit. The pool's single worker is blocked while the clients
+// arrive, so every request demonstrably overlaps: one becomes the leader
+// (queued behind the blocker), the other 23 coalesce onto its in-flight
+// fitCall without consuming queue or worker capacity.
+func TestServeFitCoalescing(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 1, Queue: 4, Obs: reg})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Occupy the only worker so the leader's fit cannot start yet.
+	inWork := make(chan struct{})
+	release := make(chan struct{})
+	blockDone := make(chan struct{})
+	go func() {
+		defer close(blockDone)
+		_ = s.execute(context.Background(), func(context.Context) {
+			close(inWork)
+			<-release
+		})
+	}()
+	<-inWork
+
+	const clients = 24
+	type result struct {
+		status int
+		xcache string
+		body   []byte
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/fit", `{"seed": 23, "samples": 2}`)
+			results[c] = result{resp.StatusCode, resp.Header.Get("X-Cache"), body}
+		}(c)
+	}
+	// All but the leader must be waiting on the in-flight call before the
+	// worker is released — proof they coalesced rather than queued.
+	waitFor(t, "23 coalesced waiters", func() bool {
+		return s.m.coalesced.Value() == clients-1
+	})
+	close(release)
+	wg.Wait()
+	<-blockDone
+
+	var leaders int
+	for c, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("client %d: status %d: %s", c, r.status, r.body)
+		}
+		if !bytes.Equal(r.body, results[0].body) {
+			t.Fatalf("client %d served different bytes", c)
+		}
+		if r.xcache == "miss" {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d clients report X-Cache miss, want exactly the 1 leader", leaders)
+	}
+	if misses := s.m.cacheMisses.Value(); misses != 1 {
+		t.Errorf("training pipeline ran %d times for %d identical requests, want 1", misses, clients)
+	}
+	if co := s.m.coalesced.Value(); co != clients-1 {
+		t.Errorf("serve_coalesced = %d, want %d", co, clients-1)
+	}
+}
+
+// TestServeScenarioFork: a warmed scenario settles once — the second
+// identical request forks from the cached prefix — and the served trace is
+// byte-identical to the library's RunContext on the same scenario.
+func TestServeScenarioFork(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 2, Queue: 2, Obs: reg})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	doc := `{
+	  "version": 1, "seed": 19, "duration": 8, "warmupSteps": 5,
+	  "pms": [{"name": "pm1"}],
+	  "vms": [{"name": "web", "pm": "pm1",
+	           "workload": {"kind": "cpu", "level": 40, "jitter": 0.1}}]
+	}`
+	resp1, body1 := postJSON(t, ts.URL+"/v1/scenario/run", doc)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/scenario/run", doc)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("forked rerun served different bytes than the cold run")
+	}
+
+	// The warmed prefix is cached under the scenario's content address.
+	sc, err := scenario.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.forks.Get(sc.PrefixKey()); !ok {
+		t.Fatal("warmed prefix not in the fork cache")
+	}
+	if s.forks.Len() != 1 {
+		t.Errorf("fork cache holds %d prefixes, want 1", s.forks.Len())
+	}
+
+	// Byte-identical to the library path: same averages as RunContext.
+	series, err := sc.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run scenarioRunResponse
+	if err := json.Unmarshal(body1, &run); err != nil {
+		t.Fatal(err)
+	}
+	want := monitor.Average(series)
+	if len(run.Average) != len(want) {
+		t.Fatalf("%d averages, want %d", len(run.Average), len(want))
+	}
+	for i, m := range want {
+		got := run.Average[i]
+		if got.PM != m.PM || got.Host != toVectorJSON(m.Host) ||
+			got.HypervisorCPU != m.HypervisorCPU || got.Dom0 != toVectorJSON(m.Dom0) {
+			t.Errorf("PM %s: served average diverges from the library run", m.PM)
+		}
+		for name, v := range m.VMs {
+			if got.VMs[name] != toVectorJSON(v) {
+				t.Errorf("VM %s: served %v, library %v", name, got.VMs[name], toVectorJSON(v))
+			}
+		}
 	}
 }
 

@@ -71,11 +71,32 @@ func (s *Source) State() State {
 // restored source emits the same continuation stream, bit for bit.
 func Restore(st State) *Source {
 	s := New(st.Seed)
+	s.SetState(st)
+	return s
+}
+
+// SetState rewinds the source in place to a captured state, emitting the
+// same continuation stream a fresh Restore would — but without allocating.
+// A source already on the target seed and at or behind the target position
+// just replays raw draws forward: since every distribution method bottoms
+// out in counted source reads, (seed, draws) pins the stream exactly, and
+// skipping the expensive generator re-seed is safe. That is the fork
+// layer's hot path — freshly rebuilt sources arrive here seeded and at
+// draw zero. Otherwise the generator is re-seeded through rand.Rand.Seed
+// (which resets the draw counter via the counting wrapper) first.
+func (s *Source) SetState(st State) {
+	if s.seed != st.Seed || s.cnt.draws > st.Draws {
+		s.seed = st.Seed
+		s.rng.Seed(st.Seed)
+	}
 	for s.cnt.draws < st.Draws {
 		s.cnt.Int63()
 	}
-	return s
 }
+
+// Draws returns the number of raw draws consumed since the last seeding —
+// the replay cost of restoring this source's current State.
+func (s *Source) Draws() uint64 { return s.cnt.draws }
 
 // Split derives an independent child source. The child's stream is a pure
 // function of the parent's state at the time of the call, preserving

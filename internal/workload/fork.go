@@ -1,0 +1,21 @@
+package workload
+
+import (
+	"virtover/internal/simrand"
+	"virtover/internal/xen"
+)
+
+// A generator's only mutable state is its jitter RNG; everything else is
+// configuration rebuilt identically by a deterministic campaign builder.
+// Implementing xen.Forkable lets the warm-start fork layer rewind a fresh
+// generator to the exact jitter-stream position the prefix warm-up reached,
+// so forked runs replay the same demand sequence bit-for-bit. Sources
+// returned by New/NewLevel satisfy xen.Forkable via type assertion.
+var _ xen.Forkable = (*gen)(nil)
+
+// ForkState implements xen.Forkable.
+func (g *gen) ForkState() any { return g.rng.State() }
+
+// RestoreForkState implements xen.Forkable. It accepts only values
+// produced by ForkState and panics on anything else.
+func (g *gen) RestoreForkState(v any) { g.rng.SetState(v.(simrand.State)) }

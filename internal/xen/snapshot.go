@@ -2,6 +2,8 @@ package xen
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"virtover/internal/simrand"
 	"virtover/internal/units"
@@ -127,15 +129,32 @@ func (e *Engine) CaptureState() EngineState {
 	return st
 }
 
-// RestoreState rewinds the engine (and its cluster) to a captured state:
-// guests are moved back to their captured PMs, caps and last readings are
-// reinstated, in-flight migrations resume at their remaining copy volume,
-// and the RNG continues the captured stream. The cluster must contain
-// every VM and PM the state names; extras are left untouched. On error the
-// engine may be partially restored and should be discarded.
-func (e *Engine) RestoreState(st EngineState) error {
+// RestoreState rewinds the engine (and its cluster) to a captured state.
+// It is RestoreStateInto; both names are kept because RestoreState predates
+// the warm-start forking layer and external callers use it.
+func (e *Engine) RestoreState(st EngineState) error { return e.RestoreStateInto(&st) }
+
+// RestoreStateInto rewinds the engine (and its cluster) to a captured
+// state: guests are moved back to their captured PMs, caps and last
+// readings are reinstated, in-flight migrations resume at their remaining
+// copy volume, and the RNG continues the captured stream. The cluster must
+// contain every VM and PM the state names; extras are left untouched. On
+// error the engine may be partially restored and should be discarded.
+//
+// This is the warm-start fork fast path: when the target engine's cluster
+// already sits at the captured placement (the common case — a fork restores
+// into a cluster built by the same constructor that built the captured
+// one), nothing bumps the topology generation, so the engine keeps its SoA
+// columns, scratch arenas and worker pool, the RNG is rewound in place
+// (simrand.SetState), and migration records reuse spare slots from earlier
+// restores. Steady-state restores are allocation-free
+// (TestRestoreStateIntoAllocs pins this at 0 allocs/op). Restoring the RNG
+// replays its recorded draw count, so cost is linear in the warm-up length,
+// not in the cluster's full history.
+func (e *Engine) RestoreStateInto(st *EngineState) error {
 	cl := e.Cluster
-	for _, vs := range st.VMs {
+	for i := range st.VMs {
+		vs := &st.VMs[i]
 		vm, ok := cl.LookupVM(vs.Name)
 		if !ok {
 			return fmt.Errorf("xen: RestoreState: unknown VM %q", vs.Name)
@@ -152,7 +171,8 @@ func (e *Engine) RestoreState(st EngineState) error {
 		vm.capCPU = vs.CPUCap
 		vm.util = vs.Util
 	}
-	for _, ps := range st.PMs {
+	for i := range st.PMs {
+		ps := &st.PMs[i]
 		pm, ok := cl.LookupPM(ps.Name)
 		if !ok {
 			return fmt.Errorf("xen: RestoreState: unknown PM %q", ps.Name)
@@ -161,8 +181,10 @@ func (e *Engine) RestoreState(st EngineState) error {
 		pm.hypCPU = ps.HypervisorCPU
 		pm.pmUtil = ps.Host
 	}
+	spare := e.migrations[:cap(e.migrations)]
 	e.migrations = e.migrations[:0]
-	for _, ms := range st.Migrations {
+	for i := range st.Migrations {
+		ms := &st.Migrations[i]
 		vm, ok := cl.LookupVM(ms.VM)
 		if !ok {
 			return fmt.Errorf("xen: RestoreState: unknown migrating VM %q", ms.VM)
@@ -171,11 +193,113 @@ func (e *Engine) RestoreState(st EngineState) error {
 		if !ok {
 			return fmt.Errorf("xen: RestoreState: unknown migration target %q", ms.To)
 		}
-		e.migrations = append(e.migrations, &liveMigration{
-			vm: vm, dst: dst, remainingKb: ms.RemainingKb})
+		// Reuse a record left over from a previous restore (or completed
+		// migration) when one sits in the slice's spare capacity.
+		n := len(e.migrations)
+		var m *liveMigration
+		if n < len(spare) && spare[n] != nil {
+			m = spare[n]
+		} else {
+			m = &liveMigration{}
+		}
+		m.vm, m.dst, m.remainingKb = vm, dst, ms.RemainingKb
+		e.migrations = append(e.migrations, m)
 	}
 	e.obs.migActive.Set(int64(len(e.migrations)))
 	e.now = st.Now
-	e.rng = simrand.Restore(st.RNG)
+	e.rng.SetState(st.RNG)
 	return nil
+}
+
+// Clone deep-copies the state, so the original may keep mutating (e.g. a
+// cached prefix handing copies to forks that restore concurrently). The
+// copy shares nothing with the receiver.
+func (st *EngineState) Clone() EngineState {
+	out := *st
+	if st.VMs != nil {
+		out.VMs = append([]VMState(nil), st.VMs...)
+	}
+	if st.PMs != nil {
+		out.PMs = append([]PMState(nil), st.PMs...)
+	}
+	if st.Migrations != nil {
+		out.Migrations = append([]MigrationState(nil), st.Migrations...)
+	}
+	return out
+}
+
+// MemBytes approximates the state's resident size (headers plus slice
+// backing arrays plus name bytes). The fork cache uses it for its
+// fork_bytes accounting; it is an estimate, not an exact heap measurement.
+func (st *EngineState) MemBytes() int {
+	const (
+		vmStateSize  = 80 // string header + string + cap + 4 floats
+		pmStateSize  = 96
+		migStateSize = 40
+	)
+	n := 64
+	n += len(st.VMs) * vmStateSize
+	for i := range st.VMs {
+		n += len(st.VMs[i].Name) + len(st.VMs[i].PM)
+	}
+	n += len(st.PMs) * pmStateSize
+	for i := range st.PMs {
+		n += len(st.PMs[i].Name)
+	}
+	n += len(st.Migrations) * migStateSize
+	for i := range st.Migrations {
+		n += len(st.Migrations[i].VM) + len(st.Migrations[i].To)
+	}
+	return n
+}
+
+// Hash returns a deterministic FNV-1a digest of the state's full content —
+// clock, RNG position, every VM and PM record, every in-flight migration,
+// in capture order. Two states hash equal iff a restore from either yields
+// the same continuation (up to 64-bit collision), which makes the hash a
+// compact determinism witness: the fork layer's tests compare forked and
+// from-scratch states by it, and cache diagnostics can log it without
+// dumping whole states.
+func (st *EngineState) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	ws := func(s string) {
+		w64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wv := func(v units.Vector) { wf(v.CPU); wf(v.Mem); wf(v.IO); wf(v.BW) }
+	wf(st.Now)
+	w64(uint64(st.RNG.Seed))
+	w64(st.RNG.Draws)
+	w64(uint64(len(st.VMs)))
+	for i := range st.VMs {
+		vs := &st.VMs[i]
+		ws(vs.Name)
+		ws(vs.PM)
+		wf(vs.CPUCap)
+		wv(vs.Util)
+	}
+	w64(uint64(len(st.PMs)))
+	for i := range st.PMs {
+		ps := &st.PMs[i]
+		ws(ps.Name)
+		wv(ps.Dom0)
+		wf(ps.HypervisorCPU)
+		wv(ps.Host)
+	}
+	w64(uint64(len(st.Migrations)))
+	for i := range st.Migrations {
+		ms := &st.Migrations[i]
+		ws(ms.VM)
+		ws(ms.To)
+		wf(ms.RemainingKb)
+	}
+	return h.Sum64()
 }
