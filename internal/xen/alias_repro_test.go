@@ -1,0 +1,55 @@
+package xen
+
+import "testing"
+
+// Repro: stepMigrations compacts e.migrations in place, leaving duplicate
+// stale pointers in the slice's spare capacity. RestoreStateInto's
+// spare-slot reuse can then hand the same *liveMigration record to two
+// restored migrations.
+func TestRestoreSpareAliasRepro(t *testing.T) {
+	cl := NewCluster()
+	pm1 := cl.AddPM("pm1")
+	pm2 := cl.AddPM("pm2")
+	cl.AddPM("pm3")
+	pm3, _ := cl.LookupPM("pm3")
+	vmA := cl.AddVM(pm1, "vmA", 64)   // small: completes fast
+	vmB := cl.AddVM(pm1, "vmB", 4096) // big: stays in flight
+	_ = vmA
+	_ = vmB
+
+	e := NewEngine(cl, DefaultCalibration(), 1)
+	defer e.Close()
+
+	if err := e.BeginLiveMigration("vmA", pm2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BeginLiveMigration("vmB", pm3); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CaptureState() // 2 in-flight migrations
+	if len(st.Migrations) != 2 {
+		t.Fatalf("want 2 captured migrations, got %d", len(st.Migrations))
+	}
+
+	// Step until vmA's migration completes (compaction leaves a stale
+	// duplicate pointer in the spare capacity).
+	for i := 0; i < 1000 && len(e.Migrations()) == 2; i++ {
+		e.Advance(1)
+	}
+	if n := len(e.Migrations()); n != 1 {
+		t.Fatalf("want 1 in-flight migration after settling, got %d", n)
+	}
+
+	if err := e.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.migrations) != 2 {
+		t.Fatalf("want 2 restored migrations, got %d", len(e.migrations))
+	}
+	if e.migrations[0] == e.migrations[1] {
+		t.Fatalf("restored migrations alias the same record: %+v", e.migrations[0])
+	}
+	if e.migrations[0].vm.Name == e.migrations[1].vm.Name {
+		t.Fatalf("both restored migrations carry VM %q", e.migrations[0].vm.Name)
+	}
+}
