@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism fork-determinism pipeline obs serve bench bench-compare
+.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve bench bench-compare
 
 # The full pre-commit gate: static checks, build, the race-enabled test
 # suite (shuffled to flush test-order dependencies), the multi-GOMAXPROCS
 # fitting-kernel, sharded-engine, sharded-monitoring and warm-start-fork
 # determinism checks, the sample-pipeline equivalence gate, the
-# observability-layer gate, and the estimation-service gate.
-check: vet ctxvet build race determinism shard-determinism meter-determinism fork-determinism pipeline obs serve
+# observability-layer, run-journal and estimation-service gates.
+check: vet ctxvet build race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +71,14 @@ obs:
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -run 'TestObservedCampaignStepAllocs|TestMeteredCampaignStepAllocs|TestDebugServerEndToEnd' .
 
+# Run-journal gate: the golden journal fixture must be byte-identical at
+# shards {1,2,8} across the GOMAXPROCS matrix, telemetry must not perturb
+# measured output, and the two allocation pins must hold (journaling off:
+# the engine step stays 0-alloc; journaling + profiling on: bounded).
+journal:
+	$(GO) test -race -cpu 1,2,8 -run 'TestJournalCampaignGolden|TestJournalDoesNotPerturb' ./internal/monitor/
+	$(GO) test -run 'TestJournaledCampaignStepAllocs' .
+
 # Estimation-service gate: the concurrent e2e suite (saturation/429,
 # cache, drain, served-fit determinism) and the cancellation-bound tests,
 # all under the race detector.
@@ -86,10 +94,12 @@ bench:
 
 # Re-run the metering-path benchmarks and diff them against the committed
 # BENCH_stats.json baseline: a >20% ns/op regression in any metering
-# benchmark fails the target. Comparable numbers need a comparable
-# machine, so an _env mismatch with the committed baseline skips the diff
-# (benchjson prints SKIPPED) instead of reporting machine noise as a
-# regression.
+# benchmark fails the target, as does the journaled step's overhead over
+# the observed step growing by >20 percentage points (the -overhead pair
+# is a within-file ratio, so it survives an _env mismatch). Comparable
+# absolute numbers need a comparable machine, so an _env mismatch with the
+# committed baseline skips the delta table (benchjson prints SKIPPED)
+# instead of reporting machine noise as a regression.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
-	$(GO) run ./cmd/benchjson -compare -threshold 20 -skip-env-mismatch BENCH_stats.json /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold 20 -skip-env-mismatch -overhead 'BenchmarkEngineCampaignStepObserved,BenchmarkEngineCampaignStepJournaled' BENCH_stats.json /tmp/bench_new.json

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // benchFile is the JSON shape benchjson writes: benchmark name -> metric
@@ -117,5 +118,58 @@ func compareFiles(oldPath, newPath string, thresholdPct float64, skipEnvMismatch
 			fmt.Fprintf(w, "%-44s %14.1f %14.1f %+8.1f%%%s\n", n, o, nw, delta, mark)
 		}
 	}
+	return regressed, nil
+}
+
+// overheadPct returns the derived benchmark's ns/op overhead over base
+// within one file, in percent.
+func overheadPct(f benchFile, base, derived string) (float64, bool) {
+	b, okB := f[base]["ns/op"]
+	d, okD := f[derived]["ns/op"]
+	if !okB || !okD || b <= 0 {
+		return 0, false
+	}
+	return (d - b) / b * 100, true
+}
+
+// compareOverhead checks a derived/base benchmark pair (e.g. the journaled
+// engine step vs the observed one): each file's overhead is the ns/op gap
+// between the two benchmarks *within that file*, so the check is a ratio of
+// same-machine numbers and stays meaningful even across environments the
+// delta table refuses to diff. It reports a regression when the overhead
+// grew by more than thresholdPct percentage points between the files.
+// Pairs missing from either file are reported and skipped — a baseline
+// recorded before the derived benchmark existed is not a fault.
+func compareOverhead(oldPath, newPath, spec string, thresholdPct float64, w io.Writer) ([]string, error) {
+	base, derived, ok := strings.Cut(spec, ",")
+	if !ok || base == "" || derived == "" {
+		return nil, fmt.Errorf("-overhead wants \"base,derived\" benchmark names, got %q", spec)
+	}
+	oldF, err := readBenchFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newF, err := readBenchFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	oldPct, oldOK := overheadPct(oldF, base, derived)
+	newPct, newOK := overheadPct(newF, base, derived)
+	switch {
+	case !newOK:
+		fmt.Fprintf(w, "overhead %s vs %s: not measured in %s; skipped\n", derived, base, newPath)
+		return nil, nil
+	case !oldOK:
+		fmt.Fprintf(w, "overhead %s vs %s: %+.1f%% (no baseline in %s)\n", derived, base, newPct, oldPath)
+		return nil, nil
+	}
+	mark := ""
+	var regressed []string
+	if newPct-oldPct > thresholdPct {
+		mark = "  REGRESSED"
+		regressed = append(regressed, derived+" (overhead)")
+	}
+	fmt.Fprintf(w, "overhead %s vs %s: old %+.1f%%  new %+.1f%%  (%+.1f pp)%s\n",
+		derived, base, oldPct, newPct, newPct-oldPct, mark)
 	return regressed, nil
 }

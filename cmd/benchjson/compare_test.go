@@ -156,3 +156,56 @@ func TestParseBenchLineEnvMetrics(t *testing.T) {
 		t.Error("unsharded line must not carry shards")
 	}
 }
+
+func TestCompareOverhead(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeJSON(t, dir, "old.json", `{
+		"BenchmarkBase":    {"ns/op": 1000},
+		"BenchmarkDerived": {"ns/op": 1050}
+	}`)
+	// Overhead grew from 5% to 30%: +25 pp.
+	newPath := writeJSON(t, dir, "new.json", `{
+		"BenchmarkBase":    {"ns/op": 1000},
+		"BenchmarkDerived": {"ns/op": 1300}
+	}`)
+
+	var out strings.Builder
+	regressed, err := compareOverhead(oldPath, newPath, "BenchmarkBase,BenchmarkDerived", 20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 {
+		t.Errorf("regressed = %v, want the derived benchmark flagged at +25 pp", regressed)
+	}
+	for _, want := range []string{"+5.0%", "+30.0%", "+25.0 pp", "REGRESSED"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("overhead output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The same growth passes a looser threshold.
+	out.Reset()
+	regressed, err = compareOverhead(oldPath, newPath, "BenchmarkBase,BenchmarkDerived", 30, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("regressed = %v at 30 pp threshold, want none", regressed)
+	}
+
+	// A baseline without the pair is reported, not failed.
+	legacy := writeJSON(t, dir, "legacy.json", `{"BenchmarkBase": {"ns/op": 1000}}`)
+	out.Reset()
+	regressed, err = compareOverhead(legacy, newPath, "BenchmarkBase,BenchmarkDerived", 20, &out)
+	if err != nil || len(regressed) != 0 {
+		t.Errorf("missing baseline pair: regressed=%v err=%v", regressed, err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("output missing the no-baseline note:\n%s", out.String())
+	}
+
+	// A malformed spec is an error.
+	if _, err := compareOverhead(oldPath, newPath, "justone", 20, &out); err == nil {
+		t.Error("malformed -overhead spec: want error")
+	}
+}

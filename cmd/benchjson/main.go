@@ -50,6 +50,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two benchjson files given as positional args (old.json new.json)")
 	threshold := flag.Float64("threshold", 20, "with -compare, the ns/op regression percentage that fails the run")
 	skipEnvMismatch := flag.Bool("skip-env-mismatch", false, "with -compare, succeed without diffing when the files' _env entries differ instead of failing")
+	overhead := flag.String("overhead", "", "with -compare, a \"base,derived\" benchmark pair; fails when derived's within-file ns/op overhead over base grows by more than -threshold percentage points")
 	app.Parse()
 
 	if *compare {
@@ -58,6 +59,13 @@ func main() {
 		}
 		regressed, err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold, *skipEnvMismatch, os.Stdout)
 		app.Check(err)
+		if *overhead != "" {
+			// Within-file ratio: meaningful even when the delta table was
+			// skipped for an environment mismatch.
+			more, err := compareOverhead(flag.Arg(0), flag.Arg(1), *overhead, *threshold, os.Stdout)
+			app.Check(err)
+			regressed = append(regressed, more...)
+		}
 		if len(regressed) > 0 {
 			app.Fatalf("%d benchmark(s) regressed more than %.0f%% in ns/op: %s",
 				len(regressed), *threshold, strings.Join(regressed, ", "))

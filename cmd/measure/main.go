@@ -33,6 +33,7 @@ func main() {
 		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
+	app.JournalFlag()
 	app.Parse()
 	virtover.SetEngineShards(*shards)
 
@@ -43,6 +44,9 @@ func main() {
 	reg, stopDebug := app.StartDebug()
 	defer stopDebug()
 	exps.SetObservability(reg)
+	jr, stopJournal := app.StartJournal()
+	defer stopJournal()
+	exps.SetJournal(jr)
 
 	printTable := func(n int) {
 		switch n {

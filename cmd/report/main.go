@@ -31,10 +31,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper studies")
 		profile = flag.Bool("self-profile", false, "print the run's own metrics and phase timings to stderr afterwards")
+		phases  = flag.Bool("profile", false, "print the per-shard engine phase breakdown (demand/exchange/resolve/emit/meter) and straggler line to stderr afterwards")
 		shards  = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 		warmup  = flag.Int("warmup", 0, "settle steps before each prediction run (0 selects the default 5, negative disables)")
 	)
 	app.DebugAddrFlag()
+	app.JournalFlag()
 	app.Parse()
 	virtover.SetEngineShards(*shards)
 
@@ -57,6 +59,14 @@ func main() {
 	exps.SetObservability(reg)
 	cfg.Obs = reg
 	cfg.Tracer = tracer
+	jr, stopJournal := app.StartJournal()
+	defer stopJournal()
+	exps.SetJournal(jr)
+	var prof *obs.ShardProfiler
+	if *phases {
+		prof = obs.NewShardProfiler(nil)
+		exps.SetProfiler(prof)
+	}
 
 	doc, err := exps.FullReport(cfg)
 	app.Check(err)
@@ -69,6 +79,43 @@ func main() {
 	if *profile {
 		fmt.Fprint(os.Stderr, selfProfile(reg, tracer))
 	}
+	if *phases {
+		fmt.Fprint(os.Stderr, phaseProfile(prof.Snapshot()))
+	}
+}
+
+// phaseProfile renders the shard-phase breakdown: one row per shard with
+// the per-phase totals, then the straggler line that names the slowest
+// shard and its imbalance against the mean.
+func phaseProfile(pp obs.PhaseProfile) string {
+	if len(pp.Nanos) == 0 {
+		return "\n== shard-phase profile ==\n(no profiled engine steps)\n"
+	}
+	head := append([]string{"shard"}, obs.PhaseNames[:]...)
+	head = append(head, "total")
+	var rows [][]string
+	for s := range pp.Nanos {
+		row := []string{strconv.Itoa(s)}
+		for ph := 0; ph < obs.NumPhases; ph++ {
+			row = append(row, ms(pp.Nanos[s][ph]))
+		}
+		row = append(row, ms(pp.ShardTotal(s)))
+		rows = append(rows, row)
+	}
+	straggler, max, mean := pp.Straggler()
+	s := "\n== shard-phase profile ==\n" +
+		fmt.Sprintf("%d profiled steps, %d shards (times in ms)\n", pp.Steps, len(pp.Nanos)) +
+		viz.Table(head, rows)
+	if mean > 0 {
+		s += fmt.Sprintf("straggler: shard %d (max %s, mean %s, imbalance %.2fx)\n",
+			straggler, ms(max), ms(mean), float64(max)/float64(mean))
+	}
+	return s
+}
+
+// ms renders nanoseconds as milliseconds with fixed precision.
+func ms(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 2, 64)
 }
 
 // selfProfile renders the end-of-run introspection block: one table of
@@ -83,7 +130,8 @@ func selfProfile(reg *obs.Registry, tracer *obs.Tracer) string {
 		rows = append(rows, []string{g.Name, "gauge", strconv.FormatInt(g.Value, 10)})
 	}
 	for _, h := range snap.Histograms {
-		v := fmt.Sprintf("n=%d mean=%.1f", h.Count, mean(h.Sum, h.Count))
+		v := fmt.Sprintf("n=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f",
+			h.Count, mean(h.Sum, h.Count), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
 		rows = append(rows, []string{h.Name, "histogram", v})
 	}
 	s := "\n== self-profile ==\n" + viz.Table([]string{"metric", "kind", "value"}, rows)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"virtover"
+	"virtover/internal/exps"
 	"virtover/internal/obs"
 	"virtover/internal/obs/cli"
 	"virtover/internal/serve"
@@ -48,6 +49,7 @@ func main() {
 		shards  = flag.Int("shards", 1, "engine worker shards for scenario simulation (output is identical at any value)")
 	)
 	app.DebugAddrFlag()
+	app.JournalFlag()
 	app.Parse()
 	virtover.SetEngineShards(*shards)
 
@@ -58,6 +60,12 @@ func main() {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// One journal covers both layers: serve's per-request events and —
+	// via the exps process default — the engine/fit/fork events of the
+	// compute those requests trigger, all joinable by X-Request-ID.
+	jr, stopJournal := app.StartJournal()
+	defer stopJournal()
+	exps.SetJournal(jr)
 
 	svc := serve.New(serve.Options{
 		Workers:        *workers,
@@ -66,6 +74,7 @@ func main() {
 		ForkCacheSize:  *forks,
 		RequestTimeout: *timeout,
 		Obs:            reg,
+		Journal:        jr,
 		Log:            app.Log,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}

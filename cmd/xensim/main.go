@@ -8,6 +8,7 @@
 //
 //	xensim -vms 2 -kind cpu -level 3 -duration 120 > trace.csv
 //	xensim -vms 4 -kind bw -debug-addr localhost:6060   # live /metrics + pprof
+//	xensim -vms 4 -kind bw -journal run.jsonl           # wide-event telemetry
 package main
 
 import (
@@ -42,12 +43,16 @@ func main() {
 		shards   = flag.Int("shards", 1, "engine worker shards (PMs stepped and metered in parallel on the same workers; output is identical at any value)")
 	)
 	app.DebugAddrFlag()
+	app.JournalFlag()
 	app.Parse()
 	virtover.SetEngineShards(*shards)
 
 	reg, stopDebug := app.StartDebug()
 	defer stopDebug()
 	exps.SetObservability(reg)
+	jr, stopJournal := app.StartJournal()
+	defer stopJournal()
+	exps.SetJournal(jr)
 
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)

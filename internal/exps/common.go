@@ -320,6 +320,24 @@ func FitModelContext(ctx context.Context, seed int64, samplesPerRun int, opt cor
 	if samplesPerRun <= 0 {
 		samplesPerRun = 30
 	}
+	jr := journal()
+	var ft0, fa0 int64
+	if jr.Enabled() {
+		ft0, fa0 = jr.Now(), jr.AllocBytes()
+	}
+	m, err := fitModelInner(ctx, seed, samplesPerRun, opt)
+	if jr.Enabled() {
+		method := "ols"
+		if opt.Method == core.MethodLMS {
+			method = "lms"
+		}
+		jr.Emit(&obs.Event{Type: "fit", Method: method, Samples: samplesPerRun,
+			DurNanos: jr.Now() - ft0, AllocBytes: jr.AllocBytes() - fa0, Err: errText(err)})
+	}
+	return m, err
+}
+
+func fitModelInner(ctx context.Context, seed int64, samplesPerRun int, opt core.FitOptions) (*core.Model, error) {
 	single, multi, err := trainingCorpusCtx(ctx, seed, samplesPerRun)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package exps
 import (
 	"context"
 
+	"virtover/internal/obs"
 	"virtover/internal/xen"
 )
 
@@ -83,15 +84,37 @@ func runForkGridCtx(ctx context.Context, cells []prefixCell, run func(ctx contex
 		}
 	}
 
-	// Phase 2: fork and run every cell.
-	return runParallelCtx(ctx, len(cells), func(jctx context.Context, i int) error {
+	// Phase 2: fork and run every cell. Each cell stages one wide "cell"
+	// event into its own journal lane; flushing after the barrier appends
+	// them in grid order, so a parallel campaign's journal reads the same
+	// as a serial one.
+	jr := journal()
+	st := jr.NewStage(len(cells))
+	err := runParallelCtx(ctx, len(cells), func(jctx context.Context, i int) error {
+		var ct0, ca0 int64
+		if jr.Enabled() {
+			ct0, ca0 = jr.Now(), jr.AllocBytes()
+		}
 		e, data, err := srcOf[i].Fork()
 		if err != nil {
 			return err
 		}
 		defer e.Close()
-		return run(jctx, i, e, data)
+		err = run(jctx, i, e, data)
+		st.Emit(i, &obs.Event{Type: "cell", Step: int64(i + 1), Prefix: cells[i].Key,
+			DurNanos: jr.Now() - ct0, AllocBytes: jr.AllocBytes() - ca0, Err: errText(err)})
+		return err
 	})
+	st.Flush()
+	return err
+}
+
+// errText renders an error for a journal field ("" for nil).
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // effectiveWarmup resolves a WarmupSteps option: 0 (the zero value)

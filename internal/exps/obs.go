@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"virtover/internal/obs"
+	"virtover/internal/xen"
 )
 
 // obsReg is the package-wide observability registry. Experiment entry
@@ -29,4 +30,31 @@ func observability(explicit *obs.Registry) *obs.Registry {
 		return explicit
 	}
 	return obsReg.Load()
+}
+
+// jrnl is the package-wide run journal (nil — the default — disables it).
+var jrnl atomic.Pointer[obs.Journal]
+
+// SetJournal installs j as the process's run journal: campaign grid cells
+// and model fits in this package emit wide events to it, the warm-prefix
+// cache reports its builds and hits, and — via xen.SetDefaultJournal —
+// every engine constructed from here on emits step-window events. Pass nil
+// to disable. This is the one call a cmd's -journal flag makes.
+func SetJournal(j *obs.Journal) {
+	jrnl.Store(j)
+	prefixCache.SetJournal(j)
+	xen.SetDefaultJournal(j)
+}
+
+// SetProfiler installs p as the process-default shard-phase profiler
+// (xen.SetDefaultProfiler): engines constructed from here on time their
+// demand/exchange/resolve/emit phases and the meter kernel per shard into
+// p. Pass nil to disable.
+func SetProfiler(p *obs.ShardProfiler) {
+	xen.SetDefaultProfiler(p)
+}
+
+// journal returns the package-wide run journal (nil when disabled).
+func journal() *obs.Journal {
+	return jrnl.Load()
 }

@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"virtover/internal/obs"
+)
+
+// journaledMeteredRun drives the fixture campaign with a wide-event
+// journal and shard-phase profiler attached, returning the journal bytes
+// and the measured result. The injected constant clock and alloc probe
+// normalize every timing field to zero (zero fields are omitted from the
+// encoding), so the JSONL depends only on simulation state — which is what
+// makes a byte-identical golden possible across shard counts and
+// GOMAXPROCS settings.
+func journaledMeteredRun(t *testing.T, shards int) ([]byte, meteredRunResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf,
+		obs.WithJournalClock(func() int64 { return 0 }),
+		obs.WithAllocProbe(func() int64 { return 0 }),
+		obs.WithStepWindow(5))
+	p := obs.NewShardProfiler(func() int64 { return 0 })
+	res := meteredRunTelemetry(t, shards, false, nil, j, p)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestJournalCampaignGolden is the journal-determinism gate (make journal
+// runs it under -cpu 1,2,8): the normalized journal of the fixture
+// campaign must be byte-identical at shards {1,2,8} and match the
+// committed fixture. Record with -update.
+func TestJournalCampaignGolden(t *testing.T) {
+	runs := map[int][]byte{}
+	for _, shards := range []int{1, 2, 8} {
+		jb, res := journaledMeteredRun(t, shards)
+		if len(res.recorded) == 0 {
+			t.Fatalf("shards=%d: journaled campaign produced no samples", shards)
+		}
+		runs[shards] = jb
+	}
+	for _, shards := range []int{2, 8} {
+		if !bytes.Equal(runs[1], runs[shards]) {
+			t.Fatalf("shards=%d journal differs from serial:\n--- serial ---\n%s--- shards=%d ---\n%s",
+				shards, runs[1], shards, runs[shards])
+		}
+	}
+
+	path := filepath.Join("testdata", "journal_campaign.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, runs[1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run `go test ./internal/monitor -run JournalCampaignGolden -update`): %v", err)
+	}
+	if !bytes.Equal(runs[1], want) {
+		t.Fatalf("journal differs from golden fixture (%d vs %d bytes); if intentional, re-record with -update",
+			len(runs[1]), len(want))
+	}
+}
+
+// TestJournalDoesNotPerturb is the telemetry layer's hard invariant: a
+// campaign run with live journaling and profiling (real clocks, real alloc
+// probe) produces byte- and value-identical measured output to an
+// untelemetered run. Timing observes the simulation; it never feeds back.
+func TestJournalDoesNotPerturb(t *testing.T) {
+	base := meteredRun(t, 4, false, nil)
+	j := obs.NewJournal(io.Discard)
+	p := obs.NewShardProfiler(nil)
+	got := meteredRunTelemetry(t, 4, false, nil, j, p)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.series, got.series) {
+		t.Error("journaling perturbed the collector series")
+	}
+	if base.aggTable != got.aggTable {
+		t.Error("journaling perturbed the aggregator table")
+	}
+	if base.statSum != got.statSum {
+		t.Error("journaling perturbed the stat summary")
+	}
+	if !reflect.DeepEqual(base.cdf, got.cdf) {
+		t.Error("journaling perturbed the CDF values")
+	}
+	if !bytes.Equal(goldenMeteredCSV(base.recorded), goldenMeteredCSV(got.recorded)) {
+		t.Error("journaling perturbed the recorded sample stream")
+	}
+	if j.Events() == 0 {
+		t.Error("live journal recorded no events")
+	}
+}

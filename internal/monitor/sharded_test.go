@@ -71,10 +71,20 @@ func (r *recordCopySink) ConsumeBatch(batch []sampling.Sample) {
 }
 
 func meteredRun(t *testing.T, shards int, monitorSubset bool, reg *obs.Registry) meteredRunResult {
+	return meteredRunTelemetry(t, shards, monitorSubset, reg, nil, nil)
+}
+
+// meteredRunTelemetry is meteredRun with a run journal and shard-phase
+// profiler attached to the engine (either may be nil). The telemetry
+// layer's hard invariant — timing never perturbs simulation output — is
+// checked by comparing results against the untelemetered run.
+func meteredRunTelemetry(t *testing.T, shards int, monitorSubset bool, reg *obs.Registry, j *obs.Journal, p *obs.ShardProfiler) meteredRunResult {
 	t.Helper()
 	cl, pms, calib := shardedCampaignCluster()
 	e := xen.NewEngineWithOptions(cl, calib, 11, xen.EngineOptions{Shards: shards})
 	defer e.Close()
+	e.SetJournal(j)
+	e.SetProfiler(p)
 
 	col := NewCollector()
 	agg := NewStreamAggregator()

@@ -37,16 +37,20 @@ type App struct {
 
 	errw      io.Writer
 	verbose   *bool
+	quiet     *bool
 	debugAddr *string
+	journal   *string
 }
 
-// New creates the harness and registers the shared -v flag on the default
-// flag set. Call before registering command-specific flags so -v shows
-// first in -help's sorted output only by flag-name order, not by accident.
+// New creates the harness and registers the shared -v and -quiet flags on
+// the default flag set. Call before registering command-specific flags so
+// -v shows first in -help's sorted output only by flag-name order, not by
+// accident.
 func New(name string) *App {
 	a := &App{Name: name, errw: os.Stderr}
 	a.Log = a.newLogger(slog.LevelInfo)
 	a.verbose = flag.Bool("v", false, "verbose (debug-level) logging")
+	a.quiet = flag.Bool("quiet", false, "suppress the informational startup banner; errors and warnings still print")
 	return a
 }
 
@@ -57,15 +61,46 @@ func (a *App) DebugAddrFlag() {
 		"serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060); empty disables")
 }
 
+// JournalFlag registers -journal. Run-shaped commands call this before
+// Parse; StartJournal then honors it.
+func (a *App) JournalFlag() {
+	a.journal = flag.String("journal", "",
+		"append wide-event JSONL telemetry (see DESIGN.md §15) to this file; empty disables")
+}
+
 // Parse parses the command line (flag.Parse) and finishes logger setup
 // from the -v flag. Call exactly once, after all flags are registered.
 func (a *App) Parse() {
 	flag.Parse()
+	a.configure()
+}
+
+// configure finishes setup from the parsed flags: the log level (-quiet
+// wins over -v, so a quiet run stays quiet even with debug logging asked
+// for elsewhere in a script) and, under -v, one record echoing the
+// effective introspection configuration so "is the debug server actually
+// on?" never needs a second look at the invocation.
+func (a *App) configure() {
 	lvl := slog.LevelInfo
 	if a.verbose != nil && *a.verbose {
 		lvl = slog.LevelDebug
 	}
+	if a.quiet != nil && *a.quiet {
+		lvl = slog.LevelWarn
+	}
 	a.Log = a.newLogger(lvl)
+	a.Log.Debug("effective configuration",
+		"debug-addr", flagOr(a.debugAddr, "off"),
+		"journal", flagOr(a.journal, "off"))
+}
+
+// flagOr renders an optional string flag, using alt when the flag is
+// unregistered or empty.
+func flagOr(f *string, alt string) string {
+	if f == nil || *f == "" {
+		return alt
+	}
+	return *f
 }
 
 func (a *App) newLogger(lvl slog.Level) *slog.Logger {
@@ -92,6 +127,29 @@ func (a *App) StartDebug() (*obs.Registry, func()) {
 	}
 	a.Log.Info("debug server listening", "addr", srv.Addr(), "metrics", srv.URL()+"/metrics")
 	return reg, func() { _ = srv.Close() }
+}
+
+// StartJournal opens the run journal when -journal was supplied: the file
+// is opened in append mode (a campaign of invocations accumulates one
+// stream) and wrapped in an obs.Journal. It returns the journal — nil,
+// the fully disabled no-op state, when the flag is unset or unregistered —
+// and a stop function, always safe to defer, that flushes and closes it.
+func (a *App) StartJournal() (*obs.Journal, func()) {
+	if a.journal == nil || *a.journal == "" {
+		return nil, func() {}
+	}
+	f, err := os.OpenFile(*a.journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		a.Fatal("journal open failed", "path", *a.journal, "err", err)
+		return nil, func() {} // reached only under a test osExit
+	}
+	j := obs.NewJournal(f)
+	a.Log.Info("journal appending", "path", *a.journal)
+	return j, func() {
+		if err := j.Close(); err != nil {
+			a.Log.Error("journal close failed", "path", *a.journal, "err", err)
+		}
+	}
 }
 
 // Fatal logs msg (with optional slog attrs) at error level and exits 1.

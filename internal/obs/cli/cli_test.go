@@ -7,6 +7,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"virtover/internal/obs"
 )
 
 // testApp builds an App without touching the process-global flag set, so
@@ -62,6 +64,100 @@ func TestVerbosity(t *testing.T) {
 	a.Log.Debug("now visible")
 	if !strings.Contains(buf.String(), "now visible") {
 		t.Errorf("debug-level logger suppressed debug records:\n%s", buf.String())
+	}
+}
+
+// TestQuietSuppressesBanner: -quiet raises the level past info so the
+// startup banner disappears while warnings and errors still print, and it
+// wins over -v.
+func TestQuietSuppressesBanner(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	v, q := true, true
+	a.verbose, a.quiet = &v, &q
+	a.configure()
+	a.Log.Info("estimation service listening")
+	a.Log.Warn("still visible")
+	out := buf.String()
+	if strings.Contains(out, "listening") {
+		t.Errorf("-quiet did not suppress the banner:\n%s", out)
+	}
+	if !strings.Contains(out, "still visible") {
+		t.Errorf("-quiet suppressed a warning:\n%s", out)
+	}
+}
+
+// TestVerboseEchoesConfig: -v makes configure echo the effective debug
+// address and journal path, and "off" when they are unset.
+func TestVerboseEchoesConfig(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	v := true
+	addr, journal := "localhost:6060", "run.jsonl"
+	a.verbose, a.debugAddr, a.journal = &v, &addr, &journal
+	a.configure()
+	out := buf.String()
+	for _, want := range []string{"effective configuration", "debug-addr=localhost:6060", "journal=run.jsonl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose startup echo missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	b := testApp(&buf)
+	b.verbose = &v
+	b.configure()
+	out = buf.String()
+	if !strings.Contains(out, "debug-addr=off") || !strings.Contains(out, "journal=off") {
+		t.Errorf("unset flags should echo as off:\n%s", out)
+	}
+
+	// Without -v the echo stays silent.
+	buf.Reset()
+	c := testApp(&buf)
+	c.configure()
+	if strings.Contains(buf.String(), "effective configuration") {
+		t.Errorf("config echoed without -v:\n%s", buf.String())
+	}
+}
+
+// TestStartJournalDisabled: without -journal the journal must be nil (the
+// no-op state) and the stop func safe.
+func TestStartJournalDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	j, stop := a.StartJournal()
+	if j != nil {
+		t.Errorf("StartJournal without flag: journal = %v, want nil", j)
+	}
+	stop()
+}
+
+// TestStartJournalWrites: with a path, StartJournal returns a live journal
+// whose events land in the file after stop, appending across openings.
+func TestStartJournalWrites(t *testing.T) {
+	var buf bytes.Buffer
+	a := testApp(&buf)
+	path := t.TempDir() + "/run.jsonl"
+	a.journal = &path
+	for i := 0; i < 2; i++ {
+		j, stop := a.StartJournal()
+		if !j.Enabled() {
+			t.Fatal("StartJournal with path: journal disabled, want live")
+		}
+		j.Emit(&obs.Event{Type: "fit", Method: "lms"})
+		stop()
+	}
+	if !strings.Contains(buf.String(), "journal appending") {
+		t.Errorf("expected journal banner, got:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 2 {
+		t.Fatalf("journal file has %d lines after two appending runs, want 2:\n%s", lines, data)
 	}
 }
 

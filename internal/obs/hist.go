@@ -82,6 +82,53 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values
+// by linear interpolation within the power-of-two buckets: the rank is
+// located in the cumulative bucket counts, then placed proportionally
+// between the bucket's bounds. Exact at bucket edges, within a factor of
+// two inside a bucket — plenty for the p50/p90/p99 columns the report and
+// the Prometheus exposition surface. Returns 0 before any observation or
+// on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().Quantile(q)
+}
+
+// Quantile is Histogram.Quantile over a captured snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + n
+		if float64(next) >= rank {
+			// Bucket 0 is the point mass at <= 0; bucket i >= 1 spans
+			// [2^(i-1), 2^i).
+			if i == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << uint(i-1))
+			hi := lo * 2
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return 0
+}
+
 // BucketUpperBound returns the inclusive upper bound of bucket i: 0 for
 // bucket 0 and 2^i - 1 for i >= 1, so cumulative counts at these bounds
 // are exact for integer observations.

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// constClock is the normalizing clock the determinism tests inject: every
+// timestamp and duration collapses to zero and is omitted from the lines.
+func constClock() Clock { return func() int64 { return 0 } }
+
+func constAlloc() func() int64 { return func() int64 { return 0 } }
+
+func testJournal(w *bytes.Buffer) *Journal {
+	return NewJournal(w, WithJournalClock(constClock()), WithAllocProbe(constAlloc()))
+}
+
+// TestJournalEncoding pins the line format: fixed field order, zero
+// values omitted, strings escaped, one event per line.
+func TestJournalEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	j := testJournal(&buf)
+	j.Emit(&Event{Type: "step", Step: 5, Steps: 5, SimTime: 2.5, Samples: 39})
+	j.Emit(&Event{Type: "serve", Name: "/v1/fit", RequestID: "r1-7", Status: 200, DurNanos: 12, Cache: "hit"})
+	j.Emit(&Event{Type: "fit", Method: "lms", Err: `bad "quote"` + "\n"})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"type":"step","step":5,"steps":5,"sim":2.5,"samples":39}
+{"type":"serve","durNs":12,"name":"/v1/fit","cache":"hit","req":"r1-7","status":200}
+{"type":"fit","method":"lms","err":"bad \"quote\"\n"}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("journal mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if n := j.Events(); n != 3 {
+		t.Fatalf("Events() = %d, want 3", n)
+	}
+}
+
+// TestJournalTimestamp checks a real (injected, ticking) clock lands in
+// the ts field and that durations pass through untouched.
+func TestJournalTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	var tick int64
+	j := NewJournal(&buf, WithJournalClock(func() int64 { tick += 10; return tick }), WithAllocProbe(constAlloc()))
+	j.Emit(&Event{Type: "cell", Prefix: "k1", DurNanos: 7})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ts":10,"type":"cell","durNs":7,"prefix":"k1"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+// TestJournalNilNoOp: every method on a nil journal (and nil stage) is a
+// safe no-op — the disabled state of the whole layer.
+func TestJournalNilNoOp(t *testing.T) {
+	var j *Journal
+	if j.Enabled() {
+		t.Fatal("nil journal reports enabled")
+	}
+	j.Emit(&Event{Type: "step"})
+	if j.Now() != 0 || j.AllocBytes() != 0 || j.StepWindow() != 0 || j.Events() != 0 {
+		t.Fatal("nil journal readings not zero")
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.NewStage(4)
+	if st != nil {
+		t.Fatal("nil journal returned non-nil stage")
+	}
+	st.Emit(0, &Event{Type: "cell"})
+	st.Flush()
+}
+
+// TestJournalEmitAllocFree: steady-state Emit reuses its scratch buffer
+// and allocates nothing.
+func TestJournalEmitAllocFree(t *testing.T) {
+	j := testJournal(&bytes.Buffer{})
+	ev := Event{Type: "step", Step: 1, Steps: 1, SimTime: 0.5, Samples: 39}
+	j.Emit(&ev) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.Step++
+		j.Emit(&ev)
+	})
+	if allocs > 0 {
+		t.Fatalf("Emit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestStageOrderedFlush: concurrent producers, one lane each, flush in
+// lane order regardless of scheduling — the determinism lever for
+// parallel grid cells.
+func TestStageOrderedFlush(t *testing.T) {
+	var buf bytes.Buffer
+	j := testJournal(&buf)
+	const lanes = 16
+	st := j.NewStage(lanes)
+	var wg sync.WaitGroup
+	for i := lanes - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			st.Emit(lane, &Event{Type: "cell", Step: int64(lane + 1)})
+			st.Emit(lane, &Event{Type: "cell", Step: int64(lane + 1), Cache: "hit"})
+		}(i)
+	}
+	wg.Wait()
+	st.Flush()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2*lanes {
+		t.Fatalf("got %d lines, want %d", len(lines), 2*lanes)
+	}
+	for i, line := range lines {
+		wantStep := `"step":` + string(rune('0'+i/2+1))
+		if i/2+1 >= 10 {
+			wantStep = `"step":1` + string(rune('0'+(i/2+1)%10))
+		}
+		if !strings.Contains(line, wantStep) {
+			t.Fatalf("line %d = %s, want step %d", i, line, i/2+1)
+		}
+	}
+	if n := j.Events(); n != 2*lanes {
+		t.Fatalf("Events() = %d, want %d", n, 2*lanes)
+	}
+	// Lanes reset on flush: a second flush adds nothing.
+	st.Flush()
+	if n := j.Events(); n != 2*lanes {
+		t.Fatalf("Events() after empty flush = %d, want %d", n, 2*lanes)
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestJournalStickyError: after the underlying writer fails the journal
+// goes quiet and reports the first error.
+func TestJournalStickyError(t *testing.T) {
+	j := NewJournal(&errWriter{n: 0}, WithJournalClock(constClock()), WithAllocProbe(constAlloc()))
+	// Overflow the bufio buffer to force the write through.
+	big := strings.Repeat("x", 8192)
+	j.Emit(&Event{Type: "fit", Err: big})
+	j.Emit(&Event{Type: "fit", Err: big})
+	_ = j.Flush()
+	if j.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+// TestShardProfiler exercises accumulation, snapshotting and straggler
+// identification under a deterministic clock.
+func TestShardProfiler(t *testing.T) {
+	p := NewShardProfiler(constClock())
+	p.Add(0, PhaseDemand, 10)
+	p.Add(0, PhaseResolve, 20)
+	p.Add(2, PhaseDemand, 50)
+	p.Add(2, PhaseMeter, 25)
+	p.StepDone()
+
+	if got := p.ShardNanos(2); got != 75 {
+		t.Fatalf("ShardNanos(2) = %d, want 75", got)
+	}
+	pp := p.Snapshot()
+	if pp.Steps != 1 {
+		t.Fatalf("Steps = %d, want 1", pp.Steps)
+	}
+	if len(pp.Nanos) != 3 {
+		t.Fatalf("snapshot trimmed to %d shards, want 3", len(pp.Nanos))
+	}
+	if pp.Nanos[2][PhaseMeter] != 25 || pp.Nanos[1][PhaseDemand] != 0 {
+		t.Fatal("snapshot values wrong")
+	}
+	shard, max, mean := pp.Straggler()
+	if shard != 2 || max != 75 || mean != (30+0+75)/3 {
+		t.Fatalf("Straggler() = (%d, %d, %d)", shard, max, mean)
+	}
+}
+
+// TestShardProfilerNil: the disabled state is free and safe.
+func TestShardProfilerNil(t *testing.T) {
+	var p *ShardProfiler
+	p.Add(0, PhaseDemand, 10)
+	p.StepDone()
+	if p.Now() != 0 || p.ShardNanos(0) != 0 {
+		t.Fatal("nil profiler readings not zero")
+	}
+	pp := p.Snapshot()
+	if pp.Steps != 0 || len(pp.Nanos) != 0 {
+		t.Fatal("nil profiler snapshot not empty")
+	}
+	if s, max, mean := pp.Straggler(); s != 0 || max != 0 || mean != 0 {
+		t.Fatal("empty straggler not zero")
+	}
+}
+
+// TestShardProfilerClamp: out-of-range shards fold into the edge rows
+// instead of faulting.
+func TestShardProfilerClamp(t *testing.T) {
+	p := NewShardProfiler(constClock())
+	p.Add(-1, PhaseDemand, 5)
+	p.Add(MaxProfiledShards+10, PhaseDemand, 7)
+	if got := p.ShardNanos(0); got != 5 {
+		t.Fatalf("shard 0 = %d, want 5", got)
+	}
+	if got := p.ShardNanos(MaxProfiledShards - 1); got != 7 {
+		t.Fatalf("last shard = %d, want 7", got)
+	}
+}
+
+// TestHistogramQuantile pins the linear interpolation: exact at bucket
+// edges, proportional inside, 0 on empty or nil.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil quantile not 0")
+	}
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+
+	// 100 observations of 1000 → every quantile inside bucket 10
+	// ([512, 1024)).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Fatalf("Quantile(1) = %g, want 1024", got)
+	}
+	if got := h.Quantile(0.5); got != 768 { // midpoint of [512, 1024)
+		t.Fatalf("Quantile(0.5) = %g, want 768", got)
+	}
+
+	// Mixed: half the mass at <= 0, half in [1,2).
+	h2 := &Histogram{}
+	h2.Observe(0)
+	h2.Observe(1)
+	if got := h2.Quantile(0.25); got != 0 {
+		t.Fatalf("Quantile(0.25) = %g, want 0", got)
+	}
+	if got := h2.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %g, want 2", got)
+	}
+
+	// Clamping.
+	if got := h2.Quantile(-3); got != 0 {
+		t.Fatalf("Quantile(-3) = %g, want 0", got)
+	}
+	if got := h2.Quantile(7); got != 2 {
+		t.Fatalf("Quantile(7) = %g, want 2", got)
+	}
+}

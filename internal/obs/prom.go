@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // WritePrometheus writes every registered instrument in the Prometheus
@@ -57,9 +58,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count); err != nil {
 			return err
 		}
+		// Summary-style quantile samples interpolated from the buckets
+		// (Histogram.Quantile), so dashboards get p50/p90/p99 without a
+		// separate summary series. Elided while the histogram is empty.
+		if h.Count > 0 {
+			for _, q := range promQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n", h.Name, q.label,
+					strconv.FormatFloat(h.Quantile(q.q), 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	return nil
 }
+
+var promQuantiles = [...]struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}}
 
 func writeHeader(w io.Writer, name, help, typ string) error {
 	if help != "" {

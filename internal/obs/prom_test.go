@@ -8,7 +8,7 @@ import (
 // TestPrometheusGolden pins the exact text exposition: counters, then
 // gauges, then histograms, each group sorted by name; histogram buckets
 // cumulative at exact integer upper bounds with empty interior buckets
-// elided.
+// elided, followed by interpolated p50/p90/p99 quantile samples.
 func TestPrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("engine_steps_total", "simulation steps run").Add(42)
@@ -38,6 +38,9 @@ engine_step_nanos_bucket{le="1023"} 6
 engine_step_nanos_bucket{le="+Inf"} 6
 engine_step_nanos_sum 914
 engine_step_nanos_count 6
+engine_step_nanos{quantile="0.5"} 4
+engine_step_nanos{quantile="0.9"} 716.8000000000002
+engine_step_nanos{quantile="0.99"} 993.2799999999997
 `
 	if got := b.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

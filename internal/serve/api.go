@@ -181,7 +181,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
-	s.log.Debug("request failed", "path", r.URL.Path, "status", status, "err", err)
+	s.log.Debug("request failed", "req", RequestID(r.Context()), "path", r.URL.Path, "status", status, "err", err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

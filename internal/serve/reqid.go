@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"virtover/internal/obs"
+)
+
+// Request correlation: every request is assigned an ID that is echoed in
+// the X-Request-ID response header, attached to the request-scoped log
+// records, and carried on the journal's "serve" events — so one slow or
+// failing request can be joined across the client's records, the access
+// log, and the run journal (jq 'select(.req=="...")').
+
+// reqIDKey keys the request ID in the request context.
+type reqIDKey struct{}
+
+// reqPrefix distinguishes this process's IDs from a restarted one's; the
+// counter alone would collide across restarts in collected logs.
+var reqPrefix = func() string {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}()
+
+var reqCounter atomic.Uint64
+
+// requestID returns the client-supplied X-Request-ID when present (callers
+// correlating across services keep their own IDs; oversized values are
+// replaced, not truncated) or mints "<process-prefix>-<seq>".
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return reqPrefix + "-" + strconv.FormatUint(reqCounter.Add(1), 10)
+}
+
+// RequestID returns the correlation ID carried by a request context, or ""
+// outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for the journal event.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP assigns the request its correlation ID and dispatches to the
+// API routes; with a journal attached it also emits one wide "serve" event
+// per request carrying the ID, route, status, wall time and cache
+// disposition.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r)
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+	jr := s.jr
+	if !jr.Enabled() {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	t0 := jr.Now()
+	s.mux.ServeHTTP(rec, r)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	jr.Emit(&obs.Event{
+		Type:      "serve",
+		Name:      r.URL.Path,
+		Method:    r.Method,
+		RequestID: id,
+		Status:    status,
+		DurNanos:  jr.Now() - t0,
+		Cache:     rec.Header().Get("X-Cache"),
+	})
+}

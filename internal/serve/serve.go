@@ -62,6 +62,10 @@ type Options struct {
 	// GET /metrics. Nil disables instrumentation (and /metrics serves an
 	// empty document).
 	Obs *obs.Registry
+	// Journal receives one wide "serve" event per request (route, status,
+	// request ID, wall time, cache disposition) plus the fork cache's
+	// build/hit events. Nil disables journaling.
+	Journal *obs.Journal
 	// Log receives request-level diagnostics. Nil discards them.
 	Log *slog.Logger
 }
@@ -114,6 +118,7 @@ type Server struct {
 	cache *modelCache
 	forks *xen.ForkCache
 	log   *slog.Logger
+	jr    *obs.Journal
 
 	fitMu sync.Mutex
 	fits  map[modelKey]*fitCall // in-flight fits, keyed like the cache
@@ -155,6 +160,7 @@ func New(opt Options) *Server {
 		forks:   xen.NewForkCache(opt.ForkCacheSize),
 		fits:    map[modelKey]*fitCall{},
 		log:     opt.Log,
+		jr:      opt.Journal,
 		drained: make(chan struct{}),
 		m: serveMetrics{
 			reg:         reg,
@@ -172,6 +178,7 @@ func New(opt Options) *Server {
 	if reg != nil {
 		s.forks.Instrument(reg) // fork_* series alongside the serve_* ones
 	}
+	s.forks.SetJournal(opt.Journal) // "fork" events alongside the "serve" ones
 	s.workers.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
@@ -179,11 +186,6 @@ func New(opt Options) *Server {
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
-}
-
-// ServeHTTP dispatches to the API routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
 }
 
 // worker drains the task queue. Tasks whose request context is already

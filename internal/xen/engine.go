@@ -40,6 +40,15 @@ type Engine struct {
 	pool       *shardPool
 	sc         scratch
 	obs        engineMetrics
+
+	// Wide-event telemetry (telemetry.go). All nil/zero — and fully
+	// free — unless a journal or profiler is attached.
+	jr       *obs.Journal
+	prof     *obs.ShardProfiler
+	jwin     int   // steps per journal "step" event
+	stepIdx  int64 // steps run by this engine (journal join key)
+	profPrev []int64
+	jw       journalWindow
 }
 
 // engineMetrics holds the engine's self-observability instruments. All
@@ -61,6 +70,9 @@ type engineMetrics struct {
 	migActive     *obs.Gauge
 	shards        *obs.Gauge
 	rebuilds      *obs.Counter
+	shardMax      *obs.Gauge
+	shardMean     *obs.Gauge
+	straggler     *obs.Gauge
 }
 
 // Instrument registers the engine's metrics in reg and turns on per-step
@@ -87,6 +99,9 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		migActive:     reg.Gauge("engine_migrations_active", "in-flight live migrations"),
 		shards:        reg.Gauge("engine_shards", "effective shard count of the stepping pool"),
 		rebuilds:      reg.Counter("engine_layout_rebuilds_total", "SoA layout rebuilds (topology generation changes)"),
+		shardMax:      reg.Gauge("engine_shard_max_step_nanos", "slowest shard's phase time in the last profiled step"),
+		shardMean:     reg.Gauge("engine_shard_mean_step_nanos", "mean shard phase time in the last profiled step"),
+		straggler:     reg.Gauge("engine_straggler_shard", "slowest shard id in the last profiled step"),
 	}
 }
 
@@ -177,13 +192,19 @@ func NewEngine(cluster *Cluster, calib Calibration, seed int64) *Engine {
 }
 
 // NewEngineWithOptions creates an engine with explicit options. See
-// EngineOptions; a zero Shards selects the serial step.
+// EngineOptions; a zero Shards selects the serial step. The process-default
+// run journal and shard-phase profiler (SetDefaultJournal/SetDefaultProfiler)
+// are attached here, so engines built deep inside campaigns and fork builds
+// report too.
 func NewEngineWithOptions(cluster *Cluster, calib Calibration, seed int64, opts EngineOptions) *Engine {
 	sh := opts.Shards
 	if sh < 1 {
 		sh = 1
 	}
-	return &Engine{Cluster: cluster, Calib: calib, Step: 1.0, rng: simrand.New(seed), shards: sh}
+	e := &Engine{Cluster: cluster, Calib: calib, Step: 1.0, rng: simrand.New(seed), shards: sh}
+	e.SetJournal(DefaultJournal())
+	e.SetProfiler(DefaultProfiler())
+	return e
 }
 
 // Now returns the current simulation time in seconds.
@@ -323,6 +344,14 @@ func (e *Engine) step() {
 	if instr {
 		t0 = e.obs.reg.Now()
 	}
+	jn := e.jr != nil
+	var jt0 int64
+	if jn {
+		if e.jw.steps == 0 {
+			e.jw.alloc0 = e.jr.AllocBytes()
+		}
+		jt0 = e.jr.Now()
+	}
 	e.ensureLayout()
 
 	// Phases A (demand) and B+C (exchange + resolve), with a barrier
@@ -332,17 +361,15 @@ func (e *Engine) step() {
 	if e.pool != nil {
 		e.pool.begin(phaseDemand)
 		e.predrawNoise()
-		e.phaseDemand(0)
+		e.execPhase(0, phaseDemand)
 		e.pool.wait()
 		e.pool.begin(phaseResolve)
-		e.phaseExchange(0)
-		e.phaseResolve(0)
+		e.execPhase(0, phaseResolve)
 		e.pool.wait()
 	} else {
 		e.predrawNoise()
-		e.phaseDemand(0)
-		e.phaseExchange(0)
-		e.phaseResolve(0)
+		e.execPhase(0, phaseDemand)
+		e.execPhase(0, phaseResolve)
 	}
 	if instr {
 		e.obs.resolveNanos.Observe(e.obs.reg.Now() - t0)
@@ -367,7 +394,7 @@ func (e *Engine) step() {
 		if e.pool != nil {
 			e.shardStep = e.beginShardedSinks()
 			e.pool.begin(phaseEmit)
-			e.phaseEmit(0)
+			e.execPhase(0, phaseEmit)
 			e.pool.wait()
 			if e.shardStep {
 				e.dispatchMixed()
@@ -376,13 +403,20 @@ func (e *Engine) step() {
 			}
 		} else {
 			e.shardStep = false
-			e.phaseEmit(0)
+			e.execPhase(0, phaseEmit)
 			e.dispatch()
 		}
 	}
 	e.obs.steps.Inc()
 	if instr {
 		e.obs.stepNanos.Observe(e.obs.reg.Now() - t0)
+	}
+	e.stepIdx++
+	if e.prof != nil {
+		e.finishProfileStep(instr)
+	}
+	if jn {
+		e.finishJournalStep(jt0)
 	}
 }
 
@@ -700,6 +734,11 @@ func (e *Engine) resolvePM(p int) {
 // every accepting sink while the columns are still cache-hot — the
 // affinity invariant: the shard that stepped a PM range also meters it.
 func (e *Engine) phaseEmit(s int) {
+	prof := e.prof
+	var pt0 int64
+	if prof != nil {
+		pt0 = prof.Now()
+	}
 	t := e.now
 	l := &e.lay
 	b := e.sc.batch
@@ -720,6 +759,11 @@ func (e *Engine) phaseEmit(s int) {
 		b[off+2] = sampling.Sample{Time: t, PMID: pm.id, PM: pm.Name, VMID: -1,
 			Domain: sampling.LabelHost, Kind: sampling.KindHost, Util: pm.pmUtil}
 	}
+	if prof != nil {
+		t1 := prof.Now()
+		prof.Add(s, obs.PhaseEmit, t1-pt0)
+		pt0 = t1
+	}
 	if !e.shardStep {
 		return
 	}
@@ -737,6 +781,11 @@ func (e *Engine) phaseEmit(s int) {
 		if on {
 			e.ssinks[i].ConsumeShard(s, seg)
 		}
+	}
+	// The shard that steps a PM range also meters it, so the sharded-sink
+	// consume above is the meter kernel's share of this shard's wall time.
+	if prof != nil {
+		prof.Add(s, obs.PhaseMeter, prof.Now()-pt0)
 	}
 }
 

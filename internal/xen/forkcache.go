@@ -29,7 +29,8 @@ type ForkCache struct {
 	pending map[string]*forkBuildCall
 	bytes   int
 
-	m forkMetrics
+	m  forkMetrics
+	jr *obs.Journal // run journal for per-lookup "fork" events (SetJournal)
 }
 
 type forkEntry struct {
@@ -115,16 +116,23 @@ func (c *ForkCache) Get(key string) (*ForkSource, bool) {
 // building it.
 func (c *ForkCache) GetOrBuild(key string, build func() (*ForkSource, error)) (src *ForkSource, hit bool, err error) {
 	c.mu.Lock()
+	jr := c.jr
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
 		c.m.hits.Inc()
 		c.mu.Unlock()
+		if jr.Enabled() {
+			jr.Emit(&obs.Event{Type: "fork", Prefix: key, Cache: "hit"})
+		}
 		return el.Value.(*forkEntry).src, true, nil
 	}
 	if call, ok := c.pending[key]; ok {
 		c.m.coalesced.Inc()
 		c.mu.Unlock()
 		<-call.done
+		if jr.Enabled() {
+			jr.Emit(&obs.Event{Type: "fork", Prefix: key, Cache: "coalesced", Err: errText(call.err)})
+		}
 		return call.src, call.err == nil, call.err
 	}
 	call := &forkBuildCall{done: make(chan struct{})}
@@ -132,7 +140,15 @@ func (c *ForkCache) GetOrBuild(key string, build func() (*ForkSource, error)) (s
 	c.m.misses.Inc()
 	c.mu.Unlock()
 
+	var bt0, ba0 int64
+	if jr.Enabled() {
+		bt0, ba0 = jr.Now(), jr.AllocBytes()
+	}
 	call.src, call.err = build()
+	if jr.Enabled() {
+		jr.Emit(&obs.Event{Type: "fork", Prefix: key, Cache: "build",
+			DurNanos: jr.Now() - bt0, AllocBytes: jr.AllocBytes() - ba0, Err: errText(call.err)})
+	}
 
 	c.mu.Lock()
 	delete(c.pending, key)
@@ -142,6 +158,14 @@ func (c *ForkCache) GetOrBuild(key string, build func() (*ForkSource, error)) (s
 	c.mu.Unlock()
 	close(call.done)
 	return call.src, false, call.err
+}
+
+// errText renders an error for a journal field ("" for nil).
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Add inserts (or refreshes) a prefix under key, evicting least recently

@@ -114,6 +114,14 @@ func (e *Engine) stepMigrations() bool {
 			keep = append(keep, m)
 		}
 	}
+	// Compaction copied surviving records down, duplicating their pointers
+	// into the slots it vacated. Clear that tail: RestoreStateInto reuses
+	// non-nil spare-capacity slots, and a stale duplicate there would hand
+	// the same record to two restored migrations.
+	tail := e.migrations[len(keep):]
+	for i := range tail {
+		tail[i] = nil
+	}
 	e.migrations = keep
 	e.obs.migActive.Set(int64(len(e.migrations)))
 	return true

@@ -82,15 +82,10 @@ func (p *shardPool) worker(i int) {
 		case <-p.stop:
 			return
 		case <-p.wake[i]:
-			switch p.phase {
-			case phaseDemand:
-				p.e.phaseDemand(shard)
-			case phaseResolve:
-				p.e.phaseExchange(shard)
-				p.e.phaseResolve(shard)
-			case phaseEmit:
-				p.e.phaseEmit(shard)
-			}
+			// execPhase (telemetry.go) performs the same phase switch the
+			// serial step uses and times each phase into the engine's
+			// profiler when one is attached.
+			p.e.execPhase(shard, p.phase)
 			p.wg.Done()
 		}
 	}
@@ -136,6 +131,7 @@ func (e *Engine) Shards() int {
 // safe to defer at creation and call again later. Engines stepped serially
 // never start a pool, and for them Close is a no-op.
 func (e *Engine) Close() {
+	e.flushJournalWindow()
 	if e.pool != nil {
 		e.pool.close()
 		e.pool = nil

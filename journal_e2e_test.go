@@ -1,0 +1,75 @@
+package virtover_test
+
+import (
+	"io"
+	"testing"
+
+	"virtover/internal/monitor"
+	"virtover/internal/obs"
+)
+
+// TestJournaledCampaignStepAllocs pins the telemetry layer's two
+// allocation contracts on the paper-sized campaign:
+//
+//   - journaling disabled (the default): the step path allocates nothing —
+//     the nil-journal checks must be completely free;
+//   - journaling + profiling live: steady-state steps stay bounded. The
+//     journal's line buffer is reused and windows coalesce, so the cap of 4
+//     allocs/step leaves room only for the alloc-probe read and
+//     runtime-internal noise.
+func TestJournaledCampaignStepAllocs(t *testing.T) {
+	run := func(t *testing.T, j *obs.Journal, p *obs.ShardProfiler, cap float64) {
+		t.Helper()
+		e := benchCampaignCluster()
+		defer e.Close()
+		e.SetJournal(j)
+		e.SetProfiler(p)
+		agg := monitor.NewStreamAggregator()
+		script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7}
+		detach, err := script.Attach(e, nil, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer detach()
+		e.Advance(10)
+		if allocs := testing.AllocsPerRun(100, func() { e.Advance(1) }); allocs > cap {
+			t.Fatalf("campaign step allocates %.1f times, want <= %.0f", allocs, cap)
+		}
+	}
+	t.Run("disabled", func(t *testing.T) { run(t, nil, nil, 0) })
+	t.Run("journaled", func(t *testing.T) {
+		j := obs.NewJournal(io.Discard, obs.WithStepWindow(1))
+		defer j.Close()
+		run(t, j, obs.NewShardProfiler(nil), 4)
+	})
+}
+
+// BenchmarkEngineCampaignStepJournaled is BenchmarkEngineCampaignStepObserved
+// with the run journal (at its default step window — the configuration the
+// cmds' -journal flag produces) and the shard-phase profiler live on top
+// of the registry: the acceptance bound is <= 10% overhead over the
+// observed variant (benchjson -compare -overhead checks the recorded pair
+// in BENCH_stats.json).
+func BenchmarkEngineCampaignStepJournaled(b *testing.B) {
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(io.Discard)
+	defer j.Close()
+	e := benchCampaignCluster()
+	defer e.Close()
+	e.Instrument(reg)
+	e.SetJournal(j)
+	e.SetProfiler(obs.NewShardProfiler(nil))
+	agg := monitor.NewStreamAggregator()
+	script := monitor.Script{IntervalSteps: 1, Noise: monitor.DefaultNoise(), Seed: 7, Obs: reg}
+	detach, err := script.Attach(e, nil, agg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer detach()
+	e.Advance(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Advance(1)
+	}
+}
