@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve bench bench-compare
+.PHONY: check vet ctxvet build test race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve learn bench bench-compare
 
 # The full pre-commit gate: static checks, build, the race-enabled test
 # suite (shuffled to flush test-order dependencies), the multi-GOMAXPROCS
 # fitting-kernel, sharded-engine, sharded-monitoring and warm-start-fork
 # determinism checks, the sample-pipeline equivalence gate, the
-# observability-layer, run-journal and estimation-service gates.
-check: vet ctxvet build race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve
+# observability-layer, run-journal, estimation-service and
+# continuous-learning gates.
+check: vet ctxvet build race determinism shard-determinism meter-determinism fork-determinism pipeline obs journal serve learn
 
 vet:
 	$(GO) vet ./...
@@ -86,11 +87,21 @@ serve:
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestRunMicroContextCancelsWithinOneStep|TestFitModelContextCancels|TestRunParallelFailFast|TestRunParallelLowestIndexError' ./internal/exps/
 
+# Continuous-learning gate: the streaming/refit suite under the race
+# detector — the unified error envelope on every 4xx/5xx path, the
+# ingest partial-accept contract, idle-tenant eviction, the deterministic
+# seed/keep/swap drift lifecycle, and the hot-swap torn-read hammer
+# (readers must never observe a model whose coefficients do not hash to
+# its advertised identity) — plus the drift rule's own unit suite.
+learn:
+	$(GO) test -race -cpu 1,4 -run 'TestServeErrorEnvelope|TestServeIngestContract|TestServeTenantEviction|TestServeRefitLifecycle|TestServeRefitDeterminism|TestServeHotSwapConsistency|TestServeRefitLoop|TestOptionsNormalize|TestServeHealthzVersion' ./internal/serve/
+	$(GO) test -race -run 'TestCompareOnWindow' ./internal/core/
+
 # Hot-path benchmarks (engine step + sample pipeline + fitting/selection
 # kernels) with allocation reporting; the parsed results land in
 # BENCH_stats.json so the next PR has a perf trajectory to compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkMeter$$|BenchmarkCSVSink|BenchmarkLMSFit|BenchmarkSelectKth|BenchmarkOLSFit|BenchmarkCDF|BenchmarkServeRefit' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_stats.json
 
 # Re-run the metering-path benchmarks and diff them against the committed
 # BENCH_stats.json baseline: a >20% ns/op regression in any metering
@@ -101,5 +112,5 @@ bench:
 # committed baseline skips the delta table (benchjson prints SKIPPED)
 # instead of reporting machine noise as a regression.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineCampaignStep|BenchmarkCampaignStepMetered|BenchmarkCampaignWarmStart|BenchmarkEngineDatacenterMetered|BenchmarkMeter$$|BenchmarkServeRefit' -benchmem . | $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold 20 -skip-env-mismatch -overhead 'BenchmarkEngineCampaignStepObserved,BenchmarkEngineCampaignStepJournaled' BENCH_stats.json /tmp/bench_new.json

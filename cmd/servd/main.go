@@ -1,23 +1,32 @@
-// Command servd runs the concurrent overhead-estimation service: the
-// library's model-fitting and prediction pipeline behind an HTTP/JSON API
-// with a bounded worker pool, a fitted-model LRU cache, per-request
-// deadlines and graceful drain on SIGINT/SIGTERM.
+// Command servd runs the continuously-learning overhead-estimation
+// service: the library's model-fitting and prediction pipeline behind an
+// HTTP/JSON API with a bounded worker pool, a fitted-model LRU cache,
+// streaming telemetry ingestion with per-tenant background refits,
+// per-request deadlines and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	servd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
-//	      [-fork-cache N] [-timeout D] [-debug-addr HOST:PORT]
+//	      [-fork-cache N] [-timeout D] [-refit-interval D] [-window N]
+//	      [-max-tenants N] [-debug-addr HOST:PORT]
 //
 // Endpoints:
 //
-//	POST /v1/fit          train (or recall) a model; returns model JSON
-//	POST /v1/estimate     fit-or-recall a model and predict PM utilization
-//	POST /v1/scenario/run simulate a scenario envelope, return averages
-//	GET  /v1/models       list cached models
-//	GET  /metrics         service metrics (Prometheus text)
+//	POST /v1/fit                       train (or recall) a model; returns model JSON
+//	POST /v1/estimate                  fit-or-recall a model and predict PM utilization
+//	POST /v1/scenario/run              simulate a scenario envelope, return averages
+//	GET  /v1/models                    list cached models
+//	POST /v1/ingest                    line-JSON telemetry batches into tenant windows
+//	GET  /v1/tenants                   live tenants with window and model identity
+//	GET  /v1/tenants/{id}/model        the tenant's learned model + provenance
+//	POST /v1/tenants/{id}/estimate     predict with the tenant's learned model
+//	GET  /v1/healthz                   queue depth, tenant count, last-refit age
+//	GET  /v1/version                   build identity and schema versions
+//	GET  /metrics                      service metrics (Prometheus text)
 //
-// See DESIGN.md §11 for the architecture and README.md for a curl
-// quick-start.
+// Every error response is the unified envelope
+// {"error":{"code","message","requestId"}}. See DESIGN.md §11 and §16 for
+// the architecture and README.md for a curl quick-start.
 package main
 
 import (
@@ -47,6 +56,9 @@ func main() {
 		forks   = flag.Int("fork-cache", 16, "warmed scenario prefixes kept for /v1/scenario/run forking")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute deadline")
 		shards  = flag.Int("shards", 1, "engine worker shards for scenario simulation (output is identical at any value)")
+		refit   = flag.Duration("refit-interval", 5*time.Second, "background refit sweep period (negative disables the loop)")
+		window  = flag.Int("window", 512, "telemetry samples kept per tenant (ring window)")
+		tenants = flag.Int("max-tenants", 1024, "tenant windows kept before the idlest is evicted")
 	)
 	app.DebugAddrFlag()
 	app.JournalFlag()
@@ -67,16 +79,20 @@ func main() {
 	defer stopJournal()
 	exps.SetJournal(jr)
 
-	svc := serve.New(serve.Options{
+	svc, err := serve.NewServer(serve.Options{
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheSize:      *cache,
 		ForkCacheSize:  *forks,
 		RequestTimeout: *timeout,
+		RefitInterval:  *refit,
+		Window:         *window,
+		MaxTenants:     *tenants,
 		Obs:            reg,
 		Journal:        jr,
 		Log:            app.Log,
 	})
+	app.Check(err)
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -19,7 +19,12 @@ type modelJSON struct {
 	O       map[string][]float64 `json:"o,omitempty"`
 }
 
-const modelVersion = 1
+// ModelSchemaVersion is the on-disk model schema version (the "version"
+// field SaveModel writes); the estimation service reports it on
+// GET /v1/version so clients can check compatibility before parsing.
+const ModelSchemaVersion = 1
+
+const modelVersion = ModelSchemaVersion
 
 // MarshalJSON encodes the model.
 func (m *Model) MarshalJSON() ([]byte, error) {

@@ -212,13 +212,14 @@ func (j *Journal) Close() error {
 // applies: a step event has no request ID, a serve event no shard
 // breakdown. Field meanings by event type are tabulated in DESIGN.md §15.
 type Event struct {
-	Type           string  // "step", "cell", "fork", "fit", "serve"
+	Type           string  // "step", "cell", "fork", "fit", "serve", "ingest", "refit"
 	Step           int64   // engine step index at window end
 	Steps          int     // steps coalesced into this window
 	SimTime        float64 // simulated seconds at window end
 	DurNanos       int64   // wall time spent in the unit of work
 	AllocBytes     int64   // process heap bytes allocated across it
-	Samples        int     // samples emitted (step) or per run (fit)
+	Samples        int     // samples emitted (step), per run (fit), accepted (ingest) or in the window (refit)
+	Tenants        int     // distinct tenants touched by an ingest batch
 	MaxShardNanos  int64   // slowest shard's time in the window
 	MeanShardNanos int64   // mean shard time in the window
 	Straggler      int     // slowest shard id (with MaxShardNanos)
@@ -246,6 +247,7 @@ func appendEvent(dst []byte, ts int64, e *Event) []byte {
 	dst = appendIntField(dst, &first, "durNs", e.DurNanos)
 	dst = appendIntField(dst, &first, "allocB", e.AllocBytes)
 	dst = appendIntField(dst, &first, "samples", int64(e.Samples))
+	dst = appendIntField(dst, &first, "tenants", int64(e.Tenants))
 	if e.MaxShardNanos != 0 {
 		dst = appendIntField(dst, &first, "shardMaxNs", e.MaxShardNanos)
 		dst = appendIntField(dst, &first, "shardMeanNs", e.MeanShardNanos)

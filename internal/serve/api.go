@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strings"
 
 	"virtover/internal/core"
@@ -28,6 +29,11 @@ const apiVersion = 1
 
 // errBadRequest wraps every request-decoding failure (mapped to 400).
 var errBadRequest = errors.New("serve: bad request")
+
+// errNotFound wraps lookups of resources that do not exist — unknown
+// tenants, tenants with no fitted model yet, unrouted paths (mapped to
+// 404).
+var errNotFound = errors.New("serve: not found")
 
 // modelSpec names a fitted model by its training inputs. It is the JSON
 // form of modelKey plus the version field of the shared envelope.
@@ -124,8 +130,46 @@ type modelsResponse struct {
 	Models []modelSpec `json:"models"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// errorEnvelope is the unified error body. Every error response from
+// every endpoint — 4xx and 5xx alike — is exactly this shape, so clients
+// and log pipelines parse one schema no matter which path failed.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	// Code is the stable, machine-readable classification (codeFor). New
+	// codes may appear; existing ones do not change meaning.
+	Code string `json:"code"`
+	// Message is the human-readable detail, naming the offending field or
+	// line where possible. Not stable; do not parse it.
+	Message string `json:"message"`
+	// RequestID echoes the request's correlation id — the same value as
+	// the X-Request-ID response header — so an error body quoted in a bug
+	// report links straight to the journal's "serve" event.
+	RequestID string `json:"requestId"`
+}
+
+// codeFor maps an HTTP status to the envelope's stable error code.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	case 499:
+		return "client_closed"
+	default:
+		return "internal"
+	}
 }
 
 func (s *Server) routes() {
@@ -133,7 +177,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/scenario/run", s.handleScenarioRun)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/model", s.handleTenantModel)
+	s.mux.HandleFunc("POST /v1/tenants/{id}/estimate", s.handleTenantEstimate)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Fallback: unrouted paths answer the envelope, not the stdlib's
+	// plain-text 404.
+	s.mux.HandleFunc("/", s.handleNotFound)
 }
 
 // decodeStrict decodes one JSON document into v, rejecting unknown fields
@@ -157,6 +210,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errTooLarge):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, scenario.ErrBadScenario),
 		errors.Is(err, core.ErrBadOptions):
@@ -180,7 +237,11 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorDetail{
+		Code:      codeFor(status),
+		Message:   err.Error(),
+		RequestID: RequestID(r.Context()),
+	}})
 	s.log.Debug("request failed", "req", RequestID(r.Context()), "path", r.URL.Path, "status", status, "err", err)
 }
 
@@ -460,4 +521,229 @@ func readBody(r *http.Request) ([]byte, error) {
 		return nil, fmt.Errorf("%w: reading body: %v", errBadRequest, err)
 	}
 	return buf.Bytes(), nil
+}
+
+// handleNotFound answers every unrouted path with the error envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, r, fmt.Errorf("%w: no route for %s %s", errNotFound, r.Method, r.URL.Path))
+}
+
+// tenantInfo is one row of the GET /v1/tenants listing.
+type tenantInfo struct {
+	ID            string `json:"id"`
+	WindowSamples int    `json:"windowSamples"`
+	// ModelVersion and ModelHash identify the published model (absent
+	// until the first refit seeds one).
+	ModelVersion uint64 `json:"modelVersion,omitempty"`
+	ModelHash    string `json:"modelHash,omitempty"`
+}
+
+type tenantsResponse struct {
+	// Tenants lists the live tenants, most recently ingesting first.
+	Tenants []tenantInfo `json:"tenants"`
+}
+
+// handleTenants is GET /v1/tenants: the live tenant population with each
+// tenant's window occupancy and published model identity. No compute; it
+// answers even while the pool is saturated.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	resp := tenantsResponse{Tenants: []tenantInfo{}}
+	for _, t := range s.tenants.all(nil) {
+		info := tenantInfo{ID: t.id, WindowSamples: t.windowLen()}
+		if tm := t.cur.Load(); tm != nil {
+			info.ModelVersion = tm.version
+			info.ModelHash = tm.hash
+		}
+		resp.Tenants = append(resp.Tenants, info)
+	}
+	writeJSON(w, resp)
+}
+
+// tenantModelResponse is GET /v1/tenants/{id}/model: the published model
+// plus its provenance. Version, hash, samples and the coefficient set all
+// come from one atomic load of the same tenantModel, so they are mutually
+// consistent even while a refit is swapping underneath.
+type tenantModelResponse struct {
+	Tenant string `json:"tenant"`
+	// Version counts publishes for the tenant, starting at 1.
+	Version uint64 `json:"version"`
+	// Hash fingerprints the coefficient matrices; recompute it from Model
+	// to verify the set arrived whole.
+	Hash string `json:"hash"`
+	// Samples is the window size the fit consumed.
+	Samples int `json:"samples"`
+	// FittedAtNanos is the publish time in Unix nanoseconds.
+	FittedAtNanos int64 `json:"fittedAtNanos"`
+	// Model is the fitted model in exactly the core.SaveModel schema.
+	Model json.RawMessage `json:"model"`
+}
+
+// loadTenantModel resolves {id} to its published model, mapping the two
+// miss cases (unknown tenant, no fit yet) to 404.
+func (s *Server) loadTenantModel(r *http.Request) (*tenant, *tenantModel, error) {
+	id := r.PathValue("id")
+	if err := validateTenantID(id); err != nil {
+		return nil, nil, err
+	}
+	t := s.tenants.get(id)
+	if t == nil {
+		return nil, nil, fmt.Errorf("%w: tenant %q has no live window (never ingested, or evicted as idle)", errNotFound, id)
+	}
+	tm := t.cur.Load()
+	if tm == nil {
+		return t, nil, fmt.Errorf("%w: tenant %q has no fitted model yet (%d samples buffered; refit pending)", errNotFound, id, t.windowLen())
+	}
+	return t, tm, nil
+}
+
+func (s *Server) handleTenantModel(w http.ResponseWriter, r *http.Request) {
+	s.observe(func() {
+		_, tm, err := s.loadTenantModel(r)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := core.SaveModel(&buf, tm.model); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		writeJSON(w, tenantModelResponse{
+			Tenant:        r.PathValue("id"),
+			Version:       tm.version,
+			Hash:          tm.hash,
+			Samples:       tm.samples,
+			FittedAtNanos: tm.fittedAt,
+			Model:         buf.Bytes(),
+		})
+	})
+}
+
+type tenantEstimateRequest struct {
+	Version int `json:"version,omitempty"`
+	// Guests are the co-located guests' utilization vectors.
+	Guests []vectorJSON `json:"guests"`
+}
+
+type tenantEstimateResponse struct {
+	Dom0CPU float64    `json:"dom0CPU"`
+	HypCPU  float64    `json:"hypCPU"`
+	PM      vectorJSON `json:"pm"`
+	// ModelVersion and ModelHash name the exact model that produced this
+	// estimate (the prediction and its provenance come from one atomic
+	// load, never a mix of two models).
+	ModelVersion uint64 `json:"modelVersion"`
+	ModelHash    string `json:"modelHash"`
+}
+
+// handleTenantEstimate is POST /v1/tenants/{id}/estimate: apply the
+// tenant's current learned model to the guests' utilization vectors.
+// Prediction is a handful of dot products, so it runs inline — no pool
+// slot, no fitting, no cache involvement.
+func (s *Server) handleTenantEstimate(w http.ResponseWriter, r *http.Request) {
+	s.observe(func() {
+		var req tenantEstimateRequest
+		if err := decodeStrict(r, &req); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		if req.Version != 0 && req.Version != apiVersion {
+			s.writeError(w, r, fmt.Errorf("%w: version: unsupported version %d (current %d)", errBadRequest, req.Version, apiVersion))
+			return
+		}
+		if len(req.Guests) == 0 {
+			s.writeError(w, r, fmt.Errorf("%w: guests: at least one guest is required", errBadRequest))
+			return
+		}
+		_, tm, err := s.loadTenantModel(r)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		guests := make([]units.Vector, len(req.Guests))
+		for i, g := range req.Guests {
+			guests[i] = units.V(g.CPU, g.Mem, g.IO, g.BW)
+		}
+		p := tm.model.Predict(guests)
+		writeJSON(w, tenantEstimateResponse{
+			Dom0CPU:      p.Dom0CPU,
+			HypCPU:       p.HypCPU,
+			PM:           toVectorJSON(p.PM),
+			ModelVersion: tm.version,
+			ModelHash:    tm.hash,
+		})
+	})
+}
+
+// healthzResponse is GET /v1/healthz: one glance at the service's load
+// and learning freshness.
+type healthzResponse struct {
+	Status string `json:"status"`
+	// QueueDepth is the tasks waiting for a compute worker; Workers is
+	// the pool size the depth is waiting on.
+	QueueDepth int `json:"queueDepth"`
+	Workers    int `json:"workers"`
+	// Tenants and WindowSamples describe the streaming side's footprint.
+	Tenants       int   `json:"tenants"`
+	WindowSamples int64 `json:"windowSamples"`
+	// LastRefitAgeSec is the seconds since the refit loop's last completed
+	// sweep, or -1 before the first (including when the loop is disabled
+	// and RefitNow has never run).
+	LastRefitAgeSec float64 `json:"lastRefitAgeSec"`
+}
+
+// handleHealthz is GET /v1/healthz. A draining server answers the 503
+// envelope like every other endpoint, so probes and clients read one
+// error schema.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.writeError(w, r, errDraining)
+		return
+	}
+	writeJSON(w, healthzResponse{
+		Status:          "ok",
+		QueueDepth:      len(s.tasks),
+		Workers:         s.opt.Workers,
+		Tenants:         s.tenants.count(),
+		WindowSamples:   s.tenants.samples.Load(),
+		LastRefitAgeSec: s.refit.lastRefitAge(),
+	})
+}
+
+// versionResponse is GET /v1/version: the build's identity and every
+// schema version a client may need to negotiate against.
+type versionResponse struct {
+	// API is the request-envelope version every /v1 endpoint accepts.
+	API int `json:"api"`
+	// Scenario is the scenario-document schema (scenario.CurrentVersion).
+	Scenario int `json:"scenario"`
+	// Model is the serialized-model schema (core.ModelSchemaVersion).
+	Model int `json:"model"`
+	// Go, Module and Revision come from the binary's build info; empty
+	// when the build carries none (e.g. some test binaries).
+	Go       string `json:"go,omitempty"`
+	Module   string `json:"module,omitempty"`
+	Revision string `json:"revision,omitempty"`
+}
+
+// handleVersion is GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	resp := versionResponse{
+		API:      apiVersion,
+		Scenario: scenario.CurrentVersion,
+		Model:    core.ModelSchemaVersion,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Go = bi.GoVersion
+		resp.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, resp)
 }

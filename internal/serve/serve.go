@@ -1,31 +1,47 @@
-// Package serve is the concurrent overhead-estimation service: the
-// library's fitting and prediction pipeline behind an HTTP/JSON API, so a
-// fitted virtualization-overhead model can answer placement questions for
-// many clients without each of them re-running the measurement campaigns.
+// Package serve is the continuously-learning overhead-estimation service:
+// the library's fitting and prediction pipeline behind an HTTP/JSON API,
+// grown from a request/response fitter into a streaming system that keeps
+// per-tenant models fresh under live telemetry.
 //
-// Architecture (DESIGN.md §11 has the full walkthrough):
+// Architecture (DESIGN.md §11 and §16 have the full walkthrough):
 //
-//	listener -> bounded queue -> worker pool -> engine / fitter -> model cache
+//	request path:  listener -> bounded queue -> worker pool -> engine / fitter -> model cache
+//	learning path: POST /v1/ingest -> per-tenant ring windows -> refit loop
+//	               -> drift rule (bootstrap CI) -> atomic hot model swap
 //
 // Every compute endpoint funnels through one bounded task queue drained by
 // a fixed worker pool, so a burst of requests degrades into queueing and
 // then into fast 429 rejections (with Retry-After) instead of unbounded
 // goroutine and memory growth. Fitted models are cached in a keyed LRU —
 // fits are deterministic, so identical (seed, samples, method, ridge)
-// requests are served from memory. Request contexts carry per-request
-// deadlines and flow into the simulation engine, which checks cancellation
-// every step; a disconnected or timed-out client aborts its run within one
-// engine step. Shutdown stops admitting work and drains what is in flight.
+// requests are served from memory.
+//
+// The streaming side holds one bounded ring window of training samples
+// per tenant (fixed memory per tenant; the tenant population itself is
+// LRU-bounded, evicting the idlest) and a background loop that refits a
+// challenger model per dirty tenant, compares it to the incumbent with
+// core.CompareOnWindow's bootstrap drift rule, and publishes winners with
+// a single atomic pointer swap — tenant-scoped estimates never observe a
+// stale or partially-written coefficient set.
+//
+// Request contexts carry per-request deadlines and flow into the
+// simulation engine, which checks cancellation every step; a disconnected
+// or timed-out client aborts its run within one engine step. Shutdown
+// stops admitting work, halts the refit loop, and drains what is in
+// flight. Every error response, on every endpoint, is the unified
+// envelope {"error":{"code","message","requestId"}}.
 package serve
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"virtover/internal/core"
 	"virtover/internal/obs"
 	"virtover/internal/xen"
 )
@@ -37,8 +53,13 @@ var ErrQueueFull = errors.New("serve: queue full")
 // errDraining is mapped to HTTP 503 once Shutdown has begun.
 var errDraining = errors.New("serve: shutting down")
 
+// ErrBadConfig is wrapped by every Options validation failure from
+// Normalize and NewServer.
+var ErrBadConfig = errors.New("serve: invalid options")
+
 // Options configures a Server. The zero value selects the documented
-// defaults.
+// defaults; Normalize is the single place defaults and validation live,
+// so call sites never hand-fill zero values.
 type Options struct {
 	// Workers is the number of concurrent compute workers (default 4).
 	// Each in-flight fit or scenario run occupies one worker.
@@ -58,19 +79,58 @@ type Options struct {
 	// It caps r.Context(), so both client disconnects and slow runs
 	// cancel the underlying simulation.
 	RequestTimeout time.Duration
+
+	// Window bounds each tenant's telemetry ring window (default 512
+	// samples). Older samples are overwritten, so per-tenant memory is
+	// fixed.
+	Window int
+	// MaxTenants bounds the tenant population (default 1024). Beyond it,
+	// the least-recently-ingesting tenant is evicted — window, model and
+	// all — so total streaming memory is MaxTenants x Window samples.
+	MaxTenants int
+	// RefitInterval is the background refit loop's sweep period (default
+	// 5s). Negative disables the loop entirely; drive refits with
+	// Server.RefitNow instead (tests and embeddings do this for
+	// determinism).
+	RefitInterval time.Duration
+	// Refit configures the challenger fits (method, ridge, LMS knobs).
+	// The zero value is plain OLS.
+	Refit core.FitOptions
+	// DriftBootstrap is the bootstrap replicate count of the drift rule
+	// (default 200).
+	DriftBootstrap int
+	// DriftConf is the drift rule's confidence level (default 0.9).
+	// Higher swaps less eagerly.
+	DriftConf float64
+	// IngestMaxLines bounds the samples accepted per /v1/ingest batch
+	// (default 4096); the overflow answers 413 under the partial-accept
+	// contract.
+	IngestMaxLines int
+	// IngestMaxBytes bounds the /v1/ingest request body (default 1 MiB).
+	IngestMaxBytes int64
+
 	// Obs receives the service metrics (serve_* series) and is exposed on
 	// GET /metrics. Nil disables instrumentation (and /metrics serves an
 	// empty document).
 	Obs *obs.Registry
-	// Journal receives one wide "serve" event per request (route, status,
-	// request ID, wall time, cache disposition) plus the fork cache's
+	// Journal receives one wide event per request ("serve"), ingest batch
+	// ("ingest") and tenant refit ("refit"), plus the fork cache's
 	// build/hit events. Nil disables journaling.
 	Journal *obs.Journal
 	// Log receives request-level diagnostics. Nil discards them.
 	Log *slog.Logger
 }
 
-func (o Options) withDefaults() Options {
+// Normalize returns a copy of o with every unset knob replaced by its
+// documented default and the remaining fields validated. Defaults:
+// Workers 4, Queue 16, CacheSize 32, ForkCacheSize 16, RequestTimeout
+// 30s, Window 512, MaxTenants 1024, RefitInterval 5s, DriftBootstrap
+// 200, DriftConf 0.9, IngestMaxLines 4096, IngestMaxBytes 1 MiB.
+// Zero and negative integer knobs select the default (except
+// RefitInterval, where negative means "no background loop"); errors wrap
+// ErrBadConfig. Normalize is idempotent, and NewServer applies it, so
+// callers normally never invoke it themselves.
+func (o Options) Normalize() (Options, error) {
 	if o.Workers <= 0 {
 		o.Workers = 4
 	}
@@ -86,10 +146,37 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
+	if o.Window <= 0 {
+		o.Window = 512
+	}
+	if o.MaxTenants <= 0 {
+		o.MaxTenants = 1024
+	}
+	if o.RefitInterval == 0 {
+		o.RefitInterval = 5 * time.Second
+	}
+	if o.DriftBootstrap <= 0 {
+		o.DriftBootstrap = 200
+	}
+	if o.DriftConf == 0 {
+		o.DriftConf = 0.9
+	}
+	if o.DriftConf <= 0 || o.DriftConf >= 1 {
+		return o, fmt.Errorf("%w: DriftConf %v out of (0,1)", ErrBadConfig, o.DriftConf)
+	}
+	if o.IngestMaxLines <= 0 {
+		o.IngestMaxLines = 4096
+	}
+	if o.IngestMaxBytes <= 0 {
+		o.IngestMaxBytes = 1 << 20
+	}
+	if err := o.Refit.Validate(); err != nil {
+		return o, fmt.Errorf("%w: Refit: %v", ErrBadConfig, err)
+	}
 	if o.Log == nil {
 		o.Log = slog.New(discardHandler{})
 	}
-	return o
+	return o, nil
 }
 
 // discardHandler drops every record; it stands in for a nil Options.Log.
@@ -112,13 +199,15 @@ type task struct {
 // Server is the estimation service. It implements http.Handler; mount it
 // on an http.Server (see cmd/servd) or an httptest.Server.
 type Server struct {
-	opt   Options
-	mux   *http.ServeMux
-	tasks chan *task
-	cache *modelCache
-	forks *xen.ForkCache
-	log   *slog.Logger
-	jr    *obs.Journal
+	opt     Options
+	mux     *http.ServeMux
+	tasks   chan *task
+	cache   *modelCache
+	forks   *xen.ForkCache
+	tenants *tenantRegistry
+	refit   *refitter
+	log     *slog.Logger
+	jr      *obs.Journal
 
 	fitMu sync.Mutex
 	fits  map[modelKey]*fitCall // in-flight fits, keyed like the cache
@@ -136,55 +225,85 @@ type Server struct {
 // serveMetrics holds the service's instruments. All are nil-safe no-ops
 // when Options.Obs is nil.
 type serveMetrics struct {
-	reg         *obs.Registry
-	requests    *obs.Counter
-	rejected    *obs.Counter
-	errs        *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	coalesced   *obs.Counter
-	inflight    *obs.Gauge
-	queueDepth  *obs.Gauge
-	latency     *obs.Histogram
+	reg           *obs.Registry
+	requests      *obs.Counter
+	rejected      *obs.Counter
+	errs          *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	coalesced     *obs.Counter
+	inflight      *obs.Gauge
+	queueDepth    *obs.Gauge
+	latency       *obs.Histogram
+	ingestSamples *obs.Counter
+	ingestBatches *obs.Counter
+	refits        *obs.Counter
+	swaps         *obs.Counter
+	refitErrs     *obs.Counter
 }
 
-// New builds the service and starts its worker pool. Call Shutdown to
-// drain and stop the workers.
-func New(opt Options) *Server {
-	opt = opt.withDefaults()
+// NewServer builds the service, starts its worker pool and — unless
+// RefitInterval is negative — the background refit loop. Call Shutdown to
+// drain and stop both. The one failure mode is invalid options
+// (errors.Is(err, ErrBadConfig)).
+func NewServer(opt Options) (*Server, error) {
+	opt, err := opt.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	reg := opt.Obs
 	s := &Server{
 		opt:     opt,
 		tasks:   make(chan *task, opt.Queue),
 		cache:   newModelCache(opt.CacheSize),
 		forks:   xen.NewForkCache(opt.ForkCacheSize),
+		tenants: newTenantRegistry(opt.MaxTenants, opt.Window),
 		fits:    map[modelKey]*fitCall{},
 		log:     opt.Log,
 		jr:      opt.Journal,
 		drained: make(chan struct{}),
 		m: serveMetrics{
-			reg:         reg,
-			requests:    reg.Counter("serve_requests_total", "API requests received"),
-			rejected:    reg.Counter("serve_requests_rejected_total", "requests rejected with 429 (queue full)"),
-			errs:        reg.Counter("serve_request_errors_total", "requests answered with an error status"),
-			cacheHits:   reg.Counter("serve_model_cache_hits_total", "fit requests served from the model cache"),
-			cacheMisses: reg.Counter("serve_model_cache_misses_total", "fit requests that ran the training pipeline"),
-			coalesced:   reg.Counter("serve_coalesced_total", "identical concurrent fits collapsed onto one in-flight run"),
-			inflight:    reg.Gauge("serve_requests_inflight", "requests currently admitted (queued or executing)"),
-			queueDepth:  reg.Gauge("serve_queue_depth", "tasks waiting for a worker"),
-			latency:     reg.Histogram("serve_request_latency_ns", "wall time per compute request, admission to response"),
+			reg:           reg,
+			requests:      reg.Counter("serve_requests_total", "API requests received"),
+			rejected:      reg.Counter("serve_requests_rejected_total", "requests rejected with 429 (queue full)"),
+			errs:          reg.Counter("serve_request_errors_total", "requests answered with an error status"),
+			cacheHits:     reg.Counter("serve_model_cache_hits_total", "fit requests served from the model cache"),
+			cacheMisses:   reg.Counter("serve_model_cache_misses_total", "fit requests that ran the training pipeline"),
+			coalesced:     reg.Counter("serve_coalesced_total", "identical concurrent fits collapsed onto one in-flight run"),
+			inflight:      reg.Gauge("serve_requests_inflight", "requests currently admitted (queued or executing)"),
+			queueDepth:    reg.Gauge("serve_queue_depth", "tasks waiting for a worker"),
+			latency:       reg.Histogram("serve_request_latency_ns", "wall time per compute request, admission to response"),
+			ingestSamples: reg.Counter("serve_ingest_samples_total", "telemetry samples accepted into tenant windows"),
+			ingestBatches: reg.Counter("serve_ingest_batches_total", "ingest batches parsed (including partially accepted ones)"),
+			refits:        reg.Counter("serve_refits_total", "per-tenant challenger refits completed"),
+			swaps:         reg.Counter("serve_swaps_total", "hot model swaps published (seed fits and drift-triggered)"),
+			refitErrs:     reg.Counter("serve_refit_errors_total", "refits abandoned by fit or drift-comparison errors"),
 		},
 	}
 	if reg != nil {
 		s.forks.Instrument(reg) // fork_* series alongside the serve_* ones
+		s.tenants.instrument(reg)
 	}
 	s.forks.SetJournal(opt.Journal) // "fork" events alongside the "serve" ones
 	s.workers.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
+	s.refit = newRefitter(s, opt.RefitInterval)
 	s.mux = http.NewServeMux()
 	s.routes()
+	return s, nil
+}
+
+// New builds the service with the pre-Normalize constructor contract.
+//
+// Deprecated: New predates Options.Normalize and cannot report invalid
+// option combinations (it panics on them instead). Use NewServer.
+func New(opt Options) *Server {
+	s, err := NewServer(opt)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -235,10 +354,11 @@ func (s *Server) execute(ctx context.Context, do func(ctx context.Context)) erro
 	}
 }
 
-// Shutdown stops admitting requests, waits for admitted ones to finish
-// (handlers return only after their response is written), then stops the
-// worker pool. It returns ctx.Err() if ctx expires first; the pool keeps
-// draining in the background in that case. Safe to call more than once.
+// Shutdown stops admitting requests, halts the refit loop, waits for
+// admitted requests to finish (handlers return only after their response
+// is written), then stops the worker pool. It returns ctx.Err() if ctx
+// expires first; the pool keeps draining in the background in that case.
+// Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -246,7 +366,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	s.stopOnce.Do(func() {
 		go func() {
-			s.inflight.Wait() // no admitted request remains -> no more sends
+			s.refit.stopLoop() // no more background swaps
+			s.inflight.Wait()  // no admitted request remains -> no more sends
 			close(s.tasks)
 			s.workers.Wait()
 			close(s.drained)

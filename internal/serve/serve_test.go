@@ -348,13 +348,16 @@ func TestServeBadRequests(t *testing.T) {
 			t.Errorf("%s %s: status %d, want 400 (%s)", c.path, c.body, resp.StatusCode, body)
 			continue
 		}
-		var er errorResponse
+		var er errorEnvelope
 		if err := json.Unmarshal(body, &er); err != nil {
 			t.Errorf("%s: non-JSON error body %s", c.path, body)
 			continue
 		}
-		if !strings.Contains(er.Error, c.want) {
-			t.Errorf("%s: error %q should contain %q", c.path, er.Error, c.want)
+		if er.Error.Code != "bad_request" {
+			t.Errorf("%s: code %q, want bad_request", c.path, er.Error.Code)
+		}
+		if !strings.Contains(er.Error.Message, c.want) {
+			t.Errorf("%s: error %q should contain %q", c.path, er.Error.Message, c.want)
 		}
 	}
 }

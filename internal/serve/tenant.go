@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"virtover/internal/core"
+	"virtover/internal/obs"
+)
+
+// Per-tenant streaming state. Each tenant that sends telemetry through
+// POST /v1/ingest owns a fixed-capacity ring window of training samples
+// and an atomically-swappable fitted model. Memory is bounded twice over:
+// a tenant's window never exceeds Options.Window samples, and the
+// registry never holds more than Options.MaxTenants tenants — beyond the
+// cap the least-recently-ingesting (idlest) tenant is evicted, window,
+// model and all. That pair of bounds is what lets one process carry a
+// very large, churning tenant population at a fixed memory ceiling.
+
+// tenantModel is one published fit: the immutable model plus its
+// provenance. It is swapped in whole behind an atomic.Pointer, so a
+// reader's single Load observes a complete, internally consistent set —
+// version, hash and coefficients always belong together, never a mix of
+// incumbent and challenger.
+type tenantModel struct {
+	model *core.Model
+	// version counts publishes for this tenant, starting at 1. Swaps only
+	// increment it, so any single reader observes nondecreasing versions.
+	version uint64
+	// samples is the window size the fit consumed.
+	samples int
+	// fittedAt is the wall-clock publish time in Unix nanoseconds.
+	fittedAt int64
+	// hash fingerprints the coefficient matrices (modelHash). Responses
+	// carry it so clients — and the hot-swap race test — can verify the
+	// coefficients they received are the complete set it names.
+	hash string
+}
+
+// modelHash returns a deterministic FNV-1a fingerprint of the model's
+// coefficient matrices.
+func modelHash(m *core.Model) string {
+	h := fnv.New64a()
+	var b [8]byte
+	write := func(rows [core.NumTargets]core.Row) {
+		for _, row := range rows {
+			for _, v := range row {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				_, _ = h.Write(b[:])
+			}
+		}
+	}
+	write(m.A)
+	if m.HasO {
+		write(m.O)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ringWindow is a fixed-capacity sample ring: pushes beyond capacity
+// overwrite the oldest sample, so a tenant's memory is constant no matter
+// how fast it ingests.
+type ringWindow struct {
+	buf  []core.Sample
+	head int // next write position
+	n    int // occupied
+}
+
+func newRingWindow(capacity int) *ringWindow {
+	return &ringWindow{buf: make([]core.Sample, capacity)}
+}
+
+// push appends s, reporting whether the window grew (false once full).
+func (w *ringWindow) push(s core.Sample) bool {
+	w.buf[w.head] = s
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+		return true
+	}
+	return false
+}
+
+// snapshot appends the window's samples, oldest first, to dst.
+func (w *ringWindow) snapshot(dst []core.Sample) []core.Sample {
+	start := w.head - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		dst = append(dst, w.buf[(start+i)%len(w.buf)])
+	}
+	return dst
+}
+
+// tenant is one tenant's live state. The window is mutex-guarded (writers
+// are ingest handlers and the refit loop's snapshot); the published model
+// is lock-free: estimate and model handlers take one atomic Load and
+// never touch the window.
+type tenant struct {
+	id   string
+	elem *list.Element // registry LRU position; guarded by the registry mutex
+
+	mu  sync.Mutex
+	win *ringWindow
+
+	// dirty is set by every ingested sample and cleared when a refit
+	// snapshots the window, so the refit loop skips tenants with nothing
+	// new.
+	dirty atomic.Bool
+	cur   atomic.Pointer[tenantModel]
+}
+
+// windowLen returns the tenant's current window occupancy.
+func (t *tenant) windowLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.win.n
+}
+
+// tenantRegistry owns the tenant map and its LRU eviction order (front =
+// most recently ingested).
+type tenantRegistry struct {
+	max    int
+	window int
+
+	mu    sync.Mutex
+	byID  map[string]*tenant
+	order *list.List
+
+	// samples tracks the buffered sample total across all windows (grows
+	// until each window fills, shrinks on eviction) for the
+	// serve_window_samples gauge and /v1/healthz.
+	samples atomic.Int64
+
+	tenantsG  *obs.Gauge
+	samplesG  *obs.Gauge
+	evictions *obs.Counter
+}
+
+func newTenantRegistry(max, window int) *tenantRegistry {
+	return &tenantRegistry{
+		max:    max,
+		window: window,
+		byID:   map[string]*tenant{},
+		order:  list.New(),
+	}
+}
+
+// instrument attaches the registry's gauges and counters (nil-safe).
+func (tr *tenantRegistry) instrument(reg *obs.Registry) {
+	tr.tenantsG = reg.Gauge("serve_tenants", "tenants holding a live sample window")
+	tr.samplesG = reg.Gauge("serve_window_samples", "telemetry samples buffered across tenant windows")
+	tr.evictions = reg.Counter("serve_tenant_evictions_total", "idle tenants evicted by the MaxTenants LRU bound")
+}
+
+// get returns the tenant with the given id, or nil. It does not disturb
+// the LRU order: reads are not ingestion liveness.
+func (tr *tenantRegistry) get(id string) *tenant {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.byID[id]
+}
+
+// add appends one sample to id's window, creating the tenant on first
+// sight and evicting the least-recently-ingesting tenants beyond the
+// MaxTenants bound. It returns how many tenants were evicted.
+func (tr *tenantRegistry) add(id string, s core.Sample) int {
+	tr.mu.Lock()
+	t, ok := tr.byID[id]
+	if ok {
+		tr.order.MoveToFront(t.elem)
+	} else {
+		t = &tenant{id: id, win: newRingWindow(tr.window)}
+		t.elem = tr.order.PushFront(t)
+		tr.byID[id] = t
+	}
+	var victims []*tenant
+	for tr.order.Len() > tr.max {
+		back := tr.order.Back()
+		v := back.Value.(*tenant)
+		tr.order.Remove(back)
+		delete(tr.byID, v.id)
+		victims = append(victims, v)
+	}
+	tr.mu.Unlock()
+
+	t.mu.Lock()
+	grew := t.win.push(s)
+	t.mu.Unlock()
+	if grew {
+		tr.samples.Add(1)
+	}
+	t.dirty.Store(true)
+
+	for _, v := range victims {
+		v.mu.Lock()
+		n := v.win.n
+		v.win.n, v.win.head = 0, 0
+		v.mu.Unlock()
+		tr.samples.Add(-int64(n))
+		tr.evictions.Inc()
+	}
+	tr.tenantsG.Set(int64(tr.count()))
+	tr.samplesG.Set(tr.samples.Load())
+	return len(victims)
+}
+
+// count returns the live tenant population.
+func (tr *tenantRegistry) count() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.order.Len()
+}
+
+// all appends every live tenant to dst in LRU order (most recently
+// ingested first) — a point-in-time snapshot for refit sweeps and the
+// tenants listing.
+func (tr *tenantRegistry) all(dst []*tenant) []*tenant {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for el := tr.order.Front(); el != nil; el = el.Next() {
+		dst = append(dst, el.Value.(*tenant))
+	}
+	return dst
+}
+
+// maxTenantID bounds tenant identifiers; they appear in URL paths and
+// journal events, so they are kept short and printable.
+const maxTenantID = 128
+
+// validateTenantID enforces the tenant-identifier charset: non-empty,
+// at most maxTenantID bytes, printable ASCII without spaces or '/'.
+func validateTenantID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: tenant: must be non-empty", errBadRequest)
+	}
+	if len(id) > maxTenantID {
+		return fmt.Errorf("%w: tenant: %d bytes exceeds the %d-byte bound", errBadRequest, len(id), maxTenantID)
+	}
+	if i := strings.IndexFunc(id, func(r rune) bool {
+		return r <= ' ' || r > '~' || r == '/'
+	}); i >= 0 {
+		return fmt.Errorf("%w: tenant: byte %d of %q outside the printable no-space no-slash ASCII charset", errBadRequest, i, id)
+	}
+	return nil
+}

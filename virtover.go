@@ -346,6 +346,25 @@ func SamplesFromSeries(series [][]Measurement) []ModelSample {
 	return core.SamplesFromSeries(series)
 }
 
+// DriftOptions configures CompareOnWindow's bootstrap drift rule.
+type DriftOptions = core.DriftOptions
+
+// DriftReport is CompareOnWindow's verdict: the paired residual advantage
+// of the challenger over the incumbent, its bootstrap confidence
+// interval, and whether the advantage is significant.
+type DriftReport = core.DriftReport
+
+// CompareOnWindow decides whether a freshly-fitted challenger model beats
+// the incumbent on a shared sample window: it pairs the two models'
+// absolute residuals per sample and bootstraps a confidence interval over
+// the mean advantage. Significant means the interval's lower bound is
+// above zero — the challenger is better beyond resampling noise. This is
+// the drift rule behind the estimation service's per-tenant hot model
+// swaps (DESIGN.md §16).
+func CompareOnWindow(incumbent, challenger *Model, samples []ModelSample, opt DriftOptions) (*DriftReport, error) {
+	return core.CompareOnWindow(incumbent, challenger, samples, opt)
+}
+
 // ---- Heterogeneous-configuration extension (the paper's future work) ----
 
 // ConfigModel is the configuration-aware overhead model: the Eq. 1-3
